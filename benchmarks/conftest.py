@@ -1,0 +1,51 @@
+"""Shared fixtures for the per-artifact benchmark modules.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_MATRICES`` — matrices in the evaluation collection
+  (default 24; the paper uses 1,024).
+* ``REPRO_BENCH_MAXN`` — largest matrix dimension (default 2048; the paper
+  caps at 20,000).
+* ``REPRO_FULL_COLLECTION=1`` — use the full 1,024-matrix paper-envelope
+  collection (hours of runtime in pure Python).
+
+Every artifact module writes its rendered table/figure into
+``benchmarks/results/`` so EXPERIMENTS.md can quote the regenerated data.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.matrices import MatrixCollection, paper_collection
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_collection() -> MatrixCollection:
+    if os.environ.get("REPRO_FULL_COLLECTION") == "1":
+        return paper_collection()
+    count = int(os.environ.get("REPRO_BENCH_MATRICES", "24"))
+    max_n = int(os.environ.get("REPRO_BENCH_MAXN", "2048"))
+    return MatrixCollection(count, seed=2021, min_n=192, max_n=max_n)
+
+
+@pytest.fixture(scope="session")
+def collection() -> MatrixCollection:
+    return bench_collection()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: Path, name: str, text: str) -> None:
+    """Write a rendered artifact and echo it to the terminal."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

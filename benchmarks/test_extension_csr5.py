@@ -1,0 +1,87 @@
+"""Extension — CSR5 comparison (paper related work, Section VIII).
+
+The paper positions VIA against CSR5 qualitatively: software formats can
+restructure the matrix side but leave the gather problem (Challenge 1) in
+place.  This bench measures that: CSR5's segmented-sum SpMV beats plain
+CSR on the same machine, yet VIA-CSB still beats CSR5 by a wide margin,
+and VIA layered on CSR5 itself yields only the modest output-accumulator
+gain of the other software formats.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.eval import geomean, render_table
+from repro.formats import CSBMatrix, CSR5Matrix, CSRMatrix
+from repro.kernels import (
+    spmv_csb_via,
+    spmv_csr5_baseline,
+    spmv_csr5_via,
+    spmv_csr_baseline,
+)
+from repro.matrices import banded, power_law, random_uniform
+from repro.via import VIA_16_2P
+
+MATRICES = {
+    "banded": lambda: banded(1200, 8, 0.6, 61),
+    "powerlaw": lambda: power_law(1200, 6.0, 2.0, 62),
+    "random": lambda: random_uniform(1200, 0.008, 63),
+}
+
+
+@pytest.fixture(scope="module")
+def csr5_results():
+    rng = np.random.default_rng(9)
+    out = {}
+    for name, make in MATRICES.items():
+        coo = make()
+        x = rng.standard_normal(coo.cols)
+        csr = CSRMatrix.from_coo(coo)
+        m5 = CSR5Matrix.from_coo(coo)
+        csb = CSBMatrix.from_coo(coo, block_size=VIA_16_2P.csb_block_size)
+        out[name] = {
+            "csr": spmv_csr_baseline(csr, x).cycles,
+            "csr5": spmv_csr5_baseline(m5, x).cycles,
+            "csr5_via": spmv_csr5_via(m5, x).cycles,
+            "csb_via": spmv_csb_via(csb, x).cycles,
+        }
+    return out
+
+
+def test_csr5_artifact(csr5_results, benchmark, results_dir):
+    def render():
+        rows = []
+        for name, c in csr5_results.items():
+            rows.append(
+                [
+                    name,
+                    f"{c['csr'] / c['csr5']:.2f}x",
+                    f"{c['csr5'] / c['csr5_via']:.2f}x",
+                    f"{c['csr5'] / c['csb_via']:.2f}x",
+                ]
+            )
+        rows.append(
+            [
+                "geomean",
+                f"{geomean(c['csr'] / c['csr5'] for c in csr5_results.values()):.2f}x",
+                f"{geomean(c['csr5'] / c['csr5_via'] for c in csr5_results.values()):.2f}x",
+                f"{geomean(c['csr5'] / c['csb_via'] for c in csr5_results.values()):.2f}x",
+            ]
+        )
+        return render_table(
+            "Extension — CSR5 (software) vs VIA",
+            ["matrix", "CSR5 over CSR", "VIA on CSR5", "VIA-CSB over CSR5"],
+            rows,
+        )
+
+    text = benchmark(render)
+    save_artifact(results_dir, "extension_csr5", text)
+
+    for name, c in csr5_results.items():
+        assert c["csr5"] < c["csr"], f"CSR5 should beat CSR on {name}"
+        assert c["csr5_via"] < c["csr5"], name
+        assert c["csb_via"] < c["csr5"], name
+    # the headline: hardware still beats the best software format broadly
+    ratio = geomean(c["csr5"] / c["csb_via"] for c in csr5_results.values())
+    assert ratio > 2.0

@@ -1,0 +1,76 @@
+"""F10 — Figure 10: SpMV speedup per format across block-density categories.
+
+Paper reference: VIA-CSB averages 4.22x over the CSB software baseline;
+VIA over the CSR / SPC5 / Sell-C-sigma software implementations averages
+1.25x / 1.24x / 1.31x.  Prose claims reproduced here as well (Section
+VII-A): CSB VIA-SpMV cuts total energy ~3.8x and raises realized memory
+bandwidth ~2.5x.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.eval import (
+    aggregate_ratio,
+    categorize,
+    render_categories,
+    render_ratio_line,
+    sweep_spmv,
+)
+
+
+@pytest.fixture(scope="module")
+def spmv_records(collection):
+    return sweep_spmv(collection)
+
+
+def test_fig10_artifact(spmv_records, benchmark, results_dir):
+    cats = categorize(spmv_records)
+
+    def render():
+        text = render_categories(
+            "Figure 10 — SpMV speedup by CSB block-density category",
+            cats,
+            metric_label="nnz/block",
+        )
+        energy = aggregate_ratio(spmv_records, "energy_ratio", "csb")
+        bandwidth = aggregate_ratio(spmv_records, "bandwidth_ratio", "csb")
+        text += "\n" + render_ratio_line("CSB energy reduction", energy, 3.8)
+        text += "\n" + render_ratio_line("CSB bandwidth increase", bandwidth, 2.5)
+        return text
+
+    text = benchmark(render)
+    save_artifact(results_dir, "fig10_spmv", text)
+
+    overall = cats.overall
+    # CSB wins biggest (paper: 4.22x average)
+    assert overall["csb"] == max(overall.values())
+    assert 2.5 < overall["csb"] < 10.0
+    # the other formats gain modestly (paper ~1.25x)
+    for fmt in ("csr", "spc5", "sellcs"):
+        assert 1.0 < overall[fmt] < 2.5, f"{fmt}: {overall[fmt]}"
+    # prose claims (Section VII-A)
+    assert aggregate_ratio(spmv_records, "energy_ratio", "csb") > 1.5
+    assert aggregate_ratio(spmv_records, "bandwidth_ratio", "csb") > 1.5
+    # all four categories populated
+    assert len(cats.rows) == 4
+    assert all(row.count > 0 for row in cats.rows)
+
+
+def test_fig10_single_matrix_benchmark(benchmark, collection):
+    """Benchmark one baseline+VIA CSB SpMV pair on one matrix."""
+    from repro.formats import CSBMatrix
+    from repro.kernels import spmv_csb_baseline, spmv_csb_via
+    from repro.via import VIA_16_2P
+
+    spec = collection.specs[0]
+    coo = collection.matrix(spec)
+    csb = CSBMatrix.from_coo(coo, block_size=VIA_16_2P.csb_block_size)
+    x = np.random.default_rng(0).standard_normal(coo.cols)
+
+    def pair():
+        return spmv_csb_baseline(csb, x), spmv_csb_via(csb, x)
+
+    base, via = benchmark.pedantic(pair, rounds=1, iterations=1)
+    assert base.cycles > via.cycles

@@ -1,0 +1,55 @@
+"""F11b — SpMM speedup (Section VII-C).
+
+Paper reference: VIA-SpMM averages 6.00x over the inner-product CSRxCSC
+implementation with software index matching (Algorithm 3).
+"""
+
+import os
+
+import pytest
+from conftest import save_artifact
+
+from repro.eval import categorize, render_categories, sweep_spmm
+from repro.matrices import MatrixCollection
+
+
+@pytest.fixture(scope="module")
+def spmm_records():
+    # smaller, denser matrices: the golden dense product is cubic
+    count = int(os.environ.get("REPRO_BENCH_MATRICES", "24")) // 2
+    coll = MatrixCollection(max(count, 6), seed=77, min_n=192, max_n=768)
+    return sweep_spmm(coll, max_n=1024)
+
+
+def test_fig11b_artifact(spmm_records, benchmark, results_dir):
+    cats = categorize(spmm_records)
+
+    def render():
+        return render_categories(
+            "SpMM speedup by nnz-per-row category (paper avg: 6.00x)",
+            cats,
+            metric_label="nnz/row",
+        )
+
+    text = benchmark(render)
+    save_artifact(results_dir, "fig11b_spmm", text)
+
+    avg = cats.overall["csr"]
+    assert 3.0 < avg < 12.0  # paper: 6.00x
+    for row in cats.rows:
+        assert row.speedup["csr"] > 1.5
+
+
+def test_fig11b_single_pair_benchmark(benchmark):
+    from repro.formats import CSCMatrix, CSRMatrix
+    from repro.kernels import spmm_csr_baseline, spmm_via
+    from repro.matrices import random_uniform
+
+    a = CSRMatrix.from_coo(random_uniform(400, 0.02, 1))
+    b = CSCMatrix.from_coo(random_uniform(400, 0.02, 2))
+
+    def pair():
+        return spmm_csr_baseline(a, b), spmm_via(a, b)
+
+    base, via = benchmark.pedantic(pair, rounds=1, iterations=1)
+    assert base.cycles > via.cycles

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Size the VIA hardware: performance vs area/leakage (Fig. 9 + Table II).
+
+Sweeps the four DSE configurations over a small matrix set, pairs the
+performance with the synthesized area/leakage model, and prints the
+efficiency trade-off the paper uses to select 16_2p.
+
+Run:  python examples/design_space.py   (takes a minute or two)
+"""
+
+from repro.eval import render_dse, render_table, run_dse
+from repro.matrices import MatrixCollection
+from repro.via import ViaConfig, area_mm2, dse_configs, leakage_mw, table2
+
+
+def main() -> None:
+    coll = MatrixCollection(6, seed=33, min_n=1024, max_n=3072)
+    spmm_coll = MatrixCollection(4, seed=34, min_n=256, max_n=640)
+    result = run_dse(coll, spmm_collection=spmm_coll)
+
+    print(render_dse(result))
+    print()
+    print(table2(dse_configs()))
+    print()
+
+    # performance-per-area: geomean of the three kernels' normalized
+    # speedups divided by the configuration's area
+    rows = []
+    for cfg_name in sorted(
+        result.cycles["spmv"], key=lambda n: int(n.split("_")[0])
+    ):
+        kb, ports = cfg_name.split("_")
+        cfg = ViaConfig(int(kb), int(ports[:-1]))
+        perf = 1.0
+        for kernel in ("spmv", "spma", "spmm"):
+            perf *= result.normalized_speedup(kernel)[cfg_name]
+        perf **= 1 / 3
+        rows.append(
+            [
+                cfg_name,
+                f"{perf:.3f}x",
+                f"{area_mm2(cfg):.3f}",
+                f"{leakage_mw(cfg):.2f}",
+                f"{perf / area_mm2(cfg):.2f}",
+            ]
+        )
+    print(
+        render_table(
+            "Efficiency trade-off (the paper selects 16_2p)",
+            ["config", "perf", "area mm^2", "leak mW", "perf/area"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

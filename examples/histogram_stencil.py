@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""VIA beyond sparse algebra: histograms and stencil computation.
+
+Section IV-F of the paper shows the SSPM generalizes to any kernel with
+irregular accumulation (histograms: database query planning, image
+processing) or neighbourhood access patterns (stencils: convolution,
+PDE solvers).
+
+Run:  python examples/histogram_stencil.py
+"""
+
+import numpy as np
+
+from repro.kernels import (
+    histogram_scalar_baseline,
+    histogram_vector_baseline,
+    histogram_via,
+    reference,
+    stencil_vector_baseline,
+    stencil_via,
+)
+
+
+def histogram_demo() -> None:
+    print("=== Histogram: database column statistics (Algorithm 5) ===")
+    rng = np.random.default_rng(21)
+    # a skewed column, as real query-planning histograms see
+    keys = np.minimum((1024 * rng.random(20_000) ** 2).astype(np.int64), 1023)
+    scalar = histogram_scalar_baseline(keys, 1024)
+    vector = histogram_vector_baseline(keys, 1024)
+    via = histogram_via(keys, 1024)
+    assert np.array_equal(via.output, reference.histogram(keys, 1024))
+    print(f"scalar baseline: {scalar.cycles:12,.0f} cycles")
+    print(f"vector baseline: {vector.cycles:12,.0f} cycles "
+          f"({vector.counters.gathers + vector.counters.scatters:,} "
+          "gathers/scatters)")
+    print(f"VIA:             {via.cycles:12,.0f} cycles "
+          f"({via.counters.sspm_accesses:,} scratchpad accesses)")
+    print(f"speedup: {scalar.cycles / via.cycles:.2f}x vs scalar "
+          f"(paper 5.49x), {vector.cycles / via.cycles:.2f}x vs vector "
+          "(paper 4.51x)\n")
+
+
+def stencil_demo() -> None:
+    print("=== Stencil: 4x4 Gaussian blur over an image (Algorithm 6) ===")
+    rng = np.random.default_rng(22)
+    image = rng.random((128, 128))
+    base = stencil_vector_baseline(image)
+    via = stencil_via(image)
+    golden = reference.gaussian_filter(image, reference.gaussian_kernel_4x4())
+    assert np.allclose(via.output, golden)
+    print(f"baseline: {base.cycles:12,.0f} cycles "
+          f"({base.counters.gathers:,} pattern gathers)")
+    print(f"VIA:      {via.cycles:12,.0f} cycles "
+          "(pattern reads served by the SSPM)")
+    print(f"speedup:  {base.cycles / via.cycles:.2f}x  (paper avg: 3.39x)")
+
+
+if __name__ == "__main__":
+    histogram_demo()
+    stencil_demo()

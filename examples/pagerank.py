@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""PageRank on VIA — the paper's graph-computing outlook, made concrete.
+
+The conclusions section argues VIA applies to graph computing; SpMV *is*
+the inner loop of PageRank (and the most important kernel in GraphBLAS,
+per the introduction).  This example builds a scale-free web-like graph,
+runs power iterations with the baseline and the VIA CSB SpMV kernels, and
+reports total simulated cycles for the whole solve.
+
+Run:  python examples/pagerank.py
+"""
+
+import numpy as np
+
+from repro import CSBMatrix, CSRMatrix, VIA_16_2P
+from repro.kernels import spmv_csb_baseline, spmv_csb_via
+from repro.matrices import power_law
+
+DAMPING = 0.85
+ITERATIONS = 10
+NODES = 1500
+
+
+def build_transition_matrix():
+    """Column-stochastic transition matrix of a scale-free digraph."""
+    graph = power_law(NODES, avg_nnz_per_row=6.0, alpha=2.0, seed=99)
+    # normalize columns (out-link probability); dangling columns get
+    # uniform teleport handled in the iteration
+    dense = (graph.to_dense() != 0).astype(float).T  # edge j->i as M[i, j]
+    out_degree = dense.sum(axis=0)
+    nonzero = out_degree > 0
+    dense[:, nonzero] /= out_degree[nonzero]
+    from repro.formats import COOMatrix
+
+    return COOMatrix.from_dense(dense), ~nonzero
+
+
+def main() -> None:
+    coo, dangling = build_transition_matrix()
+    csb = CSBMatrix.from_coo(coo, block_size=VIA_16_2P.csb_block_size)
+    csr = CSRMatrix.from_coo(coo)
+    rank = np.full(NODES, 1.0 / NODES)
+
+    total_base = total_via = 0.0
+    for it in range(ITERATIONS):
+        base = spmv_csb_baseline(csb, rank)
+        via = spmv_csb_via(csb, rank)
+        assert np.allclose(base.output, via.output)
+        total_base += base.cycles
+        total_via += via.cycles
+
+        # the rank update itself (dense vector ops are format-independent)
+        spread = base.output
+        teleport = (1 - DAMPING) / NODES + DAMPING * rank[dangling].sum() / NODES
+        rank = DAMPING * spread + teleport
+
+    rank /= rank.sum()
+    golden = _golden_pagerank(csr)
+    top = np.argsort(-rank)[:5]
+    print(f"PageRank on a {NODES}-node scale-free graph "
+          f"({coo.nnz} edges), {ITERATIONS} power iterations\n")
+    print("top-5 nodes:", ", ".join(f"{int(i)} ({rank[i]:.4f})" for i in top))
+    print(f"agrees with numpy power iteration: "
+          f"{np.allclose(rank, golden, atol=1e-6)}\n")
+    print(f"baseline SpMV cycles: {total_base:14,.0f}")
+    print(f"VIA SpMV cycles:      {total_via:14,.0f}")
+    print(f"end-to-end speedup:   {total_base / total_via:.2f}x")
+
+
+def _golden_pagerank(csr: CSRMatrix) -> np.ndarray:
+    dense = csr.to_dense()
+    rank = np.full(NODES, 1.0 / NODES)
+    dangling = dense.sum(axis=0) == 0
+    for _ in range(ITERATIONS):
+        teleport = (1 - DAMPING) / NODES + DAMPING * rank[dangling].sum() / NODES
+        rank = DAMPING * (dense @ rank) + teleport
+    return rank / rank.sum()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: run SpMV on VIA and see where the speedup comes from.
+
+Builds a clustered sparse matrix (the structure CSB exploits), runs the
+conventional vectorized CSB kernel and the VIA kernel on the same machine
+model, and prints the cycle breakdowns side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CSBMatrix, VIA_16_2P, spmv_csb_baseline, spmv_csb_via
+from repro.matrices import blocked
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # a 2,000 x 2,000 matrix with clustered non-zeros (~1% dense)
+    coo = blocked(2000, block_dim=32, block_density=0.03, in_block_fill=0.5, seed=7)
+    csb = CSBMatrix.from_coo(coo, block_size=VIA_16_2P.csb_block_size)
+    x = rng.standard_normal(coo.cols)
+
+    print(f"matrix: {coo.rows}x{coo.cols}, nnz={coo.nnz} ({coo.density:.3%})")
+    print(f"CSB: {csb.num_blocks} blocks of {csb.block_size}x{csb.block_size}\n")
+
+    base = spmv_csb_baseline(csb, x)
+    via = spmv_csb_via(csb, x)
+
+    # the VIA result comes out of the functional scratchpad model — check it
+    assert np.allclose(base.output, via.output)
+
+    print(base.summary())
+    print(via.summary())
+    print()
+    print(f"speedup:          {base.cycles / via.cycles:.2f}x  (paper avg: 4.22x)")
+    print(f"energy reduction: {base.energy_pj / via.energy_pj:.2f}x  (paper: 3.8x)")
+    print()
+    print("why: the baseline spends its time in gathers and scalar partial-")
+    print("result updates; VIA streams the matrix at full bandwidth while the")
+    print("scratchpad serves the indexed accesses:")
+    for res in (base, via):
+        b = res.breakdown
+        print(
+            f"  {res.name:24s} gathers={b.gather_serial_cycles:>10,.0f}  "
+            f"sspm={b.sspm_cycles:>9,.0f}  dram={b.dram_occupancy_cycles:>9,.0f}  "
+            f"bottleneck={b.bottleneck}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""VIA: A Smart Scratchpad for Vector Units — behavioral reproduction.
+
+A pure-Python reproduction of Pavón et al., HPCA 2021: the Vector Indexed
+Architecture (an SSPM + FIVU vector extension for sparse computations),
+together with every substrate its evaluation needs — sparse formats, a
+synthetic SuiteSparse-like matrix collection, a cycle-approximate
+out-of-order machine model, baseline and VIA kernels, and the evaluation
+harness that regenerates the paper's tables and figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CSBMatrix, VIA_16_2P, spmv_csb_baseline, spmv_csb_via
+    from repro.matrices import blocked
+
+    coo = blocked(1000, 16, 0.04, 0.5, seed=1)
+    csb = CSBMatrix.from_coo(coo, block_size=VIA_16_2P.csb_block_size)
+    x = np.random.default_rng(0).standard_normal(1000)
+    base = spmv_csb_baseline(csb, x)
+    via = spmv_csb_via(csb, x)
+    print(f"speedup: {base.cycles / via.cycles:.2f}x")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.errors import (
+    ConfigError,
+    FormatError,
+    ISAError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+    SSPMCapacityError,
+    SSPMError,
+)
+from repro.formats import (
+    COOMatrix,
+    CSBMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    SellCSigmaMatrix,
+    SparseFormat,
+    SPC5Matrix,
+    convert,
+)
+from repro.kernels import (
+    histogram_scalar_baseline,
+    histogram_vector_baseline,
+    histogram_via,
+    spma_csr_baseline,
+    spma_via,
+    spmm_csr_baseline,
+    spmm_via,
+    spmv_csb_baseline,
+    spmv_csb_via,
+    spmv_csr_baseline,
+    spmv_csr_via,
+    spmv_sellcs_baseline,
+    spmv_sellcs_via,
+    spmv_spc5_baseline,
+    spmv_spc5_via,
+    stencil_vector_baseline,
+    stencil_via,
+)
+from repro.matrices import MatrixCollection, paper_collection, small_collection
+from repro.sim import Core, KernelResult, MachineConfig, table1
+from repro.via import (
+    DEFAULT_VIA,
+    SSPM,
+    VIA_4_2P,
+    VIA_4_4P,
+    VIA_8_2P,
+    VIA_8_4P,
+    VIA_16_2P,
+    VIA_16_4P,
+    ViaConfig,
+    ViaDevice,
+    table2,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "FormatError",
+    "ISAError",
+    "ReproError",
+    "ShapeError",
+    "SimulationError",
+    "SSPMCapacityError",
+    "SSPMError",
+    "COOMatrix",
+    "CSBMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "SellCSigmaMatrix",
+    "SparseFormat",
+    "SPC5Matrix",
+    "convert",
+    "histogram_scalar_baseline",
+    "histogram_vector_baseline",
+    "histogram_via",
+    "spma_csr_baseline",
+    "spma_via",
+    "spmm_csr_baseline",
+    "spmm_via",
+    "spmv_csb_baseline",
+    "spmv_csb_via",
+    "spmv_csr_baseline",
+    "spmv_csr_via",
+    "spmv_sellcs_baseline",
+    "spmv_sellcs_via",
+    "spmv_spc5_baseline",
+    "spmv_spc5_via",
+    "stencil_vector_baseline",
+    "stencil_via",
+    "MatrixCollection",
+    "paper_collection",
+    "small_collection",
+    "Core",
+    "KernelResult",
+    "MachineConfig",
+    "table1",
+    "DEFAULT_VIA",
+    "SSPM",
+    "VIA_4_2P",
+    "VIA_4_4P",
+    "VIA_8_2P",
+    "VIA_8_4P",
+    "VIA_16_2P",
+    "VIA_16_4P",
+    "ViaConfig",
+    "ViaDevice",
+    "table2",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the VIA reproduction library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix format invariant was violated.
+
+    Raised when constructing or converting a compressed representation with
+    inconsistent arrays (e.g. a CSR ``row_ptr`` that is not monotonically
+    non-decreasing, or column indices out of range).
+    """
+
+
+class ShapeError(FormatError):
+    """Operands of a kernel have incompatible shapes."""
+
+
+class ConfigError(ReproError):
+    """A machine or VIA hardware configuration is invalid."""
+
+
+class SSPMError(ReproError):
+    """An SSPM operation violated the scratchpad's operating rules.
+
+    Examples: direct-mapped index out of range, CAM index-table overflow,
+    or using a CAM-only operation while in direct-mapped mode.
+    """
+
+
+class SSPMCapacityError(SSPMError):
+    """The CAM index table ran out of free entries during insertion.
+
+    Software is expected to size its working set (e.g. a CSB block or a
+    sparse row) to fit the SSPM; overflowing is a programming error in the
+    kernel, exactly as it would be on the real hardware.
+    """
+
+
+class ISAError(ReproError):
+    """Malformed VIA instruction: bad opcode, operand count or operand kind."""
+
+
+class SimulationError(ReproError):
+    """The machine model was driven into an inconsistent state."""

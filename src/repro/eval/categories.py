@@ -1,0 +1,69 @@
+"""Category aggregation for Figures 10 and 11.
+
+The paper sorts the evaluated matrices by a structural metric and evenly
+splits them into four categories, reporting the per-category average
+speedup with the category's median metric as the x-axis label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.eval.harness import SweepRecord, geomean
+from repro.matrices.stats import quartile_split
+
+
+@dataclass(frozen=True)
+class CategoryRow:
+    """One of the four x-axis categories of Fig. 10 / Fig. 11."""
+
+    median_metric: float
+    count: int
+    speedup: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class CategorizedResult:
+    """Four categories plus overall averages."""
+
+    rows: List[CategoryRow]
+    overall: Dict[str, float]
+
+    def series(self, key: str) -> List[float]:
+        """Speedup series for one format across the four categories."""
+        return [row.speedup.get(key, float("nan")) for row in self.rows]
+
+
+def categorize(records: Sequence[SweepRecord]) -> CategorizedResult:
+    """Split sweep records into the paper's four metric categories."""
+    if not records:
+        return CategorizedResult(rows=[], overall={})
+    metrics = [r.metric for r in records]
+    groups, medians = quartile_split(metrics)
+    keys = sorted({k for r in records for k in r.speedup})
+    rows: List[CategoryRow] = []
+    for g, med in zip(groups, medians):
+        members = [records[int(i)] for i in g]
+        rows.append(
+            CategoryRow(
+                median_metric=med,
+                count=len(members),
+                speedup={
+                    k: geomean(m.speedup[k] for m in members if k in m.speedup)
+                    for k in keys
+                },
+            )
+        )
+    overall = {
+        k: geomean(r.speedup[k] for r in records if k in r.speedup) for k in keys
+    }
+    return CategorizedResult(rows=rows, overall=overall)
+
+
+def aggregate_ratio(records: Sequence[SweepRecord], attr: str, key: str) -> float:
+    """Geomean of one ratio field (e.g. energy_ratio['csb']) over a sweep."""
+    values = [getattr(r, attr).get(key) for r in records]
+    return geomean(v for v in values if v is not None and np.isfinite(v))

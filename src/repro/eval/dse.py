@@ -1,0 +1,86 @@
+"""Design-space exploration — regenerates Figure 9 and Table II.
+
+Figure 9 sweeps the four SSPM configurations (4_2p, 4_4p, 16_2p, 16_4p)
+over the three sparse kernels and reports each kernel's speedup normalized
+to its own 4_2p configuration.  Table II pairs those configurations with
+their synthesized area and leakage (see :mod:`repro.via.area`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.eval.harness import geomean, sweep_spma, sweep_spmm, sweep_spmv
+from repro.matrices.collection import MatrixCollection
+from repro.sim.config import DEFAULT_MACHINE, MachineConfig
+from repro.via.config import ViaConfig, dse_configs
+
+DSE_KERNELS = ("spmv", "spma", "spmm")
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """Per-kernel mean VIA cycles for every configuration swept."""
+
+    #: kernel -> config name -> geomean VIA cycles over the collection
+    cycles: Dict[str, Dict[str, float]]
+    baseline_config: str = "4_2p"
+
+    def normalized_speedup(self, kernel: str) -> Dict[str, float]:
+        """Figure 9's y-axis: speedup of each config over 4_2p."""
+        per_config = self.cycles[kernel]
+        base = per_config[self.baseline_config]
+        return {name: base / c for name, c in per_config.items()}
+
+    def best_config(self, kernel: str) -> str:
+        per_config = self.cycles[kernel]
+        return min(per_config, key=per_config.get)
+
+
+def run_dse(
+    collection: MatrixCollection,
+    *,
+    configs: Optional[List[ViaConfig]] = None,
+    machine: MachineConfig = DEFAULT_MACHINE,
+    limit: Optional[int] = None,
+    spmm_collection: Optional[MatrixCollection] = None,
+    spmm_max_n: int = 1024,
+) -> DseResult:
+    """Sweep every configuration over the three kernels (Figure 9).
+
+    SpMV runs the CSB flow (the paper's DSE uses the best-performing
+    format); SpMA and SpMM run the CSR flows.  CSB block sizes follow each
+    configuration (half the SSPM), so the sweep captures the capacity
+    effect as well as the port effect.
+    """
+    configs = list(configs) if configs is not None else dse_configs()
+    cycles: Dict[str, Dict[str, float]] = {k: {} for k in DSE_KERNELS}
+    for cfg in configs:
+        spmv_recs = sweep_spmv(
+            collection,
+            formats=("csb",),
+            machine=machine,
+            via_config=cfg,
+            limit=limit,
+        )
+        cycles["spmv"][cfg.name] = geomean(
+            r.via_cycles["csb"] for r in spmv_recs
+        )
+        spma_recs = sweep_spma(
+            collection, machine=machine, via_config=cfg, limit=limit
+        )
+        cycles["spma"][cfg.name] = geomean(
+            r.via_cycles["csr"] for r in spma_recs
+        )
+        spmm_recs = sweep_spmm(
+            spmm_collection if spmm_collection is not None else collection,
+            machine=machine,
+            via_config=cfg,
+            limit=limit,
+            max_n=spmm_max_n,
+        )
+        cycles["spmm"][cfg.name] = geomean(
+            r.via_cycles["csr"] for r in spmm_recs
+        )
+    return DseResult(cycles=cycles)

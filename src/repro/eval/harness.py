@@ -1,0 +1,234 @@
+"""Evaluation harness: sweep kernels over the matrix collection.
+
+The harness regenerates the paper's evaluation data (Section VII): for each
+matrix in a collection it runs baseline and VIA variants of a kernel on the
+same machine model and records the speedup plus the structural metric the
+paper categorizes by (CSB block density for Fig. 10, nnz/row for Fig. 11).
+
+Each record also carries energy and memory-bandwidth ratios, used for the
+Section VII-A prose claims (3.8x energy reduction, 2.5x bandwidth increase
+for CSB SpMV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csb import CSBMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.sellcs import SellCSigmaMatrix
+from repro.formats.spc5 import SPC5Matrix
+from repro.kernels import spma as spma_mod
+from repro.kernels import spmm as spmm_mod
+from repro.kernels import spmv as spmv_mod
+from repro.matrices.collection import MatrixCollection, MatrixSpec
+from repro.matrices.stats import nnz_per_row_metric
+from repro.sim.config import DEFAULT_MACHINE, MachineConfig
+from repro.via.config import DEFAULT_VIA, ViaConfig
+
+SPMV_FORMATS = ("csr", "csb", "spc5", "sellcs")
+
+
+@dataclass
+class SweepRecord:
+    """One matrix's results for one kernel sweep."""
+
+    name: str
+    domain: str
+    n: int
+    nnz: int
+    metric: float
+    speedup: Dict[str, float] = field(default_factory=dict)
+    energy_ratio: Dict[str, float] = field(default_factory=dict)
+    bandwidth_ratio: Dict[str, float] = field(default_factory=dict)
+    baseline_cycles: Dict[str, float] = field(default_factory=dict)
+    via_cycles: Dict[str, float] = field(default_factory=dict)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean — the standard aggregate for speedup ratios."""
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[arr > 0]
+    return float(np.exp(np.log(arr).mean())) if arr.size else float("nan")
+
+
+def _build_format(coo: COOMatrix, fmt: str, machine: MachineConfig, via: ViaConfig):
+    if fmt == "csr":
+        return CSRMatrix.from_coo(coo)
+    if fmt == "csb":
+        return CSBMatrix.from_coo(coo, block_size=via.csb_block_size)
+    if fmt == "spc5":
+        return SPC5Matrix.from_coo(coo, vl=machine.vl)
+    if fmt == "sellcs":
+        return SellCSigmaMatrix.from_coo(coo, c=machine.vl, sigma=16 * machine.vl)
+    raise ValueError(f"unknown SpMV format {fmt!r}")
+
+
+def sweep_spmv(
+    collection: MatrixCollection,
+    *,
+    formats: Iterable[str] = SPMV_FORMATS,
+    machine: MachineConfig = DEFAULT_MACHINE,
+    via_config: ViaConfig = DEFAULT_VIA,
+    limit: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SweepRecord]:
+    """Run baseline + VIA SpMV for every matrix and format (Fig. 10 data).
+
+    The per-record ``metric`` is the matrix's median non-zeros per CSB
+    block at the configured block size — the x-axis of Figure 10.
+    """
+    records: List[SweepRecord] = []
+    rng = np.random.default_rng(12345)
+    for spec in _iter(collection, limit):
+        coo = collection.matrix(spec)
+        x = rng.standard_normal(coo.cols)
+        csb = CSBMatrix.from_coo(coo, block_size=via_config.csb_block_size)
+        per_block = csb.nnz_per_block()
+        rec = SweepRecord(
+            name=spec.name,
+            domain=spec.domain,
+            n=coo.rows,
+            nnz=coo.nnz,
+            metric=float(np.median(per_block)) if per_block.size else 0.0,
+        )
+        for fmt in formats:
+            mat = csb if fmt == "csb" else _build_format(coo, fmt, machine, via_config)
+            base_fn, via_fn = spmv_mod.SPMV_VARIANTS[fmt]
+            base = base_fn(mat, x, machine)
+            via = via_fn(mat, x, machine, via_config)
+            rec.speedup[fmt] = base.cycles / via.cycles
+            rec.energy_ratio[fmt] = base.energy_pj / via.energy_pj
+            rec.bandwidth_ratio[fmt] = (
+                via.memory_bandwidth_gbs / base.memory_bandwidth_gbs
+                if base.memory_bandwidth_gbs
+                else float("nan")
+            )
+            rec.baseline_cycles[fmt] = base.cycles
+            rec.via_cycles[fmt] = via.cycles
+        records.append(rec)
+        if progress is not None:
+            progress(spec.name)
+    return records
+
+
+def sweep_spma(
+    collection: MatrixCollection,
+    *,
+    machine: MachineConfig = DEFAULT_MACHINE,
+    via_config: ViaConfig = DEFAULT_VIA,
+    limit: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SweepRecord]:
+    """Run baseline + VIA SpMA per matrix (Fig. 11 data).
+
+    The second operand is a structurally-similar matrix generated from the
+    spec with a shifted seed, mirroring the paper's same-shape additions.
+    The metric is the average non-zeros per non-empty row.
+    """
+    records: List[SweepRecord] = []
+    for spec in _iter(collection, limit):
+        coo_a = collection.matrix(spec)
+        sibling = MatrixSpec(
+            name=spec.name + "_b",
+            domain=spec.domain,
+            n=spec.n,
+            seed=spec.seed + 1,
+            params=spec.params,
+        )
+        coo_b = sibling.build()
+        if coo_b.shape != coo_a.shape:  # grid/kron generators round dims
+            coo_b = COOMatrix(
+                coo_a.shape,
+                coo_b.row % coo_a.shape[0],
+                coo_b.col % coo_a.shape[1],
+                coo_b.data,
+            )
+        a = CSRMatrix.from_coo(coo_a)
+        b = CSRMatrix.from_coo(coo_b)
+        base = spma_mod.spma_csr_baseline(a, b, machine)
+        via = spma_mod.spma_via(a, b, machine, via_config)
+        rec = SweepRecord(
+            name=spec.name,
+            domain=spec.domain,
+            n=coo_a.rows,
+            nnz=coo_a.nnz,
+            metric=nnz_per_row_metric(coo_a),
+            speedup={"csr": base.cycles / via.cycles},
+            energy_ratio={"csr": base.energy_pj / via.energy_pj},
+            baseline_cycles={"csr": base.cycles},
+            via_cycles={"csr": via.cycles},
+        )
+        records.append(rec)
+        if progress is not None:
+            progress(spec.name)
+    return records
+
+
+def sweep_spmm(
+    collection: MatrixCollection,
+    *,
+    machine: MachineConfig = DEFAULT_MACHINE,
+    via_config: ViaConfig = DEFAULT_VIA,
+    limit: Optional[int] = None,
+    max_n: int = 1024,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SweepRecord]:
+    """Run baseline + VIA SpMM per matrix (Section VII-C data).
+
+    ``A`` is the spec's matrix in CSR; ``B`` a structural sibling in CSC.
+    Matrices above ``max_n`` are skipped: the golden dense product is
+    cubic, the same kind of simulation-time cut the paper makes at 20,000
+    rows.
+    """
+    records: List[SweepRecord] = []
+    for spec in _iter(collection, limit):
+        if spec.n > max_n:
+            continue
+        coo_a = collection.matrix(spec)
+        if coo_a.rows > max_n:
+            continue
+        sibling = MatrixSpec(
+            name=spec.name + "_b",
+            domain=spec.domain,
+            n=spec.n,
+            seed=spec.seed + 2,
+            params=spec.params,
+        )
+        coo_b = sibling.build()
+        if coo_b.shape != coo_a.shape:
+            coo_b = COOMatrix(
+                coo_a.shape,
+                coo_b.row % coo_a.shape[0],
+                coo_b.col % coo_a.shape[1],
+                coo_b.data,
+            )
+        a = CSRMatrix.from_coo(coo_a)
+        b = CSCMatrix.from_coo(coo_b)
+        base = spmm_mod.spmm_csr_baseline(a, b, machine)
+        via = spmm_mod.spmm_via(a, b, machine, via_config)
+        rec = SweepRecord(
+            name=spec.name,
+            domain=spec.domain,
+            n=coo_a.rows,
+            nnz=coo_a.nnz,
+            metric=nnz_per_row_metric(coo_a),
+            speedup={"csr": base.cycles / via.cycles},
+            energy_ratio={"csr": base.energy_pj / via.energy_pj},
+            baseline_cycles={"csr": base.cycles},
+            via_cycles={"csr": via.cycles},
+        )
+        records.append(rec)
+        if progress is not None:
+            progress(spec.name)
+    return records
+
+
+def _iter(collection: MatrixCollection, limit: Optional[int]):
+    specs = collection.specs
+    return specs[:limit] if limit is not None else specs

@@ -1,0 +1,86 @@
+"""Text renderers for the regenerated tables and figures.
+
+Every benchmark prints its artifact through these helpers so the terminal
+output lines up with the paper's presentation (rows = categories or
+configurations, columns = formats or kernels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.eval.categories import CategorizedResult
+from repro.eval.dse import DseResult
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+) -> str:
+    """Fixed-width text table with a title rule."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [title, "-" * len(fmt(headers)), fmt(headers)]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)
+
+
+def render_categories(
+    title: str,
+    result: CategorizedResult,
+    *,
+    metric_label: str,
+    keys: Optional[List[str]] = None,
+) -> str:
+    """Render a Fig. 10 / Fig. 11 style category table."""
+    if not result.rows:
+        return f"{title}\n(no data)"
+    keys = keys or sorted(result.overall)
+    headers = [metric_label, "matrices"] + [f"{k} speedup" for k in keys]
+    rows = []
+    for row in result.rows:
+        rows.append(
+            [f"{row.median_metric:.1f}", row.count]
+            + [f"{row.speedup.get(k, float('nan')):.2f}x" for k in keys]
+        )
+    rows.append(
+        ["average", sum(r.count for r in result.rows)]
+        + [f"{result.overall[k]:.2f}x" for k in keys]
+    )
+    return render_table(title, headers, rows)
+
+
+def render_dse(result: DseResult) -> str:
+    """Render Figure 9: per-kernel speedup normalized to 4_2p."""
+    kernels = sorted(result.cycles)
+    configs = sorted(
+        {name for per in result.cycles.values() for name in per},
+        key=lambda n: (int(n.split("_")[0]), n),
+    )
+    headers = ["config"] + [k.upper() for k in kernels]
+    rows = []
+    for cfg in configs:
+        row = [cfg]
+        for k in kernels:
+            speedups = result.normalized_speedup(k)
+            row.append(f"{speedups.get(cfg, float('nan')):.3f}x")
+        rows.append(row)
+    return render_table(
+        "Figure 9 — DSE speedup normalized to 4_2p", headers, rows
+    )
+
+
+def render_ratio_line(label: str, value: float, paper: float) -> str:
+    """One paper-vs-measured comparison line for EXPERIMENTS.md."""
+    return f"{label}: measured {value:.2f}x (paper {paper:.2f}x)"
+
+
+def render_dict(title: str, data: Dict[str, float], unit: str = "") -> str:
+    rows = [[k, f"{v:.3f}{unit}"] for k, v in data.items()]
+    return render_table(title, ["key", "value"], rows)

@@ -1,0 +1,38 @@
+"""Sparse-matrix compressed formats (paper Sections II-A and II-B).
+
+Implemented from scratch on plain numpy arrays:
+
+* :class:`COOMatrix` — canonical interchange format;
+* :class:`CSRMatrix` / :class:`CSCMatrix` — the compressed-sparse family;
+* :class:`CSBMatrix` — Compressed Sparse Block with merged in-block indices
+  (the format the ``vidxblkmult`` instruction consumes);
+* :class:`SPC5Matrix` — mask-based row blocks (Bramas et al. baseline);
+* :class:`SellCSigmaMatrix` — sliced ELL with local sorting (Kreutzer et al.
+  baseline);
+* :class:`CSR5Matrix` — tiled segmented-sum CSR (Liu & Vinter; the
+  related-work extension, Section VIII).
+"""
+
+from repro.formats.base import SparseFormat
+from repro.formats.convert import FORMATS, convert, format_class
+from repro.formats.coo import COOMatrix
+from repro.formats.csb import CSBMatrix
+from repro.formats.csr5 import CSR5Matrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.sellcs import SellCSigmaMatrix
+from repro.formats.spc5 import SPC5Matrix
+
+__all__ = [
+    "SparseFormat",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "CSBMatrix",
+    "CSR5Matrix",
+    "SPC5Matrix",
+    "SellCSigmaMatrix",
+    "FORMATS",
+    "convert",
+    "format_class",
+]

@@ -1,0 +1,58 @@
+"""Conversions between sparse formats through the COO hub.
+
+Every format implements ``to_coo`` / ``from_coo``; this module provides a
+small registry so callers can convert by name::
+
+    csb = convert(matrix, "csb", block_size=512)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.errors import FormatError
+from repro.formats.base import SparseFormat
+from repro.formats.coo import COOMatrix
+from repro.formats.csb import CSBMatrix
+from repro.formats.csr5 import CSR5Matrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.sellcs import SellCSigmaMatrix
+from repro.formats.spc5 import SPC5Matrix
+
+FORMATS: Dict[str, Type[SparseFormat]] = {
+    cls.format_name: cls
+    for cls in (
+        COOMatrix,
+        CSRMatrix,
+        CSCMatrix,
+        CSBMatrix,
+        CSR5Matrix,
+        SPC5Matrix,
+        SellCSigmaMatrix,
+    )
+}
+
+
+def format_class(name: str) -> Type[SparseFormat]:
+    """Look up a format class by its :attr:`SparseFormat.format_name`."""
+    try:
+        return FORMATS[name.lower()]
+    except KeyError:
+        raise FormatError(
+            f"unknown format {name!r}; available: {sorted(FORMATS)}"
+        ) from None
+
+
+def convert(matrix: SparseFormat, target: str, **kwargs) -> SparseFormat:
+    """Convert ``matrix`` to the format named ``target``.
+
+    ``kwargs`` are forwarded to the target's ``from_coo`` (e.g.
+    ``block_size`` for CSB, ``vl`` for SPC5, ``c``/``sigma`` for
+    Sell-C-sigma).  Converting to the format the matrix already has returns
+    the matrix unchanged only when no kwargs are supplied.
+    """
+    cls = format_class(target)
+    if isinstance(matrix, cls) and not kwargs:
+        return matrix
+    return cls.from_coo(matrix.to_coo(), **kwargs)

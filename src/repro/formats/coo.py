@@ -1,0 +1,170 @@
+"""COO (coordinate) format — the canonical interchange representation.
+
+COO stores one ``(row, col, value)`` triple per non-zero.  It is not used by
+any timed kernel in the paper, but serves here as the hub every other format
+converts through, and as the target of the synthetic matrix generators.
+
+A :class:`COOMatrix` is always *canonical*: triples sorted row-major then
+column-major, duplicates summed, explicit zeros kept (a stored zero is still
+a stored entry — sparse kernels and the hardware model both traverse stored
+entries, whatever their value).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import (
+    INDEX_DTYPE,
+    SparseFormat,
+    as_index_array,
+    as_value_array,
+    check_shape,
+)
+
+
+class COOMatrix(SparseFormat):
+    """Canonical coordinate-list sparse matrix.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)`` matrix dimensions.
+    row, col:
+        Per-entry row / column indices.
+    data:
+        Per-entry values.
+    sum_duplicates:
+        When True (default) repeated coordinates are combined by addition,
+        mirroring the usual sparse-assembly semantics.
+    """
+
+    format_name = "coo"
+
+    def __init__(self, shape, row, col, data, *, sum_duplicates: bool = True):
+        self._shape = check_shape(shape)
+        row = as_index_array(row, "row")
+        col = as_index_array(col, "col")
+        data = as_value_array(data, "data")
+        if not (row.size == col.size == data.size):
+            raise FormatError(
+                "row, col and data must have equal lengths, got "
+                f"{row.size}, {col.size}, {data.size}"
+            )
+        if row.size:
+            if row.min(initial=0) < 0 or col.min(initial=0) < 0:
+                raise FormatError("negative indices are not allowed")
+            if row.max(initial=-1) >= self._shape[0]:
+                raise FormatError(
+                    f"row index {int(row.max())} out of range for {self._shape[0]} rows"
+                )
+            if col.max(initial=-1) >= self._shape[1]:
+                raise FormatError(
+                    f"col index {int(col.max())} out of range for {self._shape[1]} cols"
+                )
+        self._row, self._col, self._data = _canonicalize(
+            self._shape, row, col, data, sum_duplicates
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense) -> "COOMatrix":
+        """Build a COO matrix keeping every non-zero cell of ``dense``."""
+        arr = np.asarray(dense, dtype=float)
+        if arr.ndim != 2:
+            raise FormatError(f"dense input must be 2-D, got ndim={arr.ndim}")
+        rr, cc = np.nonzero(arr)
+        return cls(arr.shape, rr, cc, arr[rr, cc])
+
+    @classmethod
+    def empty(cls, shape) -> "COOMatrix":
+        """A matrix of the given shape with no stored entries."""
+        return cls(shape, [], [], [])
+
+    @classmethod
+    def from_coo(cls, coo, **kwargs) -> "COOMatrix":
+        return coo
+
+    # ------------------------------------------------------------------
+    # SparseFormat interface
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._data.size)
+
+    def to_coo(self) -> "COOMatrix":
+        return self
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self._shape, dtype=float)
+        # canonical form has unique coordinates, plain assignment suffices
+        dense[self._row, self._col] = self._data
+        return dense
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+    @property
+    def row(self) -> np.ndarray:
+        """Row index of each entry (read-only view)."""
+        return self._row
+
+    @property
+    def col(self) -> np.ndarray:
+        """Column index of each entry (read-only view)."""
+        return self._col
+
+    @property
+    def data(self) -> np.ndarray:
+        """Value of each entry (read-only view)."""
+        return self._data
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transposed matrix (cols become rows)."""
+        return COOMatrix(
+            (self._shape[1], self._shape[0]), self._col, self._row, self._data
+        )
+
+    def prune_zeros(self, tol: float = 0.0) -> "COOMatrix":
+        """Drop stored entries whose magnitude is <= ``tol``."""
+        keep = np.abs(self._data) > tol
+        return COOMatrix(
+            self._shape, self._row[keep], self._col[keep], self._data[keep]
+        )
+
+
+def _canonicalize(shape, row, col, data, sum_duplicates):
+    """Sort triples row-major and optionally combine duplicates."""
+    if row.size == 0:
+        return (
+            row.astype(INDEX_DTYPE),
+            col.astype(INDEX_DTYPE),
+            data.astype(float),
+        )
+    order = np.lexsort((col, row))
+    row, col, data = row[order], col[order], data[order]
+    if not sum_duplicates:
+        return row, col, data
+    # linear key identifies duplicates after sorting
+    key = row * shape[1] + col
+    boundary = np.empty(key.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(key[1:], key[:-1], out=boundary[1:])
+    if boundary.all():
+        return row, col, data
+    group = np.cumsum(boundary) - 1
+    summed = np.zeros(int(group[-1]) + 1, dtype=float)
+    np.add.at(summed, group, data)
+    keep = np.flatnonzero(boundary)
+    for arr in (row, col):
+        arr.setflags(write=True)
+    return row[keep], col[keep], summed

@@ -1,0 +1,225 @@
+"""CSB (Compressed Sparse Block) — Section II-B of the paper.
+
+CSB (Buluc et al.) tiles the matrix into ``beta x beta`` blocks and stores,
+per non-empty block, the entries with *in-block relative* indices.  The paper
+uses the memory-footprint optimization it describes explicitly: the in-block
+row and column indices of each entry are merged into a single index
+
+    ``merged = (in_block_row << col_bits) | in_block_col``
+
+which is exactly the operand layout consumed by the ``vidxblkmult``
+instruction (Section IV-C): the instruction splits the merged index at bit
+position ``idx_offset == col_bits``.
+
+Arrays
+------
+* ``block_ptr``  — start of each stored block in the entry arrays
+  (length ``num_blocks + 1``), blocks ordered row-major over the block grid;
+* ``block_row`` / ``block_col`` — grid coordinates of each stored block;
+* ``idx``        — merged in-block index of each entry;
+* ``data``       — value of each entry.
+
+Only non-empty blocks are stored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import (
+    INDEX_DTYPE,
+    SparseFormat,
+    as_index_array,
+    as_value_array,
+    check_shape,
+)
+from repro.formats.coo import COOMatrix
+
+DEFAULT_BLOCK_SIZE = 1024
+
+
+def col_bits_for(block_size: int) -> int:
+    """Bits needed to encode an in-block column index (``ceil(log2(beta))``)."""
+    if block_size <= 0:
+        raise FormatError(f"block_size must be positive, got {block_size}")
+    return max(1, int(np.ceil(np.log2(block_size))))
+
+
+class CSBMatrix(SparseFormat):
+    """Compressed Sparse Block matrix with merged in-block indices."""
+
+    format_name = "csb"
+
+    def __init__(self, shape, block_size, block_ptr, block_row, block_col, idx, data):
+        self._shape = check_shape(shape)
+        self._block_size = int(block_size)
+        if self._block_size <= 0:
+            raise FormatError(f"block_size must be positive, got {block_size}")
+        self._block_ptr = as_index_array(block_ptr, "block_ptr")
+        self._block_row = as_index_array(block_row, "block_row")
+        self._block_col = as_index_array(block_col, "block_col")
+        self._idx = as_index_array(idx, "idx")
+        self._data = as_value_array(data, "data")
+        self._col_bits = col_bits_for(self._block_size)
+        self._validate()
+
+    def _validate(self) -> None:
+        bp = self._block_ptr
+        nb = self._block_row.size
+        if self._block_col.size != nb:
+            raise FormatError("block_row and block_col must have equal lengths")
+        if bp.size != nb + 1:
+            raise FormatError(
+                f"block_ptr must have length num_blocks+1={nb + 1}, got {bp.size}"
+            )
+        if bp.size and bp[0] != 0:
+            raise FormatError("block_ptr[0] must be 0")
+        if np.any(np.diff(bp) < 0):
+            raise FormatError("block_ptr must be non-decreasing")
+        if self._idx.size != self._data.size:
+            raise FormatError("idx and data must have equal lengths")
+        if bp.size and bp[-1] != self._idx.size:
+            raise FormatError("block_ptr[-1] does not match nnz")
+        if np.any(np.diff(bp) == 0):
+            raise FormatError("empty blocks must not be stored")
+        grid_r, grid_c = self.grid_shape
+        if nb:
+            if self._block_row.min() < 0 or self._block_row.max() >= grid_r:
+                raise FormatError("block_row out of range")
+            if self._block_col.min() < 0 or self._block_col.max() >= grid_c:
+                raise FormatError("block_col out of range")
+        max_idx = (self._block_size - 1) << self._col_bits | (self._block_size - 1)
+        if self._idx.size and (self._idx.min() < 0 or self._idx.max() > max_idx):
+            raise FormatError("merged in-block index out of range")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, block_size: int = DEFAULT_BLOCK_SIZE) -> "CSBMatrix":
+        rows, cols = coo.shape
+        beta = int(block_size)
+        bits = col_bits_for(beta)
+        grid_cols = (cols + beta - 1) // beta if cols else 0
+
+        brow = coo.row // beta
+        bcol = coo.col // beta
+        in_r = coo.row - brow * beta
+        in_c = coo.col - bcol * beta
+        merged = (in_r << bits) | in_c
+
+        # order entries by (block_row, block_col, in-block row-major)
+        order = np.lexsort((merged, bcol, brow))
+        brow, bcol, merged = brow[order], bcol[order], merged[order]
+        data = coo.data[order]
+
+        if merged.size == 0:
+            return cls(coo.shape, beta, [0], [], [], [], [])
+
+        block_key = brow * max(grid_cols, 1) + bcol
+        boundary = np.empty(block_key.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(block_key[1:], block_key[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        block_ptr = np.concatenate([starts, [merged.size]]).astype(INDEX_DTYPE)
+        return cls(
+            coo.shape, beta, block_ptr, brow[starts], bcol[starts], merged, data
+        )
+
+    @classmethod
+    def from_dense(cls, dense, *, block_size: int = DEFAULT_BLOCK_SIZE) -> "CSBMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense), block_size=block_size)
+
+    # ------------------------------------------------------------------
+    # SparseFormat interface
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._data.size)
+
+    def to_coo(self) -> COOMatrix:
+        reps = np.diff(self._block_ptr)
+        brow = np.repeat(self._block_row, reps)
+        bcol = np.repeat(self._block_col, reps)
+        in_r = self._idx >> self._col_bits
+        in_c = self._idx & ((1 << self._col_bits) - 1)
+        return COOMatrix(
+            self._shape,
+            brow * self._block_size + in_r,
+            bcol * self._block_size + in_c,
+            self._data,
+        )
+
+    # ------------------------------------------------------------------
+    # CSB-specific accessors
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """Block edge length (beta)."""
+        return self._block_size
+
+    @property
+    def col_bits(self) -> int:
+        """Bit position where merged indices split into (row, col)."""
+        return self._col_bits
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        """Dimensions of the block grid."""
+        beta = self._block_size
+        return (
+            (self._shape[0] + beta - 1) // beta,
+            (self._shape[1] + beta - 1) // beta,
+        )
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of stored (non-empty) blocks."""
+        return int(self._block_row.size)
+
+    @property
+    def block_ptr(self) -> np.ndarray:
+        return self._block_ptr
+
+    @property
+    def block_row(self) -> np.ndarray:
+        return self._block_row
+
+    @property
+    def block_col(self) -> np.ndarray:
+        return self._block_col
+
+    @property
+    def idx(self) -> np.ndarray:
+        """Merged in-block indices of every entry."""
+        return self._idx
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    def block_slice(self, b: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(merged_idx, data)`` views of stored block ``b``."""
+        lo, hi = int(self._block_ptr[b]), int(self._block_ptr[b + 1])
+        return self._idx[lo:hi], self._data[lo:hi]
+
+    def iter_blocks(self) -> Iterator[Tuple[int, int, np.ndarray, np.ndarray]]:
+        """Yield ``(block_row, block_col, merged_idx, data)`` per stored block."""
+        for b in range(self.num_blocks):
+            midx, vals = self.block_slice(b)
+            yield int(self._block_row[b]), int(self._block_col[b]), midx, vals
+
+    def nnz_per_block(self) -> np.ndarray:
+        """Stored entries in every stored block (Fig. 10's density metric)."""
+        return np.diff(self._block_ptr)
+
+    def split_idx(self, merged: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split merged indices into ``(in_block_row, in_block_col)``."""
+        return merged >> self._col_bits, merged & ((1 << self._col_bits) - 1)

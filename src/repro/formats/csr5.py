@@ -1,0 +1,252 @@
+"""CSR5 format — Liu & Vinter's tiled CSR (paper related work, Section VIII).
+
+CSR5 partitions the CSR non-zero stream into 2-D *tiles* of ``omega``
+lanes x ``sigma`` steps, stored column-major so one vector load fills all
+lanes.  A per-tile descriptor carries:
+
+* ``tile_row`` — the matrix row the tile's first entry belongs to;
+* ``bit_flag`` — one bit per in-tile entry marking "this entry starts a
+  new row", which drives the in-tile segmented sum;
+* ``empty_rows`` — rows skipped inside the tile (rows with no entries).
+
+This reproduction implements the structure faithfully enough to (a)
+round-trip losslessly, (b) expose the descriptor data the segmented-sum
+SpMV consumes, and (c) price that SpMV on the machine model.  The CSR5
+authors' architecture-specific packing tricks (compressed descriptors,
+SIMD-width-specialized transposition) are abstracted behind the same
+arrays.
+
+The paper's related-work section positions VIA against CSR5 (a pure
+software approach); the extension kernel in
+:mod:`repro.kernels.csr5_spmv` makes that comparison concrete.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import (
+    INDEX_DTYPE,
+    SparseFormat,
+    as_index_array,
+    as_value_array,
+    check_shape,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+DEFAULT_OMEGA = 4
+DEFAULT_SIGMA = 8
+
+
+class CSR5Matrix(SparseFormat):
+    """CSR5: tiled, column-major CSR with segmented-sum descriptors.
+
+    Arrays
+    ------
+    ``col_idx`` / ``data``:
+        The CSR entry stream re-ordered tile by tile, column-major inside
+        each tile.  The final partial tile is stored row-stream order
+        (CSR5's "tail" handled scalar).
+    ``tile_row``:
+        Matrix row of each tile's first entry.
+    ``bit_flag``:
+        Per tile: a ``(sigma * omega)``-bit mask (as uint64 words are
+        overkill here — one bool per entry) marking row starts, in the
+        tile's column-major order.
+    """
+
+    format_name = "csr5"
+
+    def __init__(self, shape, omega, sigma, row_ptr, col_idx, data, tile_row, bit_flag):
+        self._shape = check_shape(shape)
+        self._omega = int(omega)
+        self._sigma = int(sigma)
+        if self._omega <= 0 or self._sigma <= 0:
+            raise FormatError(
+                f"omega/sigma must be positive, got {omega}/{sigma}"
+            )
+        self._row_ptr = as_index_array(row_ptr, "row_ptr")
+        self._col_idx = as_index_array(col_idx, "col_idx")
+        self._data = as_value_array(data, "data")
+        self._tile_row = as_index_array(tile_row, "tile_row")
+        self._bit_flag = np.asarray(bit_flag, dtype=bool)
+        self._validate()
+
+    def _validate(self) -> None:
+        rows, cols = self._shape
+        if self._row_ptr.size != rows + 1:
+            raise FormatError(f"row_ptr must have length rows+1={rows + 1}")
+        if self._row_ptr.size and self._row_ptr[0] != 0:
+            raise FormatError("row_ptr[0] must be 0")
+        if np.any(np.diff(self._row_ptr) < 0):
+            raise FormatError("row_ptr must be non-decreasing")
+        nnz = self._col_idx.size
+        if self._data.size != nnz:
+            raise FormatError("col_idx and data must have equal lengths")
+        if self._row_ptr.size and self._row_ptr[-1] != nnz:
+            raise FormatError("row_ptr[-1] does not match nnz")
+        if nnz and (self._col_idx.min() < 0 or self._col_idx.max() >= cols):
+            raise FormatError("col_idx out of range")
+        if self._tile_row.size != self.num_tiles:
+            raise FormatError(
+                f"tile_row must have one entry per full tile ({self.num_tiles})"
+            )
+        if self._bit_flag.size != self.num_tiles * self.tile_size:
+            raise FormatError("bit_flag must cover every full-tile entry")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        *,
+        omega: int = DEFAULT_OMEGA,
+        sigma: int = DEFAULT_SIGMA,
+    ) -> "CSR5Matrix":
+        csr = CSRMatrix.from_coo(coo)
+        omega, sigma = int(omega), int(sigma)
+        if omega <= 0 or sigma <= 0:
+            raise FormatError(f"omega/sigma must be positive, got {omega}/{sigma}")
+        nnz = csr.nnz
+        tile_size = omega * sigma
+        num_tiles = nnz // tile_size
+
+        entry_rows = np.repeat(
+            np.arange(coo.shape[0], dtype=INDEX_DTYPE), csr.row_lengths()
+        )
+        row_starts = np.zeros(nnz, dtype=bool)
+        row_starts[csr.row_ptr[:-1][np.diff(csr.row_ptr) > 0]] = True
+
+        col_parts: List[np.ndarray] = []
+        data_parts: List[np.ndarray] = []
+        tile_row = np.zeros(num_tiles, dtype=INDEX_DTYPE)
+        bit_parts: List[np.ndarray] = []
+        for t in range(num_tiles):
+            lo = t * tile_size
+            block = slice(lo, lo + tile_size)
+            # column-major transposition of the (sigma, omega) entry block:
+            # lane l step s holds stream entry lo + l*sigma + s
+            order = (
+                np.arange(omega)[None, :] * sigma + np.arange(sigma)[:, None]
+            ).ravel()
+            col_parts.append(csr.col_idx[block][order])
+            data_parts.append(csr.data[block][order])
+            bit_parts.append(row_starts[block][order])
+            tile_row[t] = entry_rows[lo]
+        tail = slice(num_tiles * tile_size, nnz)
+        col_parts.append(csr.col_idx[tail])
+        data_parts.append(csr.data[tail])
+
+        return cls(
+            coo.shape,
+            omega,
+            sigma,
+            csr.row_ptr.copy(),
+            np.concatenate(col_parts) if col_parts else np.zeros(0, INDEX_DTYPE),
+            np.concatenate(data_parts) if data_parts else np.zeros(0),
+            tile_row,
+            np.concatenate(bit_parts) if bit_parts else np.zeros(0, bool),
+        )
+
+    @classmethod
+    def from_dense(cls, dense, *, omega=DEFAULT_OMEGA, sigma=DEFAULT_SIGMA):
+        return cls.from_coo(COOMatrix.from_dense(dense), omega=omega, sigma=sigma)
+
+    # ------------------------------------------------------------------
+    # SparseFormat interface
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._data.size)
+
+    def to_coo(self) -> COOMatrix:
+        # undo the per-tile transposition to recover the CSR stream order
+        cols = np.empty(self.nnz, dtype=INDEX_DTYPE)
+        vals = np.empty(self.nnz, dtype=float)
+        ts = self.tile_size
+        for t in range(self.num_tiles):
+            lo = t * ts
+            order = (
+                np.arange(self._omega)[None, :] * self._sigma
+                + np.arange(self._sigma)[:, None]
+            ).ravel()
+            cols[lo + order] = self._col_idx[lo : lo + ts]
+            vals[lo + order] = self._data[lo : lo + ts]
+        tail = slice(self.num_tiles * ts, self.nnz)
+        cols[tail] = self._col_idx[tail]
+        vals[tail] = self._data[tail]
+        rows = np.repeat(
+            np.arange(self._shape[0], dtype=INDEX_DTYPE), np.diff(self._row_ptr)
+        )
+        return COOMatrix(self._shape, rows, cols, vals)
+
+    # ------------------------------------------------------------------
+    # CSR5-specific accessors
+    # ------------------------------------------------------------------
+    @property
+    def omega(self) -> int:
+        """Tile width in lanes (matches the SIMD width)."""
+        return self._omega
+
+    @property
+    def sigma(self) -> int:
+        """Tile depth in steps."""
+        return self._sigma
+
+    @property
+    def tile_size(self) -> int:
+        return self._omega * self._sigma
+
+    @property
+    def num_tiles(self) -> int:
+        """Full tiles; remaining entries form the scalar tail."""
+        return int(self._col_idx.size) // self.tile_size if self._sigma else 0
+
+    @property
+    def tail_size(self) -> int:
+        """Entries in the final partial tile (processed CSR-style)."""
+        return self.nnz - self.num_tiles * self.tile_size
+
+    @property
+    def row_ptr(self) -> np.ndarray:
+        return self._row_ptr
+
+    @property
+    def col_idx(self) -> np.ndarray:
+        return self._col_idx
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def tile_row(self) -> np.ndarray:
+        return self._tile_row
+
+    @property
+    def bit_flag(self) -> np.ndarray:
+        return self._bit_flag
+
+    def tile_segments(self, t: int) -> int:
+        """Row segments inside tile ``t`` (set bits + the carried-in one)."""
+        ts = self.tile_size
+        return int(self._bit_flag[t * ts : (t + 1) * ts].sum()) + 1
+
+    def rows_spanned(self, t: int) -> Tuple[int, int]:
+        """(first, last) matrix rows whose entries touch tile ``t``."""
+        first = int(self._tile_row[t])
+        if t + 1 < self.num_tiles:
+            last = int(self._tile_row[t + 1])
+        else:
+            last = self._shape[0] - 1
+        return first, last

@@ -1,0 +1,257 @@
+"""Sell-C-sigma format — Section V-B baseline (Kreutzer et al.).
+
+Sell-C-sigma ("Sliced ELL with sorting window sigma") is a SIMD-friendly
+format:
+
+1. rows are sorted by descending length *within windows of sigma rows*
+   (local sorting keeps reordering overhead and result-permutation locality
+   bounded);
+2. sorted rows are grouped into *chunks* of ``c`` rows (``c`` matches the
+   hardware vector length);
+3. every chunk is padded to the length of its longest row and stored
+   column-major, so one vector load grabs lane-``c`` adjacent entries of
+   ``c`` different rows.
+
+Padding entries carry column index 0 and value 0.0 — they are computed but
+contribute nothing, exactly the inefficiency the paper points at for
+zero-padded formats (Section II-C).
+
+Arrays
+------
+* ``perm``       — ``perm[i]`` is the original row stored at sorted slot *i*;
+* ``chunk_ptr``  — start of each chunk in the entry arrays;
+* ``chunk_len``  — padded length (columns) of each chunk;
+* ``col_idx`` / ``data`` — entries, chunk-major, column-major inside a chunk;
+* ``row_len``    — true (unpadded) length of each sorted slot.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import (
+    INDEX_DTYPE,
+    SparseFormat,
+    as_index_array,
+    as_value_array,
+    check_shape,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+DEFAULT_CHUNK = 8
+DEFAULT_SIGMA = 64
+
+
+class SellCSigmaMatrix(SparseFormat):
+    """Sliced ELLPACK with local row sorting (Sell-C-sigma)."""
+
+    format_name = "sellcs"
+
+    def __init__(self, shape, c, sigma, perm, chunk_ptr, chunk_len, row_len, col_idx, data):
+        self._shape = check_shape(shape)
+        self._c = int(c)
+        self._sigma = int(sigma)
+        if self._c <= 0:
+            raise FormatError(f"chunk height c must be positive, got {c}")
+        if self._sigma < self._c:
+            raise FormatError(
+                f"sorting window sigma={sigma} must be >= chunk height c={c}"
+            )
+        self._perm = as_index_array(perm, "perm")
+        self._chunk_ptr = as_index_array(chunk_ptr, "chunk_ptr")
+        self._chunk_len = as_index_array(chunk_len, "chunk_len")
+        self._row_len = as_index_array(row_len, "row_len")
+        self._col_idx = as_index_array(col_idx, "col_idx")
+        self._data = as_value_array(data, "data")
+        self._validate()
+
+    def _validate(self) -> None:
+        rows, cols = self._shape
+        if self._perm.size != rows:
+            raise FormatError(f"perm must have length rows={rows}")
+        if rows and not np.array_equal(np.sort(self._perm), np.arange(rows)):
+            raise FormatError("perm must be a permutation of 0..rows-1")
+        nchunks = (rows + self._c - 1) // self._c
+        if self._chunk_len.size != nchunks:
+            raise FormatError(f"chunk_len must have length {nchunks}")
+        if self._chunk_ptr.size != nchunks + 1:
+            raise FormatError(f"chunk_ptr must have length {nchunks + 1}")
+        if self._chunk_ptr.size and self._chunk_ptr[0] != 0:
+            raise FormatError("chunk_ptr[0] must be 0")
+        if self._row_len.size != rows:
+            raise FormatError("row_len must have length rows")
+        expected = 0
+        for k in range(nchunks):
+            height = min(self._c, rows - k * self._c)
+            expected += int(self._chunk_len[k]) * height
+            if self._chunk_ptr[k + 1] - self._chunk_ptr[k] != self._chunk_len[k] * height:
+                raise FormatError(f"chunk {k} extent disagrees with chunk_len")
+        if self._col_idx.size != expected or self._data.size != expected:
+            raise FormatError("entry arrays disagree with chunk extents")
+        if self._col_idx.size and (
+            self._col_idx.min() < 0 or self._col_idx.max() >= max(cols, 1)
+        ):
+            raise FormatError("col_idx out of range")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        *,
+        c: int = DEFAULT_CHUNK,
+        sigma: int = DEFAULT_SIGMA,
+    ) -> "SellCSigmaMatrix":
+        csr = CSRMatrix.from_coo(coo)
+        rows = coo.shape[0]
+        c = int(c)
+        sigma = int(sigma)
+        if c <= 0:
+            raise FormatError(f"chunk height c must be positive, got {c}")
+        if sigma < c:
+            raise FormatError(
+                f"sorting window sigma={sigma} must be >= chunk height c={c}"
+            )
+        lengths = csr.row_lengths()
+
+        # local sort: descending length within each sigma window
+        perm = np.arange(rows, dtype=INDEX_DTYPE)
+        for start in range(0, rows, sigma):
+            stop = min(start + sigma, rows)
+            window = perm[start:stop]
+            order = np.argsort(-lengths[window], kind="stable")
+            perm[start:stop] = window[order]
+
+        nchunks = (rows + c - 1) // c
+        chunk_len = np.zeros(nchunks, dtype=INDEX_DTYPE)
+        chunk_ptr = np.zeros(nchunks + 1, dtype=INDEX_DTYPE)
+        row_len = lengths[perm] if rows else np.zeros(0, dtype=INDEX_DTYPE)
+
+        col_parts, data_parts = [], []
+        for k in range(nchunks):
+            lo_slot, hi_slot = k * c, min((k + 1) * c, rows)
+            height = hi_slot - lo_slot
+            width = int(row_len[lo_slot:hi_slot].max(initial=0))
+            chunk_len[k] = width
+            chunk_ptr[k + 1] = chunk_ptr[k] + width * height
+            cols_pad = np.zeros((width, height), dtype=INDEX_DTYPE)
+            vals_pad = np.zeros((width, height), dtype=float)
+            for lane in range(height):
+                r = int(perm[lo_slot + lane])
+                rc, rv = csr.row_slice(r)
+                cols_pad[: rc.size, lane] = rc
+                vals_pad[: rv.size, lane] = rv
+            col_parts.append(cols_pad.ravel())
+            data_parts.append(vals_pad.ravel())
+
+        col_idx = (
+            np.concatenate(col_parts) if col_parts else np.zeros(0, dtype=INDEX_DTYPE)
+        )
+        data = np.concatenate(data_parts) if data_parts else np.zeros(0, dtype=float)
+        return cls(
+            coo.shape, c, sigma, perm, chunk_ptr, chunk_len, row_len, col_idx, data
+        )
+
+    @classmethod
+    def from_dense(cls, dense, *, c: int = DEFAULT_CHUNK, sigma: int = DEFAULT_SIGMA):
+        return cls.from_coo(COOMatrix.from_dense(dense), c=c, sigma=sigma)
+
+    # ------------------------------------------------------------------
+    # SparseFormat interface
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        """True non-zero count — padding entries are excluded."""
+        return int(self._row_len.sum())
+
+    def to_coo(self) -> COOMatrix:
+        rows_out, cols_out, vals_out = [], [], []
+        for k in range(self.num_chunks):
+            lo_slot = k * self._c
+            height = min(self._c, self._shape[0] - lo_slot)
+            width = int(self._chunk_len[k])
+            base = int(self._chunk_ptr[k])
+            for lane in range(height):
+                slot = lo_slot + lane
+                r = int(self._perm[slot])
+                n = int(self._row_len[slot])
+                offs = base + np.arange(n) * height + lane
+                rows_out.append(np.full(n, r, dtype=INDEX_DTYPE))
+                cols_out.append(self._col_idx[offs])
+                vals_out.append(self._data[offs])
+        if not rows_out:
+            return COOMatrix.empty(self._shape)
+        return COOMatrix(
+            self._shape,
+            np.concatenate(rows_out),
+            np.concatenate(cols_out),
+            np.concatenate(vals_out),
+        )
+
+    # ------------------------------------------------------------------
+    # Sell-C-sigma-specific accessors
+    # ------------------------------------------------------------------
+    @property
+    def c(self) -> int:
+        """Chunk height (rows per chunk, matches the vector length)."""
+        return self._c
+
+    @property
+    def sigma(self) -> int:
+        """Sorting-window size in rows."""
+        return self._sigma
+
+    @property
+    def num_chunks(self) -> int:
+        return int(self._chunk_len.size)
+
+    @property
+    def perm(self) -> np.ndarray:
+        return self._perm
+
+    @property
+    def chunk_ptr(self) -> np.ndarray:
+        return self._chunk_ptr
+
+    @property
+    def chunk_len(self) -> np.ndarray:
+        return self._chunk_len
+
+    @property
+    def row_len(self) -> np.ndarray:
+        return self._row_len
+
+    @property
+    def col_idx(self) -> np.ndarray:
+        return self._col_idx
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def padded_entries(self) -> int:
+        """Stored slots including padding (the format's real footprint)."""
+        return int(self._data.size)
+
+    def padding_ratio(self) -> float:
+        """Fraction of stored slots that are padding (wasted lanes)."""
+        if self._data.size == 0:
+            return 0.0
+        return 1.0 - self.nnz / self._data.size
+
+    def chunk_view(self, k: int) -> Tuple[np.ndarray, np.ndarray, int]:
+        """``(col_idx, data, height)`` of chunk ``k``, column-major flattened."""
+        lo, hi = int(self._chunk_ptr[k]), int(self._chunk_ptr[k + 1])
+        height = min(self._c, self._shape[0] - k * self._c)
+        return self._col_idx[lo:hi], self._data[lo:hi], height

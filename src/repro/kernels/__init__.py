@@ -1,0 +1,52 @@
+"""Timed kernels: baselines and VIA variants for the paper's evaluation.
+
+Each kernel narrates its execution to the machine model while computing the
+true result (see :mod:`repro.kernels.common` for the contract), so every
+:class:`repro.sim.KernelResult` carries both cycles and a checkable output.
+"""
+
+from repro.kernels import reference
+from repro.kernels.csr5_spmv import spmv_csr5_baseline, spmv_csr5_via
+from repro.kernels.histogram import (
+    histogram_scalar_baseline,
+    histogram_vector_baseline,
+    histogram_via,
+)
+from repro.kernels.spma import spma_csr_baseline, spma_via
+from repro.kernels.spmm import spmm_csr_baseline, spmm_via
+from repro.kernels.spmv import (
+    SPMV_VARIANTS,
+    spmv_csb_baseline,
+    spmv_csb_via,
+    spmv_csr_baseline,
+    spmv_csr_via,
+    spmv_sellcs_baseline,
+    spmv_sellcs_via,
+    spmv_spc5_baseline,
+    spmv_spc5_via,
+)
+from repro.kernels.stencil import stencil_vector_baseline, stencil_via
+
+__all__ = [
+    "reference",
+    "spmv_csr5_baseline",
+    "spmv_csr5_via",
+    "histogram_scalar_baseline",
+    "histogram_vector_baseline",
+    "histogram_via",
+    "spma_csr_baseline",
+    "spma_via",
+    "spmm_csr_baseline",
+    "spmm_via",
+    "SPMV_VARIANTS",
+    "spmv_csb_baseline",
+    "spmv_csb_via",
+    "spmv_csr_baseline",
+    "spmv_csr_via",
+    "spmv_sellcs_baseline",
+    "spmv_sellcs_via",
+    "spmv_spc5_baseline",
+    "spmv_spc5_via",
+    "stencil_vector_baseline",
+    "stencil_via",
+]

@@ -1,0 +1,60 @@
+"""Shared plumbing for the timed kernels.
+
+Every timed kernel follows the same contract:
+
+* it takes its functional inputs plus a :class:`MachineConfig` and, for VIA
+  variants, a :class:`ViaConfig`;
+* it builds a fresh :class:`Core` (so cache state never leaks between
+  kernels), allocates its arrays in the simulated address space, narrates
+  its execution, computes the real result with numpy, and returns a
+  :class:`KernelResult` whose ``output`` holds that result;
+* the VIA variant and its baseline narrate against the *same* machine
+  model, so their ratio isolates the architectural delta, exactly as the
+  paper's gem5 methodology does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sim import Core, MachineConfig
+from repro.sim.config import DEFAULT_MACHINE
+from repro.via import DEFAULT_VIA, ViaConfig, ViaDevice
+
+#: element sizes used by every kernel (bytes)
+VALUE_BYTES = 8  # f64 values
+INDEX_BYTES = 4  # i32 indices, as compressed formats store them
+
+
+def make_core(machine: Optional[MachineConfig] = None) -> Core:
+    """A fresh baseline core (no VIA hardware)."""
+    return Core(machine or DEFAULT_MACHINE)
+
+
+def make_via_core(
+    machine: Optional[MachineConfig] = None,
+    via_config: Optional[ViaConfig] = None,
+) -> Tuple[Core, ViaDevice]:
+    """A fresh core with a VIA device fitted."""
+    device = ViaDevice(via_config or DEFAULT_VIA)
+    core = Core(machine or DEFAULT_MACHINE, via=device)
+    return core, device
+
+
+def chunk_instr_count(lengths: np.ndarray, vl: int) -> int:
+    """Vector instructions needed to cover runs of the given lengths.
+
+    A run of ``k`` elements needs ``ceil(k / VL)`` instructions; runs do
+    not share instructions (a two-entry row still occupies a whole gather).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0:
+        return 0
+    return int(np.sum((lengths + vl - 1) // vl))
+
+
+def row_fragmented_elements(lengths: np.ndarray, vl: int) -> int:
+    """Total vector lanes occupied when runs are padded up to VL."""
+    return chunk_instr_count(lengths, vl) * vl

@@ -1,0 +1,139 @@
+"""CSR5 SpMV — extension kernel (paper related work, Section VIII).
+
+The paper's related-work section compares against CSR5 (Liu & Vinter), the
+strongest pure-software SpMV of its generation.  This module prices the
+CSR5 segmented-sum SpMV on the same machine model so the comparison the
+paper makes qualitatively ("software approaches leave the gather problem
+in place") can be measured:
+
+* the tiled, column-major layout makes every *matrix* access a perfect
+  stream — CSR5's genuine win over CSR;
+* the ``x`` accesses remain gathers (Challenge 1 is untouched);
+* each tile pays a segmented-sum network (log2(omega) shuffle/add rounds)
+  plus scalar fix-up stores on row boundaries.
+
+The VIA variant again accumulates partial rows in the SSPM, removing the
+segmented sum's cross-tile fix-up traffic but not the gathers — the same
+~1.2x class of gain the paper reports for the other software formats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.formats.csr5 import CSR5Matrix
+from repro.kernels import reference
+from repro.kernels.common import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    make_core,
+    make_via_core,
+)
+from repro.sim import KernelResult, MachineConfig, calibration as cal
+from repro.via import Dest, Opcode, ViaConfig
+
+
+def _check_x(matrix, x) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.shape != (matrix.cols,):
+        raise ShapeError(f"x must have shape ({matrix.cols},), got {x.shape}")
+    return x
+
+
+def spmv_csr5_baseline(
+    m: CSR5Matrix, x, machine: Optional[MachineConfig] = None
+) -> KernelResult:
+    """Segmented-sum CSR5 SpMV on a conventional vector machine."""
+    x = _check_x(m, x)
+    core = make_core(machine)
+    vl = core.machine.vl
+    a_ci = core.alloc("col_idx", max(m.nnz, 1), INDEX_BYTES)
+    a_dt = core.alloc("data", max(m.nnz, 1), VALUE_BYTES)
+    a_desc = core.alloc("descriptors", max(3 * m.num_tiles, 1), INDEX_BYTES)
+    a_x = core.alloc("x", m.cols, VALUE_BYTES)
+    a_y = core.alloc("y", m.rows, VALUE_BYTES)
+
+    core.load_stream(a_desc, 0, 3 * max(m.num_tiles, 1))
+    core.load_stream(a_ci, 0, m.nnz)
+    core.load_stream(a_dt, 0, m.nnz)
+    # tile body: per sigma step one gather + one FMA across omega lanes
+    steps = m.num_tiles * m.sigma
+    core.gather(a_x, m.col_idx[: m.num_tiles * m.tile_size], n_instr=max(steps, 1))
+    core.vector_op("fma", steps)
+    # segmented sum: log2(omega) shuffle+add rounds per tile, plus a scalar
+    # fix-up store per row segment crossing the tile
+    rounds = max(1, int(np.ceil(np.log2(max(m.omega, 2)))))
+    core.vector_op("permute", rounds * m.num_tiles)
+    core.vector_op("alu", rounds * m.num_tiles)
+    total_segments = sum(m.tile_segments(t) for t in range(m.num_tiles))
+    core.scalar_ops(4 * total_segments)
+    # boundary-row fix-up: read-modify-write of y at the tile seams; the
+    # seam rows ascend monotonically, so the accesses prefetch like a stream
+    seam_rows = [m.rows_spanned(t)[0] for t in range(m.num_tiles)]
+    core.scalar_load(a_y, seam_rows)
+    core.scalar_store(a_y, seam_rows)
+    # each fix-up read-modify-write depends on the tile's segmented-sum
+    # output: a short exposed chain per row segment
+    core.dependency_stall(2 * total_segments)
+    # the scalar tail runs CSR-style
+    if m.tail_size:
+        core.gather(a_x, m.col_idx[-m.tail_size:],
+                    n_instr=-(-m.tail_size // vl))
+        core.vector_op("fma", -(-m.tail_size // vl))
+        core.vector_op("reduce", 1)
+        core.dependency_stall(cal.VREDUCE_LATENCY)
+    core.scalar_ops(6 * max(m.num_tiles, 1))
+    core.store_stream(a_y, 0, m.rows)
+
+    return core.finalize("spmv_csr5_baseline", output=reference.spmv(m, x))
+
+
+def spmv_csr5_via(
+    m: CSR5Matrix,
+    x,
+    machine: Optional[MachineConfig] = None,
+    via_config: Optional[ViaConfig] = None,
+) -> KernelResult:
+    """CSR5 SpMV with VIA output accumulation.
+
+    The tile body (streams + gathers + FMAs) matches the baseline; the
+    segmented sum's cross-tile fix-up — scalar read-modify-writes on the
+    boundary rows — becomes ``vidxadd.d`` accumulation in the SSPM, and
+    ``y`` drains once at the end.
+    """
+    x = _check_x(m, x)
+    core, dev = make_via_core(machine, via_config)
+    a_ci = core.alloc("col_idx", max(m.nnz, 1), INDEX_BYTES)
+    a_dt = core.alloc("data", max(m.nnz, 1), VALUE_BYTES)
+    a_desc = core.alloc("descriptors", max(3 * m.num_tiles, 1), INDEX_BYTES)
+    a_x = core.alloc("x", m.cols, VALUE_BYTES)
+    a_y = core.alloc("y", m.rows, VALUE_BYTES)
+
+    core.load_stream(a_desc, 0, 3 * max(m.num_tiles, 1))
+    core.load_stream(a_ci, 0, m.nnz)
+    core.load_stream(a_dt, 0, m.nnz)
+    steps = m.num_tiles * m.sigma
+    core.gather(a_x, m.col_idx[: m.num_tiles * m.tile_size], n_instr=max(steps, 1))
+    core.vector_op("fma", steps)
+    rounds = max(1, int(np.ceil(np.log2(max(m.omega, 2)))))
+    core.vector_op("permute", rounds * m.num_tiles)
+    core.vector_op("alu", rounds * m.num_tiles)
+    # per-tile segment results accumulate straight into the SSPM
+    total_segments = sum(m.tile_segments(t) for t in range(m.num_tiles))
+    dev.account_bulk(Opcode.VIDXADD, max(total_segments, 1), dest=Dest.SSPM)
+    if m.tail_size:
+        vl = core.machine.vl
+        core.gather(a_x, m.col_idx[-m.tail_size:], n_instr=-(-m.tail_size // vl))
+        core.vector_op("fma", -(-m.tail_size // vl))
+        dev.account_bulk(Opcode.VIDXADD, 1, dest=Dest.SSPM)
+    core.scalar_ops(6 * max(m.num_tiles, 1))
+    # strip drain
+    dev.account_bulk(Opcode.VIDXADD, m.rows, dest=Dest.VRF)
+    core.store_stream(a_y, 0, m.rows)
+
+    return core.finalize(
+        f"spmv_csr5_via_{dev.config.name}", output=reference.spmv(m, x)
+    )

@@ -1,0 +1,159 @@
+"""Histogram kernels — paper Section IV-F1 and VII-D (use case 1).
+
+Three variants, matching the paper's comparison ("intel scalar", "intel
+vector", VIA):
+
+* **scalar** — the classic read-modify-write loop.  Its cost is dominated
+  by the dependence chain through memory: incrementing the same bin twice
+  in a row serializes on the L1 round trip (store-to-load forwarding).
+* **vector** — AVX512CD-style: ``vpconflict`` detects intra-vector bin
+  collisions, a permute sequence merges them, then the bins are updated
+  with a gather + add + scatter.  The indexed memory instructions dominate.
+* **VIA** — Algorithm 5: conflict detection stays, but the gather/scatter
+  pair becomes one ``vidxadd.d`` accumulation in the SSPM; bins live in the
+  scratchpad until a final drain, eliminating the store-load traffic.
+
+Bin counts larger than the SSPM tile into multiple passes over the key
+stream (bin-range partitioning), which the timing accounts for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.kernels import reference
+from repro.kernels.common import INDEX_BYTES, VALUE_BYTES, make_core, make_via_core
+from repro.sim import KernelResult, MachineConfig, calibration as cal
+from repro.via import Dest, Opcode, ViaConfig
+
+#: scalar RMW chain: window within which a repeated bin serializes
+_CHAIN_WINDOW = 4
+
+
+def _check_keys(keys, num_bins: int) -> np.ndarray:
+    keys = np.asarray(keys, dtype=np.int64)
+    if num_bins <= 0:
+        raise ShapeError(f"num_bins must be positive, got {num_bins}")
+    if keys.size and (keys.min() < 0 or keys.max() >= num_bins):
+        raise ShapeError("histogram keys out of range")
+    return keys
+
+
+def _collision_count(keys: np.ndarray, window: int) -> int:
+    """Keys that repeat within ``window`` predecessors (RMW serialization)."""
+    hits = 0
+    for d in range(1, window + 1):
+        if keys.size > d:
+            hits += int(np.sum(keys[d:] == keys[:-d]))
+    return hits
+
+
+def histogram_scalar_baseline(
+    keys, num_bins: int, machine: Optional[MachineConfig] = None
+) -> KernelResult:
+    """Scalar read-modify-write histogram."""
+    keys = _check_keys(keys, num_bins)
+    core = make_core(machine)
+    a_keys = core.alloc("keys", max(keys.size, 1), INDEX_BYTES)
+    a_bins = core.alloc("bins", num_bins, VALUE_BYTES)
+
+    core.load_stream(a_keys, 0, keys.size)
+    # per element: load bin, increment, store bin (dependent addresses)
+    core.scalar_load(a_bins, keys, dependent=True)
+    core.scalar_store(a_bins, keys, dependent=True)
+    core.scalar_ops(4 * keys.size)
+    # the load-increment-store chain limits throughput well below the
+    # issue width ...
+    core.dependency_stall(keys.size * cal.HISTOGRAM_RMW_CHAIN)
+    # ... and repeated bins inside the window additionally serialize on the
+    # L1 round trip (store-to-load forwarding)
+    collisions = _collision_count(keys, _CHAIN_WINDOW)
+    core.dependency_stall(collisions * (core.machine.l1.latency + 1))
+
+    return core.finalize(
+        "histogram_scalar", output=reference.histogram(keys, num_bins)
+    )
+
+
+def histogram_vector_baseline(
+    keys, num_bins: int, machine: Optional[MachineConfig] = None
+) -> KernelResult:
+    """AVX512CD-style vectorized histogram (conflict detect + gather/scatter)."""
+    keys = _check_keys(keys, num_bins)
+    core = make_core(machine)
+    vl = core.machine.vl32  # 32-bit keys and counts
+    a_keys = core.alloc("keys", max(keys.size, 1), INDEX_BYTES)
+    a_bins = core.alloc("bins", num_bins, VALUE_BYTES)
+
+    n_chunks = -(-keys.size // vl) if keys.size else 0
+    core.load_stream(a_keys, 0, keys.size)
+    core.vector_op("conflict", n_chunks)
+    core.vector_op("permute", 2 * n_chunks)  # merge matching lanes
+    core.gather(a_bins, keys, n_instr=n_chunks)
+    core.vector_op("alu", n_chunks)  # add merged counts
+    core.scatter(a_bins, keys, n_instr=n_chunks)
+    core.scalar_ops(2 * n_chunks)
+
+    return core.finalize(
+        "histogram_vector", output=reference.histogram(keys, num_bins)
+    )
+
+
+def histogram_via(
+    keys,
+    num_bins: int,
+    machine: Optional[MachineConfig] = None,
+    via_config: Optional[ViaConfig] = None,
+    *,
+    functional: Optional[bool] = None,
+) -> KernelResult:
+    """Histogram on VIA (Algorithm 5).
+
+    Conflict detection and lane merging stay in the vector unit; the bin
+    update becomes ``vidxadd.d`` with SSPM destination — the scratchpad
+    absorbs the read-modify-write traffic.  Bins beyond the SSPM capacity
+    partition into ranges, each requiring another pass over the keys.
+
+    ``functional=True`` routes every accumulation through the functional
+    SSPM (default for small inputs); ``False`` uses bulk FIVU accounting
+    with a numpy result (identical timing, used for large sweeps).
+    """
+    keys = _check_keys(keys, num_bins)
+    core, dev = make_via_core(machine, via_config)
+    vl = core.machine.vl32  # 32-bit keys and counts
+    dev.vl_override = vl  # SSPM blocks are 4 bytes: 8 lanes per VIA op
+    a_keys = core.alloc("keys", max(keys.size, 1), INDEX_BYTES)
+    a_bins = core.alloc("bins", num_bins, VALUE_BYTES)
+
+    entries = dev.config.sram_entries
+    passes = max(1, -(-num_bins // entries))
+    if functional is None:
+        functional = keys.size * passes <= 20_000
+
+    out = np.zeros(num_bins, dtype=np.int64)
+    for p in range(passes):
+        lo, hi = p * entries, min((p + 1) * entries, num_bins)
+        core.load_stream(a_keys, 0, keys.size)
+        n_chunks = -(-keys.size // vl) if keys.size else 0
+        core.vector_op("conflict", n_chunks)
+        core.vector_op("permute", 2 * n_chunks)
+        in_range = keys[(keys >= lo) & (keys < hi)]
+        dev.vidxclear()
+        if functional:
+            dev.vidxadd(
+                np.ones(in_range.size), in_range - lo, dest=Dest.SSPM
+            )
+            drained = dev.vidxadd(np.zeros(hi - lo), np.arange(hi - lo))
+            out[lo:hi] = drained.astype(np.int64)
+        else:
+            dev.account_bulk(Opcode.VIDXADD, int(in_range.size), dest=Dest.SSPM)
+            dev.account_bulk(Opcode.VIDXADD, hi - lo, dest=Dest.VRF)
+        core.store_stream(a_bins, lo, hi - lo)
+        core.scalar_ops(2 * n_chunks)
+    if not functional:
+        out = reference.histogram(keys, num_bins)
+
+    return core.finalize(f"histogram_via_{dev.config.name}", output=out)

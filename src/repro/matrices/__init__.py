@@ -1,0 +1,70 @@
+"""Synthetic matrix collection — SuiteSparse (UF collection) substitute.
+
+See DESIGN.md section 1 for the substitution rationale: VIA's speedups are
+driven by structural properties (nnz/row, block density, index locality),
+which the seeded generator families reproduce across the paper's envelope
+(square, <= 20,000 rows, 0.01 %-2.6 % density).
+"""
+
+from repro.matrices.collection import (
+    MatrixCollection,
+    MatrixSpec,
+    dse_collection,
+    dse_specs,
+    paper_collection,
+    small_collection,
+)
+from repro.matrices.domains import DOMAINS, Domain, domain_names, domain_weights
+from repro.matrices.io import (
+    read_matrix_market,
+    reads_matrix_market,
+    write_matrix_market,
+    writes_matrix_market,
+)
+from repro.matrices.generators import (
+    banded,
+    blocked,
+    circuit,
+    diagonal_dominant,
+    grid_2d,
+    kronecker,
+    power_law,
+    random_uniform,
+)
+from repro.matrices.stats import (
+    StructureStats,
+    block_density_metric,
+    nnz_per_row_metric,
+    quartile_split,
+    structure_stats,
+)
+
+__all__ = [
+    "MatrixCollection",
+    "MatrixSpec",
+    "dse_collection",
+    "dse_specs",
+    "paper_collection",
+    "small_collection",
+    "DOMAINS",
+    "Domain",
+    "domain_names",
+    "domain_weights",
+    "banded",
+    "blocked",
+    "circuit",
+    "diagonal_dominant",
+    "grid_2d",
+    "kronecker",
+    "power_law",
+    "random_uniform",
+    "StructureStats",
+    "block_density_metric",
+    "nnz_per_row_metric",
+    "quartile_split",
+    "structure_stats",
+    "read_matrix_market",
+    "reads_matrix_market",
+    "write_matrix_market",
+    "writes_matrix_market",
+]

@@ -1,0 +1,203 @@
+"""A seeded virtual matrix collection standing in for SuiteSparse.
+
+The paper evaluates over 1,024 square matrices with <= 20,000 rows and
+0.01 %-2.6 % non-zeros.  :class:`MatrixCollection` deterministically samples
+matrix *specs* (domain + generator parameters + dimension) from the domain
+taxonomy and materializes matrices lazily on access.
+
+Two profiles are provided:
+
+* :func:`paper_collection` — 1,024 specs, dimensions up to 20,000 (matching
+  the paper; expensive to sweep in pure Python);
+* :func:`small_collection` — the default for tests and benchmarks: same
+  sampling distributions, scaled-down dimensions, configurable count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.formats.coo import COOMatrix
+from repro.matrices.domains import DOMAINS, domain_names, domain_weights
+
+PAPER_MAX_ROWS = 20_000
+PAPER_MIN_DENSITY = 0.0001  # 0.01 %
+PAPER_MAX_DENSITY = 0.026  # 2.6 %
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Recipe for one synthetic matrix.
+
+    The spec is the unit of reproducibility: the same spec always generates
+    the same matrix, so collections can be iterated lazily without pinning
+    every matrix in memory.
+    """
+
+    name: str
+    domain: str
+    n: int
+    seed: int
+    params: dict = field(default_factory=dict)
+
+    def build(self) -> COOMatrix:
+        """Materialize the matrix this spec describes."""
+        dom = DOMAINS[self.domain]
+        return dom.build(self.n, self.seed, **self.params)
+
+
+class MatrixCollection:
+    """Deterministic, lazily-materialized collection of synthetic matrices.
+
+    Parameters
+    ----------
+    count:
+        Number of matrices.
+    seed:
+        Master seed; the whole collection is a pure function of
+        ``(count, seed, min_n, max_n)``.
+    min_n, max_n:
+        Dimension envelope.  Dimensions are drawn log-uniformly so small and
+        large matrices are both represented, as in SuiteSparse.
+    cache:
+        When True (default) materialized matrices are memoized.
+    """
+
+    def __init__(
+        self,
+        count: int = 1024,
+        seed: int = 2021,
+        *,
+        min_n: int = 64,
+        max_n: int = PAPER_MAX_ROWS,
+        cache: bool = True,
+        specs: Optional[List[MatrixSpec]] = None,
+    ):
+        if specs is not None:
+            if not specs:
+                raise ReproError("explicit spec list must not be empty")
+            self._specs = list(specs)
+        else:
+            if count <= 0:
+                raise ReproError(f"count must be positive, got {count}")
+            if not (0 < min_n <= max_n):
+                raise ReproError(f"bad dimension envelope [{min_n}, {max_n}]")
+            self._specs = _sample_specs(count, seed, min_n, max_n)
+        self._cache: Optional[Dict[str, COOMatrix]] = {} if cache else None
+
+    # ------------------------------------------------------------------
+    @property
+    def specs(self) -> List[MatrixSpec]:
+        return list(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[MatrixSpec]:
+        return iter(self._specs)
+
+    def matrix(self, spec: MatrixSpec) -> COOMatrix:
+        """Materialize (and possibly cache) the matrix for ``spec``."""
+        if self._cache is not None and spec.name in self._cache:
+            return self._cache[spec.name]
+        mat = spec.build()
+        if self._cache is not None:
+            self._cache[spec.name] = mat
+        return mat
+
+    def matrices(self) -> Iterator[COOMatrix]:
+        """Iterate over materialized matrices in spec order."""
+        for spec in self._specs:
+            yield self.matrix(spec)
+
+    def by_domain(self, domain: str) -> List[MatrixSpec]:
+        """All specs belonging to one structural family."""
+        return [s for s in self._specs if s.domain == domain]
+
+    def summary(self) -> dict:
+        """Aggregate description of the collection (for reports)."""
+        dims = np.array([s.n for s in self._specs])
+        domains = {}
+        for s in self._specs:
+            domains[s.domain] = domains.get(s.domain, 0) + 1
+        return {
+            "count": len(self._specs),
+            "dims": {
+                "min": int(dims.min()),
+                "median": int(np.median(dims)),
+                "max": int(dims.max()),
+            },
+            "domains": domains,
+        }
+
+
+def _sample_specs(count: int, seed: int, min_n: int, max_n: int) -> List[MatrixSpec]:
+    rng = np.random.default_rng(seed)
+    names = domain_names()
+    weights = domain_weights()
+    specs: List[MatrixSpec] = []
+    for i in range(count):
+        domain = names[int(rng.choice(len(names), p=weights))]
+        # log-uniform dimension draw, mirroring SuiteSparse's size spread
+        log_n = rng.uniform(np.log(min_n), np.log(max_n))
+        n = int(round(np.exp(log_n)))
+        params = DOMAINS[domain].sample(rng, n)
+        matrix_seed = int(rng.integers(0, 2**31 - 1))
+        specs.append(
+            MatrixSpec(
+                name=f"{domain}_{i:04d}",
+                domain=domain,
+                n=n,
+                seed=matrix_seed,
+                params=params,
+            )
+        )
+    return specs
+
+
+def paper_collection(seed: int = 2021) -> MatrixCollection:
+    """The full-scale 1,024-matrix collection used by the paper's envelope.
+
+    Materializing and sweeping all of it in pure Python is slow; the
+    benchmark harness defaults to :func:`small_collection` and exposes this
+    via the ``REPRO_FULL_COLLECTION`` environment knob.
+    """
+    return MatrixCollection(1024, seed, min_n=256, max_n=PAPER_MAX_ROWS)
+
+
+def small_collection(
+    count: int = 64, seed: int = 2021, *, max_n: int = 1024
+) -> MatrixCollection:
+    """A scaled-down collection with the same sampling distributions."""
+    return MatrixCollection(count, seed, min_n=64, max_n=max_n)
+
+
+def dse_specs() -> List[MatrixSpec]:
+    """Hand-picked specs for the design-space exploration (Figure 9).
+
+    The DSE needs matrices that actually stress the SSPM knobs: dimensions
+    well above the 4 KB configuration's CSB block size (512), plus denser
+    matrices whose row unions exceed the small index table — the regimes
+    where capacity separates the configurations.
+    """
+    mk = MatrixSpec
+    return [
+        mk("dse_banded_a", "structural", 3072, 11, {"bandwidth": 24, "fill": 0.7}),
+        mk("dse_blocked_a", "chemical", 4096, 12,
+           {"block_dim": 32, "block_density": 0.02, "in_block_fill": 0.5}),
+        mk("dse_graph_a", "graph", 3000, 13, {"avg_nnz_per_row": 8.0, "alpha": 1.8}),
+        mk("dse_random_sparse", "random", 2500, 14, {"density": 0.003}),
+        mk("dse_random_dense", "random", 3500, 15, {"density": 0.012}),
+        mk("dse_circuit_a", "circuit", 2800, 16, {"avg_fanout": 3.0, "n_rails": 3}),
+        mk("dse_econ_a", "economics", 3200, 17, {"n_diagonals": 16}),
+        mk("dse_pde_a", "pde", 3600, 18, {"connectivity": 9}),
+    ]
+
+
+def dse_collection() -> MatrixCollection:
+    """Collection wrapper around :func:`dse_specs`."""
+    return MatrixCollection(specs=dse_specs())

@@ -1,0 +1,199 @@
+"""Application-domain taxonomy for the synthetic collection.
+
+SuiteSparse tags every matrix with an application domain (56 distinct ones
+appear in the paper's selection).  We group those domains into structural
+families, each backed by one generator from
+:mod:`repro.matrices.generators` plus a parameter sampler.  The sampler
+draws parameters from ranges chosen so the generated matrices land inside
+the paper's envelope: square, <= 20,000 rows, 0.01 %-2.6 % non-zeros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.matrices import generators as gen
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A structural family standing in for a group of SuiteSparse domains.
+
+    Attributes
+    ----------
+    name:
+        Family identifier (e.g. ``"structural"``).
+    suite_sparse_domains:
+        The real collection domains this family represents, for
+        documentation purposes.
+    sample:
+        ``sample(rng, n) -> dict`` draws generator parameters for a matrix
+        of dimension ``n``.
+    build:
+        ``build(n, seed, **params) -> COOMatrix``.
+    weight:
+        Relative share of the collection drawn from this family.
+    """
+
+    name: str
+    suite_sparse_domains: List[str]
+    sample: Callable[[np.random.Generator, int], dict]
+    build: Callable[..., COOMatrix]
+    weight: float
+
+
+def _structural(rng: np.random.Generator, n: int) -> dict:
+    return {
+        "bandwidth": int(rng.integers(2, max(3, n // 64))),
+        "fill": float(rng.uniform(0.25, 0.9)),
+    }
+
+
+def _chemical(rng: np.random.Generator, n: int) -> dict:
+    return {
+        "block_dim": int(rng.choice([8, 16, 32, 64])),
+        "block_density": float(rng.uniform(0.005, 0.05)),
+        "in_block_fill": float(rng.uniform(0.2, 0.8)),
+    }
+
+
+def _graph(rng: np.random.Generator, n: int) -> dict:
+    return {
+        "avg_nnz_per_row": float(rng.uniform(2.0, 12.0)),
+        "alpha": float(rng.uniform(1.5, 2.5)),
+    }
+
+
+def _circuit(rng: np.random.Generator, n: int) -> dict:
+    return {
+        "avg_fanout": float(rng.uniform(1.5, 4.0)),
+        "n_rails": int(rng.integers(1, 4)),
+    }
+
+
+def _random(rng: np.random.Generator, n: int) -> dict:
+    return {"density": float(rng.uniform(0.0005, 0.026))}
+
+
+def _economics(rng: np.random.Generator, n: int) -> dict:
+    return {"n_diagonals": int(rng.integers(3, 24))}
+
+
+def _pde(rng: np.random.Generator, n: int) -> dict:
+    return {"connectivity": int(rng.choice([5, 9]))}
+
+
+def _kron(rng: np.random.Generator, n: int) -> dict:
+    return {"edge_factor": int(rng.integers(4, 16))}
+
+
+def _build_structural(n, seed, **p):
+    return gen.banded(n, seed=seed, **p)
+
+
+def _build_chemical(n, seed, **p):
+    return gen.blocked(n, seed=seed, **p)
+
+
+def _build_graph(n, seed, **p):
+    return gen.power_law(n, seed=seed, **p)
+
+
+def _build_circuit(n, seed, **p):
+    return gen.circuit(n, seed=seed, **p)
+
+
+def _build_random(n, seed, **p):
+    return gen.random_uniform(n, seed=seed, **p)
+
+
+def _build_economics(n, seed, **p):
+    return gen.diagonal_dominant(n, seed=seed, **p)
+
+
+def _build_pde(n, seed, **p):
+    side = max(4, int(round(np.sqrt(n))))
+    return gen.grid_2d(side, seed=seed, **p)
+
+
+def _build_kron(n, seed, **p):
+    scale = max(4, int(np.log2(max(n, 16))))
+    return gen.kronecker(scale, seed=seed, **p)
+
+
+DOMAINS: Dict[str, Domain] = {
+    d.name: d
+    for d in (
+        Domain(
+            "structural",
+            ["structural problem", "civil engineering", "materials", "acoustics"],
+            _structural,
+            _build_structural,
+            weight=0.18,
+        ),
+        Domain(
+            "chemical",
+            ["chemical process simulation", "thermal", "multiphysics"],
+            _chemical,
+            _build_chemical,
+            weight=0.14,
+        ),
+        Domain(
+            "graph",
+            ["directed graph", "social network", "web graph", "citation"],
+            _graph,
+            _build_graph,
+            weight=0.18,
+        ),
+        Domain(
+            "circuit",
+            ["circuit simulation", "semiconductor device"],
+            _circuit,
+            _build_circuit,
+            weight=0.14,
+        ),
+        Domain(
+            "random",
+            ["optimization", "linear programming", "statistics"],
+            _random,
+            _build_random,
+            weight=0.12,
+        ),
+        Domain(
+            "economics",
+            ["economic problem", "queueing model"],
+            _economics,
+            _build_economics,
+            weight=0.08,
+        ),
+        Domain(
+            "pde",
+            ["computational fluid dynamics", "electromagnetics", "2D/3D mesh"],
+            _pde,
+            _build_pde,
+            weight=0.10,
+        ),
+        Domain(
+            "kronecker",
+            ["combinatorics", "graph500-style synthetic graphs"],
+            _kron,
+            _build_kron,
+            weight=0.06,
+        ),
+    )
+}
+
+
+def domain_names() -> List[str]:
+    """Stable ordering of the structural families."""
+    return sorted(DOMAINS)
+
+
+def domain_weights() -> np.ndarray:
+    """Normalized sampling weights aligned with :func:`domain_names`."""
+    w = np.array([DOMAINS[d].weight for d in domain_names()], dtype=float)
+    return w / w.sum()

@@ -1,0 +1,255 @@
+"""Synthetic sparse-matrix generators — SuiteSparse substitute.
+
+The paper evaluates on 1,024 square matrices (rows <= 20,000, density
+0.01 %-2.6 %) drawn from 56 application domains of the University of Florida
+SuiteSparse collection.  That collection cannot be downloaded here, so this
+module provides seeded generators for the structural *families* that
+dominate it.  What matters to VIA is structure, not provenance:
+
+* nnz-per-row distribution (drives SpMA/SpMM index-matching work);
+* block clustering (drives CSB block density, the Fig. 10 category metric);
+* index locality / bandwidth (drives cache behaviour of gathers);
+* overall density (drives the memory-bound balance).
+
+Every generator takes an explicit ``seed`` and returns a canonical
+:class:`~repro.formats.coo.COOMatrix`, always square, to mirror the paper's
+matrix selection criteria.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+
+
+def _values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Non-zero values: unit-scale normals, nudged away from exact zero."""
+    vals = rng.standard_normal(n)
+    vals[vals == 0.0] = 1.0
+    return vals
+
+
+def _coo_from_pairs(n: int, rows, cols, rng) -> COOMatrix:
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    # deduplicate coordinates so nnz is exact
+    key = rows * n + cols
+    key = np.unique(key)
+    rows, cols = key // n, key % n
+    return COOMatrix((n, n), rows, cols, _values(rng, rows.size))
+
+
+def random_uniform(n: int, density: float, seed: int) -> COOMatrix:
+    """Uniformly random pattern (Erdos-Renyi): optimization/statistics-like.
+
+    Worst-case locality for gathers — entries land anywhere in the row space.
+    """
+    _check(n, density)
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(round(n * n * density)))
+    nnz = min(nnz, n * n)
+    flat = rng.choice(n * n, size=nnz, replace=False) if nnz < n * n // 2 else (
+        np.random.default_rng(seed).permutation(n * n)[:nnz]
+    )
+    return _coo_from_pairs(n, flat // n, flat % n, rng)
+
+
+def banded(n: int, bandwidth: int, fill: float, seed: int) -> COOMatrix:
+    """Banded pattern: FEM / structural engineering / PDE discretizations.
+
+    Entries fall within ``|i - j| <= bandwidth`` with probability ``fill``,
+    plus a guaranteed main diagonal.  High index locality, CSB blocks on the
+    diagonal are dense.
+    """
+    _check(n, None)
+    if bandwidth < 0:
+        raise FormatError(f"bandwidth must be >= 0, got {bandwidth}")
+    rng = np.random.default_rng(seed)
+    offsets = np.arange(-bandwidth, bandwidth + 1)
+    rows_list = [np.arange(n)]
+    cols_list = [np.arange(n)]
+    for off in offsets:
+        if off == 0:
+            continue
+        rr = np.arange(max(0, -off), min(n, n - off))
+        keep = rng.random(rr.size) < fill
+        rows_list.append(rr[keep])
+        cols_list.append(rr[keep] + off)
+    return _coo_from_pairs(
+        n, np.concatenate(rows_list), np.concatenate(cols_list), rng
+    )
+
+
+def blocked(
+    n: int,
+    block_dim: int,
+    block_density: float,
+    in_block_fill: float,
+    seed: int,
+) -> COOMatrix:
+    """Clustered-block pattern: chemical engineering / multiphysics coupling.
+
+    The matrix is tiled into ``block_dim x block_dim`` tiles; a fraction
+    ``block_density`` of tiles is active, and active tiles are filled with
+    probability ``in_block_fill``.  This is the structure CSB exploits best.
+    """
+    _check(n, None)
+    rng = np.random.default_rng(seed)
+    grid = max(1, n // block_dim)
+    n_tiles = grid * grid
+    active = rng.random(n_tiles) < block_density
+    active_ids = np.flatnonzero(active)
+    if active_ids.size == 0:
+        active_ids = np.array([0])
+    rows_list, cols_list = [np.arange(n)], [np.arange(n)]  # keep the diagonal
+    for tid in active_ids:
+        br, bc = tid // grid, tid % grid
+        r0, c0 = br * block_dim, bc * block_dim
+        h = min(block_dim, n - r0)
+        w = min(block_dim, n - c0)
+        count = max(1, int(round(h * w * in_block_fill)))
+        rr = rng.integers(0, h, size=count) + r0
+        cc = rng.integers(0, w, size=count) + c0
+        rows_list.append(rr)
+        cols_list.append(cc)
+    return _coo_from_pairs(
+        n, np.concatenate(rows_list), np.concatenate(cols_list), rng
+    )
+
+
+def power_law(n: int, avg_nnz_per_row: float, alpha: float, seed: int) -> COOMatrix:
+    """Scale-free pattern: social / web / citation graph adjacency.
+
+    Column targets are drawn from a Zipf-like distribution so a few hub
+    columns are extremely popular — the access pattern the paper's YouTube
+    example exhibits.  Row degrees follow a heavy-tailed distribution too.
+    """
+    _check(n, None)
+    if avg_nnz_per_row <= 0:
+        raise FormatError("avg_nnz_per_row must be positive")
+    rng = np.random.default_rng(seed)
+    # heavy-tailed row degrees with the requested mean
+    raw = rng.pareto(alpha, size=n) + 1.0
+    deg = np.maximum(1, np.round(raw * avg_nnz_per_row / raw.mean()).astype(np.int64))
+    deg = np.minimum(deg, n)
+    rows = np.repeat(np.arange(n, dtype=np.int64), deg)
+    # Zipf-ish column popularity via inverse-CDF on a power law
+    u = rng.random(rows.size)
+    cols = np.minimum((n * u ** alpha).astype(np.int64), n - 1)
+    perm = rng.permutation(n)  # decouple popularity rank from column id
+    cols = perm[cols]
+    return _coo_from_pairs(n, rows, cols, rng)
+
+
+def circuit(n: int, avg_fanout: float, n_rails: int, seed: int) -> COOMatrix:
+    """Circuit-simulation pattern: sparse near-diagonal + dense rails.
+
+    Most nodes couple to a handful of near neighbours; a few global nets
+    (power rails, clocks) produce nearly dense rows *and* columns.
+    """
+    _check(n, None)
+    rng = np.random.default_rng(seed)
+    rows_list, cols_list = [np.arange(n)], [np.arange(n)]
+    # local couplings within a short random reach
+    count = max(1, int(n * avg_fanout))
+    rr = rng.integers(0, n, size=count)
+    reach = rng.integers(1, 16, size=count)
+    cc = np.clip(rr + rng.choice([-1, 1], size=count) * reach, 0, n - 1)
+    rows_list.append(rr)
+    cols_list.append(cc)
+    # global rails: dense-ish rows and columns
+    rails = rng.choice(n, size=max(1, n_rails), replace=False)
+    for rail in rails:
+        touched = rng.choice(n, size=max(1, n // 20), replace=False)
+        rows_list.append(np.full(touched.size, rail))
+        cols_list.append(touched)
+        rows_list.append(touched)
+        cols_list.append(np.full(touched.size, rail))
+    return _coo_from_pairs(
+        n, np.concatenate(rows_list), np.concatenate(cols_list), rng
+    )
+
+
+def grid_2d(side: int, seed: int, *, connectivity: int = 5) -> COOMatrix:
+    """2-D grid Laplacian (5- or 9-point): heat/fluid PDE meshes.
+
+    The matrix is ``side**2`` square.  Perfectly regular structure, very
+    narrow effective bandwidth.
+    """
+    if side <= 0:
+        raise FormatError(f"side must be positive, got {side}")
+    if connectivity not in (5, 9):
+        raise FormatError(f"connectivity must be 5 or 9, got {connectivity}")
+    n = side * side
+    rng = np.random.default_rng(seed)
+    ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    node = (ii * side + jj).ravel()
+    if connectivity == 5:
+        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+    else:
+        offsets = [
+            (di, dj)
+            for di in (-1, 0, 1)
+            for dj in (-1, 0, 1)
+            if (di, dj) != (0, 0)
+        ]
+    rows_list, cols_list = [node], [node]
+    for di, dj in offsets:
+        ni, nj = ii + di, jj + dj
+        ok = ((ni >= 0) & (ni < side) & (nj >= 0) & (nj < side)).ravel()
+        rows_list.append(node[ok])
+        cols_list.append((ni * side + nj).ravel()[ok])
+    return _coo_from_pairs(
+        n, np.concatenate(rows_list), np.concatenate(cols_list), rng
+    )
+
+
+def kronecker(scale: int, edge_factor: int, seed: int) -> COOMatrix:
+    """R-MAT / Graph500-style Kronecker graph: big-data graph kernels.
+
+    ``n = 2**scale`` nodes, about ``edge_factor * n`` directed edges with
+    the standard (0.57, 0.19, 0.19, 0.05) partition probabilities.
+    """
+    if scale <= 0 or scale > 16:
+        raise FormatError(f"scale must be in [1, 16], got {scale}")
+    n = 1 << scale
+    rng = np.random.default_rng(seed)
+    m = max(1, edge_factor * n)
+    a, b, c = 0.57, 0.19, 0.19
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    for _bit in range(scale):
+        rows <<= 1
+        cols <<= 1
+        u = rng.random(m)
+        right = u >= a + b  # falls in the c+d quadrants -> column bit set
+        down = (u >= a) & (u < a + b) | (u >= a + b + c)  # b or d -> row bit
+        rows |= down.astype(np.int64)
+        cols |= right.astype(np.int64)
+    return _coo_from_pairs(n, rows, cols, rng)
+
+
+def diagonal_dominant(n: int, n_diagonals: int, seed: int) -> COOMatrix:
+    """Multi-diagonal pattern: structured economics / queueing models."""
+    _check(n, None)
+    rng = np.random.default_rng(seed)
+    offs = np.unique(
+        np.concatenate([[0], rng.integers(-n // 2, n // 2, size=max(1, n_diagonals))])
+    )
+    rows_list, cols_list = [], []
+    for off in offs:
+        rr = np.arange(max(0, -off), min(n, n - off))
+        rows_list.append(rr)
+        cols_list.append(rr + off)
+    return _coo_from_pairs(
+        n, np.concatenate(rows_list), np.concatenate(cols_list), rng
+    )
+
+
+def _check(n: int, density) -> None:
+    if n <= 0:
+        raise FormatError(f"matrix dimension must be positive, got {n}")
+    if density is not None and not (0.0 < density <= 1.0):
+        raise FormatError(f"density must be in (0, 1], got {density}")

@@ -1,0 +1,95 @@
+"""Structural statistics used to categorize matrices in the evaluation.
+
+Figure 10 splits the collection into four categories by CSB block density
+(median non-zeros per block); Figure 11 uses non-zeros per row.  This module
+computes those metrics plus general structure descriptors used in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.formats.base import SparseFormat
+from repro.formats.csb import CSBMatrix
+from repro.formats.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class StructureStats:
+    """Structure descriptors for one matrix."""
+
+    rows: int
+    cols: int
+    nnz: int
+    density: float
+    avg_nnz_per_row: float
+    max_nnz_per_row: int
+    empty_rows: int
+    bandwidth: int
+    csb_block_size: int
+    csb_num_blocks: int
+    median_nnz_per_block: float
+
+    def as_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+def structure_stats(matrix: SparseFormat, *, csb_block_size: int = 256) -> StructureStats:
+    """Compute :class:`StructureStats` for any sparse matrix."""
+    coo = matrix.to_coo()
+    rows, cols = coo.shape
+    nnz = coo.nnz
+    per_row = np.bincount(coo.row, minlength=rows) if rows else np.zeros(0, int)
+    bw = int(np.abs(coo.row - coo.col).max()) if nnz else 0
+    csb = CSBMatrix.from_coo(coo, block_size=csb_block_size)
+    per_block = csb.nnz_per_block()
+    return StructureStats(
+        rows=rows,
+        cols=cols,
+        nnz=nnz,
+        density=coo.density,
+        avg_nnz_per_row=float(per_row.mean()) if rows else 0.0,
+        max_nnz_per_row=int(per_row.max()) if rows else 0,
+        empty_rows=int((per_row == 0).sum()) if rows else 0,
+        bandwidth=bw,
+        csb_block_size=csb_block_size,
+        csb_num_blocks=csb.num_blocks,
+        median_nnz_per_block=float(np.median(per_block)) if per_block.size else 0.0,
+    )
+
+
+def nnz_per_row_metric(matrix: SparseFormat) -> float:
+    """Average stored entries per non-empty row (Fig. 11 category metric)."""
+    csr = CSRMatrix.from_coo(matrix.to_coo())
+    lengths = csr.row_lengths()
+    nonempty = lengths[lengths > 0]
+    return float(nonempty.mean()) if nonempty.size else 0.0
+
+
+def block_density_metric(matrix: SparseFormat, *, block_size: int = 256) -> float:
+    """Median non-zeros per stored CSB block (Fig. 10 category metric)."""
+    csb = CSBMatrix.from_coo(matrix.to_coo(), block_size=block_size)
+    per_block = csb.nnz_per_block()
+    return float(np.median(per_block)) if per_block.size else 0.0
+
+
+def quartile_split(values: Sequence[float]) -> Tuple[List[np.ndarray], List[float]]:
+    """Split items into four equal-population categories by metric value.
+
+    Mirrors the paper's "sorted by X and evenly split among 4 categories".
+
+    Returns
+    -------
+    (groups, medians):
+        ``groups[k]`` holds the item indices of category *k* (ascending
+        metric), ``medians[k]`` its median metric value (the x-axis labels
+        of Figures 10 and 11).
+    """
+    arr = np.asarray(values, dtype=float)
+    order = np.argsort(arr, kind="stable")
+    groups = [np.array(g, dtype=np.int64) for g in np.array_split(order, 4)]
+    medians = [float(np.median(arr[g])) if g.size else float("nan") for g in groups]
+    return groups, medians

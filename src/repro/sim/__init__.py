@@ -1,0 +1,40 @@
+"""Cycle-approximate machine model — the gem5 full-system substitute.
+
+See DESIGN.md Sections 1 and 5: a single-core out-of-order model whose
+timing is driven by the mechanisms the paper's evaluation depends on —
+gather/scatter serialization, cache/DRAM traffic, MSHR-limited memory-level
+parallelism, and VIA commit-time execution.
+"""
+
+from repro.sim.cache import Cache, CacheStats, compress_lines, stream_lines
+from repro.sim.config import (
+    DEFAULT_MACHINE,
+    CacheConfig,
+    MachineConfig,
+    table1,
+)
+from repro.sim.core import AddressSpace, Array, Core
+from repro.sim.dram import DRAMModel, DRAMStats
+from repro.sim.hierarchy import AccessResult, MemoryHierarchy
+from repro.sim.stats import CycleBreakdown, KernelResult, OpCounters
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "compress_lines",
+    "stream_lines",
+    "DEFAULT_MACHINE",
+    "CacheConfig",
+    "MachineConfig",
+    "table1",
+    "AddressSpace",
+    "Array",
+    "Core",
+    "DRAMModel",
+    "DRAMStats",
+    "AccessResult",
+    "MemoryHierarchy",
+    "CycleBreakdown",
+    "KernelResult",
+    "OpCounters",
+]

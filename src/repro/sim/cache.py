@@ -1,0 +1,141 @@
+"""Set-associative write-back cache model with true LRU replacement.
+
+The model tracks tags only (data values live in the functional layer); it
+exists to classify each access as a hit or miss at every level and to count
+write-backs, which is all the timing and energy models need.
+
+Accesses are processed at cache-line granularity.  Batch helpers run-length
+compress repeated consecutive lines — a vector load that touches one line
+eight times is one line access, mirroring how a real LSQ coalesces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write-back counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.writebacks = 0
+
+
+class Cache:
+    """One level of a write-back, write-allocate cache.
+
+    Parameters
+    ----------
+    config:
+        Geometry and latency of this level.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self.line_bytes = config.line_bytes
+        self._tags = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        self._dirty = np.zeros((self.num_sets, self.ways), dtype=bool)
+        self._stamp = np.zeros((self.num_sets, self.ways), dtype=np.int64)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Invalidate all lines and zero the statistics."""
+        self._tags.fill(-1)
+        self._dirty.fill(False)
+        self._stamp.fill(0)
+        self._clock = 0
+        self.stats.reset()
+
+    def access_line(self, line: int, write: bool) -> Tuple[bool, Optional[int]]:
+        """Access one cache line.
+
+        Returns
+        -------
+        (hit, victim):
+            ``hit`` tells whether the line was present.  On a miss the line
+            is allocated; ``victim`` is the line id of an evicted *dirty*
+            line that must be written back (None otherwise).
+        """
+        self._clock += 1
+        self.stats.accesses += 1
+        s = line % self.num_sets
+        tags = self._tags[s]
+        ways = np.flatnonzero(tags == line)
+        if ways.size:
+            w = int(ways[0])
+            self.stats.hits += 1
+            self._stamp[s, w] = self._clock
+            if write:
+                self._dirty[s, w] = True
+            return True, None
+
+        self.stats.misses += 1
+        empty = np.flatnonzero(tags == -1)
+        if empty.size:
+            w = int(empty[0])
+            victim = None
+        else:
+            w = int(np.argmin(self._stamp[s]))
+            victim = int(tags[w]) if self._dirty[s, w] else None
+            if victim is not None:
+                self.stats.writebacks += 1
+        self._tags[s, w] = line
+        self._dirty[s, w] = bool(write)
+        self._stamp[s, w] = self._clock
+        return False, victim
+
+    def probe(self, line: int) -> bool:
+        """Check presence without touching LRU state or statistics."""
+        s = line % self.num_sets
+        return bool(np.any(self._tags[s] == line))
+
+    def occupancy(self) -> float:
+        """Fraction of lines currently valid."""
+        return float((self._tags != -1).mean())
+
+
+def compress_lines(addresses: np.ndarray, line_bytes: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Convert byte addresses to run-length-compressed line ids.
+
+    Consecutive accesses to the same line collapse into one (they would be
+    merged in the load-store queue).  Returns ``(lines, counts)`` where
+    ``counts[i]`` is the number of raw accesses the run represents.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    lines = addresses // line_bytes
+    boundary = np.empty(lines.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    counts = np.diff(np.append(starts, lines.size))
+    return lines[starts], counts
+
+
+def stream_lines(base: int, nbytes: int, line_bytes: int) -> np.ndarray:
+    """Line ids touched by a contiguous ``[base, base+nbytes)`` stream."""
+    if nbytes <= 0:
+        return np.zeros(0, dtype=np.int64)
+    first = base // line_bytes
+    last = (base + nbytes - 1) // line_bytes
+    return np.arange(first, last + 1, dtype=np.int64)

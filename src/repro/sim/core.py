@@ -1,0 +1,444 @@
+"""The cycle-approximate out-of-order core model.
+
+Kernels do not run real machine code; they *narrate* their execution to a
+:class:`Core` as a stream of coarse operations (one call per VL-wide vector
+instruction or scalar bookkeeping group) while computing their functional
+results in numpy.  The core prices each operation against the machine
+configuration and the live cache hierarchy, then :meth:`Core.finalize`
+combines the counters into cycles with an interval-style overlap model:
+
+``cycles = max(resource bounds) + exposed miss latency``
+
+* **Resource bounds** race against each other — issue bandwidth, vector
+  unit occupancy, gather/scatter serialization, DRAM channel occupancy,
+  SSPM port occupancy, and VIA commit serialization.  A kernel runs as slow
+  as its most contended resource, which is how balanced pipelines behave on
+  average.
+* **Exposed latency** adds on top: cache-miss latency divided by the
+  memory-level parallelism the access pattern allows.  Streaming misses
+  overlap up to ~MSHR depth; dependent (pointer-chasing) misses barely
+  overlap — the paper's Challenge 1.
+
+This is deliberately not a per-instruction scheduler: it is fast enough to
+sweep a thousand-matrix collection in Python while preserving the
+mechanisms the paper's conclusions rest on (see DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim import calibration as cal
+from repro.sim.config import DEFAULT_MACHINE, MachineConfig
+from repro.sim.hierarchy import AccessResult, MemoryHierarchy
+from repro.sim.stats import CycleBreakdown, KernelResult, OpCounters
+
+_LINE = cal.CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class Array:
+    """A named region of the simulated address space.
+
+    Kernels convert element indices into byte addresses through this handle
+    so the cache model sees a realistic layout.
+    """
+
+    name: str
+    base: int
+    nbytes: int
+    elem_bytes: int
+
+    @property
+    def num_elems(self) -> int:
+        return self.nbytes // self.elem_bytes
+
+    def addr(self, indices) -> np.ndarray:
+        """Byte addresses of the given element indices."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return self.base + idx * self.elem_bytes
+
+    def addr_range(self, start: int, count: int) -> tuple:
+        """(base, nbytes) of elements ``[start, start+count)``."""
+        return self.base + start * self.elem_bytes, count * self.elem_bytes
+
+
+class AddressSpace:
+    """Bump allocator handing out line-aligned simulated arrays."""
+
+    def __init__(self, base: int = 0x1000_0000):
+        self._next = base
+        self._arrays: Dict[str, Array] = {}
+
+    def alloc(self, name: str, num_elems: int, elem_bytes: int = 8) -> Array:
+        if num_elems < 0 or elem_bytes <= 0:
+            raise SimulationError(
+                f"bad allocation {name!r}: {num_elems} x {elem_bytes}B"
+            )
+        nbytes = max(num_elems, 1) * elem_bytes
+        arr = Array(name, self._next, nbytes, elem_bytes)
+        # advance to the next line boundary so arrays never share lines
+        self._next += (nbytes + _LINE - 1) // _LINE * _LINE
+        self._arrays[name] = arr
+        return arr
+
+    def __getitem__(self, name: str) -> Array:
+        return self._arrays[name]
+
+
+class Core:
+    """Cycle-approximate OoO core with an attached memory hierarchy.
+
+    Parameters
+    ----------
+    machine:
+        Machine configuration (defaults to the Table I machine).
+    via:
+        Optional VIA device (:class:`repro.via.engine.ViaDevice`).  When
+        present, VIA instructions report their SSPM occupancy here through
+        :meth:`record_via_op`.
+    """
+
+    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE, via=None):
+        self.machine = machine
+        self.memory = MemoryHierarchy(machine)
+        self.mem = AddressSpace()
+        self.counters = OpCounters()
+        self.via = via
+        if via is not None:
+            via.attach(self)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, num_elems: int, elem_bytes: int = 8) -> Array:
+        """Allocate a simulated array (line-aligned)."""
+        return self.mem.alloc(name, num_elems, elem_bytes)
+
+    # ------------------------------------------------------------------
+    # Scalar / vector compute
+    # ------------------------------------------------------------------
+    def scalar_ops(self, count: int) -> None:
+        """Record ``count`` scalar bookkeeping uops (loop control, etc.)."""
+        self.counters.scalar_uops += int(count)
+
+    def vector_op(self, kind: str = "alu", count: int = 1) -> None:
+        """Record ``count`` VL-wide vector ALU instructions.
+
+        ``kind`` selects the latency/energy class: ``alu``, ``fma``,
+        ``reduce``, ``permute``, ``conflict``, ``mask``.
+        """
+        c = self.counters
+        count = int(count)
+        c.vector_uops += count
+        if kind == "fma":
+            c.vector_fma += count
+        elif kind == "reduce":
+            c.vector_reduce += count
+        elif kind == "permute":
+            c.vector_permute += count
+        elif kind == "conflict":
+            c.vector_conflict += count
+        elif kind not in ("alu", "mask"):
+            raise SimulationError(f"unknown vector op kind {kind!r}")
+
+    def branches(self, count: int, mispredict_rate: float) -> None:
+        """Record conditional branches with a given mispredict rate.
+
+        Sparse merge loops (SpMA Algorithm 2, SpMM index search) branch on
+        data comparisons the predictor cannot learn; every mispredict costs
+        a front-end refill.
+        """
+        if not (0.0 <= mispredict_rate <= 1.0):
+            raise SimulationError(
+                f"mispredict_rate must be in [0, 1], got {mispredict_rate}"
+            )
+        c = self.counters
+        c.scalar_uops += int(count)
+        c.branches += int(count)
+        c.branch_mispredicts += count * mispredict_rate
+
+    def dependency_stall(self, cycles: float) -> None:
+        """Record serialization the OoO window cannot hide.
+
+        Used for true dependence chains: per-row horizontal reductions
+        feeding the next iteration, or read-modify-write chains on the same
+        address (scalar histogram bins).
+        """
+        if cycles < 0:
+            raise SimulationError(f"stall cycles must be >= 0, got {cycles}")
+        self.counters.dependency_stall_cycles += float(cycles)
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+    def load_stream(self, array: Array, start: int, count: int) -> None:
+        """Contiguous load of ``count`` elements starting at ``start``."""
+        base, nbytes = array.addr_range(start, count)
+        res = self.memory.access_stream(base, nbytes, write=False)
+        self._record_mem(res, dependent=False)
+        self._stream_uops(count, array.elem_bytes)
+
+    def store_stream(self, array: Array, start: int, count: int) -> None:
+        """Contiguous store of ``count`` elements starting at ``start``."""
+        base, nbytes = array.addr_range(start, count)
+        res = self.memory.access_stream(base, nbytes, write=True)
+        self._record_mem(res, dependent=False)
+        self._stream_uops(count, array.elem_bytes)
+
+    def gather(self, array: Array, indices, *, n_instr: Optional[int] = None) -> None:
+        """Vector gather ``array[indices]`` (paper Challenge 1).
+
+        Charged the published fixed cost per gather instruction plus the
+        memory-system cost of each element access, classified as dependent
+        (the indices themselves were loaded first — pointer chasing).
+
+        ``n_instr`` overrides the default ``ceil(len / VL)`` instruction
+        count; kernels pass it when short rows fragment vectors (a row of
+        two entries still needs a whole gather instruction).
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        vl = self.machine.vl
+        if n_instr is None:
+            n_instr = (idx.size + vl - 1) // vl
+        n_instr = int(n_instr)
+        self.counters.gathers += n_instr
+        self.counters.gather_elements += int(idx.size)
+        self.counters.vector_uops += n_instr
+        res = self.memory.access_addresses(array.addr(idx), write=False)
+        self._record_mem(res, dependent=True)
+
+    def scatter(self, array: Array, indices, *, n_instr: Optional[int] = None) -> None:
+        """Vector scatter to ``array[indices]`` (store-load forwarding
+        traffic when used for partial results)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        vl = self.machine.vl
+        if n_instr is None:
+            n_instr = (idx.size + vl - 1) // vl
+        n_instr = int(n_instr)
+        self.counters.scatters += n_instr
+        self.counters.scatter_elements += int(idx.size)
+        self.counters.vector_uops += n_instr
+        res = self.memory.access_addresses(array.addr(idx), write=True)
+        self._record_mem(res, dependent=True)
+
+    def gather_serial(self, n_instr: int, elements_per_instr: int) -> None:
+        """Account gather instructions whose memory side is billed elsewhere.
+
+        Sliding-window kernels re-read the same lines thousands of times;
+        simulating every element address is pointless when the stream side
+        is already charged via :meth:`load_stream`/:meth:`bulk_stream`.
+        This records only the instructions' fixed serialization cost and
+        issue bandwidth.
+        """
+        n_instr = int(n_instr)
+        if n_instr <= 0:
+            return
+        self.counters.gathers += n_instr
+        self.counters.gather_elements += n_instr * int(elements_per_instr)
+        self.counters.vector_uops += n_instr
+
+    def scatter_serial(self, n_instr: int, elements_per_instr: int) -> None:
+        """Scatter counterpart of :meth:`gather_serial`."""
+        n_instr = int(n_instr)
+        if n_instr <= 0:
+            return
+        self.counters.scatters += n_instr
+        self.counters.scatter_elements += n_instr * int(elements_per_instr)
+        self.counters.vector_uops += n_instr
+
+    def load_windows(self, array: Array, starts, width: int) -> None:
+        """Vector loads of ``width`` contiguous elements at computed starts.
+
+        Models formats that read small windows at data-dependent offsets
+        (e.g. SPC5 reading ``x[col0 : col0+VL]`` per block): one vector uop
+        per window, memory classified as dependent because the start comes
+        from a just-loaded header, but *without* the gather fixed cost —
+        these are plain (possibly unaligned) vector loads.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.size == 0 or width <= 0:
+            return
+        self.counters.vector_uops += int(starts.size)
+        offsets = np.arange(width, dtype=np.int64)
+        addrs = (starts[:, None] + offsets[None, :]).ravel() * array.elem_bytes
+        addrs += array.base
+        res = self.memory.access_addresses(addrs, write=False)
+        self._record_mem(res, dependent=True)
+
+    def scalar_load(self, array: Array, indices, *, dependent: bool = False) -> None:
+        """Scalar loads of individual elements."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        self.counters.scalar_uops += int(idx.size)
+        res = self.memory.access_addresses(array.addr(idx), write=False)
+        self._record_mem(res, dependent=dependent)
+
+    def scalar_store(self, array: Array, indices, *, dependent: bool = False) -> None:
+        """Scalar stores of individual elements."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        self.counters.scalar_uops += int(idx.size)
+        res = self.memory.access_addresses(array.addr(idx), write=True)
+        self._record_mem(res, dependent=dependent)
+
+    def bulk_stream(self, array: Array, *, passes: int, write: bool = False) -> None:
+        """Aggregate accounting for re-streaming an array ``passes`` times.
+
+        Inner-product SpMM re-reads all of matrix ``B`` once per row of
+        ``A`` — simulating millions of identical line accesses per matrix
+        is pointless, so repeat passes are classified analytically: the
+        array is served by the smallest cache level that fits it (first
+        pass runs through the detailed model and warms the hierarchy).
+        """
+        if passes <= 0:
+            return
+        if write:
+            self.store_stream(array, 0, array.num_elems)
+        else:
+            self.load_stream(array, 0, array.num_elems)
+        extra = int(passes) - 1
+        if extra <= 0:
+            return
+        m = self.machine
+        lines = -(-array.nbytes // _LINE)
+        c = self.counters
+        # residency level: smallest cache whose capacity holds the array
+        if array.nbytes <= m.l1.size_kb * 1024:
+            level_latency, level = 0.0, "l1"
+        elif array.nbytes <= m.l2.size_kb * 1024:
+            level_latency, level = float(m.l2.latency), "l2"
+        elif array.nbytes <= m.l3.size_kb * 1024:
+            level_latency, level = float(m.l2.latency + m.l3.latency), "l3"
+        else:
+            level_latency, level = (
+                float(m.l2.latency + m.l3.latency + m.dram_latency),
+                "dram",
+            )
+        c.mem_line_accesses += extra * lines
+        if level == "l1":
+            c.l1_hits += extra * lines
+        elif level == "l2":
+            c.l2_hits += extra * lines
+        elif level == "l3":
+            c.l3_hits += extra * lines
+        else:
+            c.dram_fills += extra * lines
+            self.memory.dram.read_lines(extra * lines)
+        c.stream_miss_latency += extra * lines * level_latency
+        self._stream_uops(array.num_elems * extra, array.elem_bytes)
+
+    # ------------------------------------------------------------------
+    # VIA hook
+    # ------------------------------------------------------------------
+    def record_via_op(self, *, sspm_elements: int, cam_searches: int,
+                      port_cycles: float, count: int = 1) -> None:
+        """Account VIA instructions' SSPM work (called by the engine).
+
+        ``port_cycles`` comes from the FIVU timing model: a VIA op touching
+        ``k`` SSPM elements per pass needs ``ceil(k / ports)`` scratchpad
+        cycles per pass (Section IV-B, preprocessing-1 nested pipeline).
+        The commit handshake adds a fixed overhead and VIA instructions
+        serialize at commit (Section IV-E).  ``count`` bulk-records that
+        many identical instructions (per-instruction operand values do not
+        change the timing, only the element counts do).
+        """
+        c = self.counters
+        count = int(count)
+        c.via_instructions += count
+        c.vector_uops += count
+        c.sspm_accesses += int(sspm_elements) * count
+        c.cam_searches += int(cam_searches) * count
+        c.sspm_busy_cycles += (
+            float(port_cycles) + cal.COMMIT_ISSUE_OVERHEAD
+        ) * count
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self, name: str, *, output=None) -> KernelResult:
+        """Combine the accumulated counters into a :class:`KernelResult`."""
+        m, c = self.machine, self.counters
+        breakdown = CycleBreakdown(
+            issue_cycles=(c.scalar_uops + c.vector_uops) / m.issue_width,
+            vfu_cycles=c.vector_uops / cal.VFU_THROUGHPUT_PER_CYCLE,
+            gather_serial_cycles=(
+                c.gathers * m.gather_base_latency
+                + c.scatters * m.scatter_base_latency
+            ),
+            dram_occupancy_cycles=self.memory.dram.occupancy_cycles(),
+            sspm_cycles=c.sspm_busy_cycles,
+            commit_serial_cycles=c.via_instructions * cal.COMMIT_ISSUE_OVERHEAD,
+            exposed_stream_latency=c.stream_miss_latency / m.mlp_stream,
+            exposed_dependent_latency=c.dependent_miss_latency / m.mlp_dependent,
+            branch_penalty_cycles=c.branch_mispredicts * cal.BRANCH_MISS_PENALTY,
+            dependency_stall_cycles=c.dependency_stall_cycles,
+        )
+        cycles = breakdown.total_cycles
+        seconds = m.cycles_to_seconds(cycles)
+        traffic = self.memory.dram.traffic_bytes
+        bandwidth = traffic / seconds / 1e9 if seconds else 0.0
+        energy = self._energy_pj(seconds)
+        return KernelResult(
+            name=name,
+            cycles=cycles,
+            seconds=seconds,
+            breakdown=breakdown,
+            counters=c,
+            dram_traffic_bytes=traffic,
+            energy_pj=energy,
+            memory_bandwidth_gbs=bandwidth,
+            cache_stats=self.memory.level_stats(),
+            output=output,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _stream_uops(self, count: int, elem_bytes: int) -> None:
+        """Issue cost of a contiguous vector access (VL elements per uop)."""
+        per_uop = max(1, (self.machine.vl * 8) // max(elem_bytes, 1))
+        self.counters.vector_uops += max(1, -(-int(count) // per_uop))
+
+    def _record_mem(self, res: AccessResult, *, dependent: bool) -> None:
+        c = self.counters
+        c.mem_line_accesses += res.line_accesses
+        c.l1_hits += res.l1_hits
+        c.l2_hits += res.l2_hits
+        c.l3_hits += res.l3_hits
+        c.dram_fills += res.dram_fills
+        # latency beyond the (pipelined) L1 hit cost is what stalls expose
+        miss_latency = res.latency_sum - res.line_accesses * self.machine.l1.latency
+        miss_latency = max(miss_latency, 0.0)
+        if dependent:
+            c.dependent_miss_latency += miss_latency
+        else:
+            c.stream_miss_latency += miss_latency
+
+    def _energy_pj(self, seconds: float) -> float:
+        c = self.counters
+        e = cal.ENERGY_PJ
+        dynamic = (
+            c.scalar_uops * e["scalar_op"]
+            + c.vector_uops * e["vector_op"]
+            + c.mem_line_accesses * e["l1_access"]
+            + (c.mem_line_accesses - c.l1_hits) * e["l2_access"]
+            + (c.mem_line_accesses - c.l1_hits - c.l2_hits) * e["l3_access"]
+            + (self.memory.dram.stats.lines) * e["dram_line"]
+            + c.sspm_accesses * e["sspm_access"]
+            + c.cam_searches * e["cam_search"]
+            + (c.gathers + c.scatters) * e["gather_overhead"]
+        )
+        via_leak_mw = self.via.leakage_mw if self.via is not None else 0.0
+        leakage = (cal.CORE_LEAKAGE_MW + via_leak_mw) * 1e-3 * seconds * 1e12
+        return dynamic + leakage

@@ -1,0 +1,63 @@
+"""DRAM model: fixed access latency plus a shared bandwidth budget.
+
+Each line transferred (demand fill or write-back) occupies the channel for
+``line_bytes / bw_bytes_per_cycle`` cycles.  The occupancy total becomes one
+of the resource bounds in the core's cycle accounting — a memory-bound
+kernel's runtime is its DRAM occupancy, which is exactly the regime the
+paper targets (Section III-B: "computations such as SpMV and SpMM become
+memory-bound").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DRAMStats:
+    """Lines moved between the LLC and memory."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def lines(self) -> int:
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        self.reads = self.writes = 0
+
+
+class DRAMModel:
+    """Latency + bandwidth accounting for the memory channel."""
+
+    def __init__(self, latency: int, bw_bytes_per_cycle: float, line_bytes: int):
+        self.latency = int(latency)
+        self.bw_bytes_per_cycle = float(bw_bytes_per_cycle)
+        self.line_bytes = int(line_bytes)
+        self.stats = DRAMStats()
+
+    def read_line(self) -> int:
+        """Fetch one line; returns the access latency in cycles."""
+        self.stats.reads += 1
+        return self.latency
+
+    def read_lines(self, count: int) -> None:
+        """Bulk-record ``count`` demand fills (aggregate accounting)."""
+        self.stats.reads += int(count)
+
+    def write_line(self) -> None:
+        """Write back one line (posted; latency hidden by write buffers)."""
+        self.stats.writes += 1
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Total bytes moved on the channel."""
+        return self.stats.lines * self.line_bytes
+
+    def occupancy_cycles(self) -> float:
+        """Cycles the channel is busy moving the recorded traffic."""
+        return self.traffic_bytes / self.bw_bytes_per_cycle
+
+    def reset(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,158 @@
+"""Three-level inclusive memory hierarchy with write-back propagation.
+
+Each demand access walks L1 -> L2 -> L3 -> DRAM until it hits; the line is
+allocated in every level above the hit point (inclusive fill).  Dirty
+victims cascade downwards and eventually become DRAM write traffic.
+
+The hierarchy returns, per batch, the per-level hit counts and the summed
+access latency — the raw material for the core's cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.sim.cache import Cache, compress_lines, stream_lines
+from repro.sim.config import MachineConfig
+from repro.sim.dram import DRAMModel
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a batch of memory accesses."""
+
+    raw_accesses: int = 0
+    line_accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    dram_fills: int = 0
+    latency_sum: float = 0.0
+
+    def merge(self, other: "AccessResult") -> "AccessResult":
+        return AccessResult(
+            self.raw_accesses + other.raw_accesses,
+            self.line_accesses + other.line_accesses,
+            self.l1_hits + other.l1_hits,
+            self.l2_hits + other.l2_hits,
+            self.l3_hits + other.l3_hits,
+            self.dram_fills + other.dram_fills,
+            self.latency_sum + other.latency_sum,
+        )
+
+    @property
+    def misses(self) -> int:
+        """Line accesses that missed in the L1."""
+        return self.line_accesses - self.l1_hits
+
+
+class MemoryHierarchy:
+    """L1/L2/L3 caches in front of a bandwidth-limited DRAM channel."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+        self.l1 = Cache(machine.l1)
+        self.l2 = Cache(machine.l2)
+        self.l3 = Cache(machine.l3)
+        self.dram = DRAMModel(
+            machine.dram_latency,
+            machine.dram_bw_bytes_per_cycle,
+            machine.l1.line_bytes,
+        )
+        self.line_bytes = machine.l1.line_bytes
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        for c in (self.l1, self.l2, self.l3):
+            c.reset()
+        self.dram.reset()
+
+    # ------------------------------------------------------------------
+    def access_line(self, line: int, write: bool) -> AccessResult:
+        """One demand line access through the full hierarchy."""
+        res = AccessResult(raw_accesses=0, line_accesses=1)
+        m = self.machine
+
+        hit, victim = self.l1.access_line(line, write)
+        if victim is not None:
+            self._writeback_to_l2(victim)
+        if hit:
+            res.l1_hits = 1
+            res.latency_sum = m.l1.latency
+            return res
+
+        hit, victim = self.l2.access_line(line, False)
+        if victim is not None:
+            self._writeback_to_l3(victim)
+        if hit:
+            res.l2_hits = 1
+            res.latency_sum = m.l1.latency + m.l2.latency
+            return res
+
+        hit, victim = self.l3.access_line(line, False)
+        if victim is not None:
+            self.dram.write_line()
+        if hit:
+            res.l3_hits = 1
+            res.latency_sum = m.l1.latency + m.l2.latency + m.l3.latency
+            return res
+
+        res.dram_fills = 1
+        res.latency_sum = (
+            m.l1.latency + m.l2.latency + m.l3.latency + self.dram.read_line()
+        )
+        return res
+
+    def _writeback_to_l2(self, line: int) -> None:
+        _hit, victim = self.l2.access_line(line, True)
+        if victim is not None:
+            self._writeback_to_l3(victim)
+
+    def _writeback_to_l3(self, line: int) -> None:
+        _hit, victim = self.l3.access_line(line, True)
+        if victim is not None:
+            self.dram.write_line()
+
+    # ------------------------------------------------------------------
+    # Batch entry points used by the core
+    # ------------------------------------------------------------------
+    def access_addresses(self, addresses: np.ndarray, *, write: bool = False) -> AccessResult:
+        """Access a sequence of byte addresses (LSQ-coalesced per line)."""
+        lines, counts = compress_lines(addresses, self.line_bytes)
+        total = AccessResult(raw_accesses=int(np.asarray(addresses).size))
+        for line in lines:
+            total = total.merge(self.access_line(int(line), write))
+        total.raw_accesses = int(np.asarray(addresses).size)
+        return total
+
+    def access_stream(self, base: int, nbytes: int, *, write: bool = False) -> AccessResult:
+        """Access a contiguous byte range (one pass, line granularity)."""
+        lines = stream_lines(base, nbytes, self.line_bytes)
+        total = AccessResult(raw_accesses=int(lines.size))
+        for line in lines:
+            total = total.merge(self.access_line(int(line), write))
+        total.raw_accesses = int(lines.size)
+        return total
+
+    # ------------------------------------------------------------------
+    def level_stats(self) -> Dict[str, dict]:
+        """Per-level counter snapshot for reports."""
+        out = {}
+        for name, cache in (("l1", self.l1), ("l2", self.l2), ("l3", self.l3)):
+            s = cache.stats
+            out[name] = {
+                "accesses": s.accesses,
+                "hits": s.hits,
+                "misses": s.misses,
+                "writebacks": s.writebacks,
+                "hit_rate": s.hit_rate,
+            }
+        out["dram"] = {
+            "reads": self.dram.stats.reads,
+            "writes": self.dram.stats.writes,
+            "traffic_bytes": self.dram.traffic_bytes,
+        }
+        return out

@@ -1,0 +1,135 @@
+"""Counters and result records produced by the machine model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class OpCounters:
+    """Raw event counts accumulated while a kernel runs."""
+
+    scalar_uops: int = 0
+    vector_uops: int = 0
+    vector_fma: int = 0
+    vector_reduce: int = 0
+    vector_permute: int = 0
+    vector_conflict: int = 0
+    gathers: int = 0
+    scatters: int = 0
+    gather_elements: int = 0
+    scatter_elements: int = 0
+    mem_line_accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    dram_fills: int = 0
+    stream_miss_latency: float = 0.0
+    dependent_miss_latency: float = 0.0
+    branches: int = 0
+    branch_mispredicts: float = 0.0
+    dependency_stall_cycles: float = 0.0
+    via_instructions: int = 0
+    sspm_accesses: int = 0
+    sspm_busy_cycles: float = 0.0
+    cam_searches: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class CycleBreakdown:
+    """Resource-bound components of the final cycle count.
+
+    ``bound`` components race (the machine is limited by the slowest
+    resource); ``exposed`` components add on top (latency the out-of-order
+    window could not hide).
+    """
+
+    issue_cycles: float = 0.0
+    vfu_cycles: float = 0.0
+    gather_serial_cycles: float = 0.0
+    dram_occupancy_cycles: float = 0.0
+    sspm_cycles: float = 0.0
+    commit_serial_cycles: float = 0.0
+    exposed_stream_latency: float = 0.0
+    exposed_dependent_latency: float = 0.0
+    branch_penalty_cycles: float = 0.0
+    dependency_stall_cycles: float = 0.0
+
+    @property
+    def bound_cycles(self) -> float:
+        return max(
+            self.issue_cycles,
+            self.vfu_cycles,
+            self.gather_serial_cycles,
+            self.dram_occupancy_cycles,
+            self.sspm_cycles,
+            self.commit_serial_cycles,
+        )
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the resource that bounds execution."""
+        candidates = {
+            "issue": self.issue_cycles,
+            "vfu": self.vfu_cycles,
+            "gather": self.gather_serial_cycles,
+            "dram": self.dram_occupancy_cycles,
+            "sspm": self.sspm_cycles,
+            "commit": self.commit_serial_cycles,
+        }
+        return max(candidates, key=candidates.get)
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.bound_cycles
+            + self.exposed_stream_latency
+            + self.exposed_dependent_latency
+            + self.branch_penalty_cycles
+            + self.dependency_stall_cycles
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        d = {k: getattr(self, k) for k in self.__dataclass_fields__}
+        d["bound_cycles"] = self.bound_cycles
+        d["total_cycles"] = self.total_cycles
+        d["bottleneck"] = self.bottleneck
+        return d
+
+
+@dataclass
+class KernelResult:
+    """Everything measured for one timed kernel execution."""
+
+    name: str
+    cycles: float
+    seconds: float
+    breakdown: CycleBreakdown
+    counters: OpCounters
+    dram_traffic_bytes: int
+    energy_pj: float
+    memory_bandwidth_gbs: float
+    cache_stats: Dict[str, dict] = field(default_factory=dict)
+    output: Optional[object] = None
+
+    def speedup_over(self, baseline: "KernelResult") -> float:
+        """Baseline cycles divided by this result's cycles (>1 == faster)."""
+        return baseline.cycles / self.cycles if self.cycles else float("inf")
+
+    def energy_ratio_over(self, baseline: "KernelResult") -> float:
+        """Baseline energy divided by this result's energy (>1 == greener)."""
+        return baseline.energy_pj / self.energy_pj if self.energy_pj else float("inf")
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.cycles:,.0f} cycles "
+            f"({self.seconds * 1e3:.3f} ms), "
+            f"bound={self.breakdown.bottleneck}, "
+            f"DRAM={self.dram_traffic_bytes / 1024:.1f} KiB, "
+            f"BW={self.memory_bandwidth_gbs:.2f} GB/s, "
+            f"E={self.energy_pj / 1e6:.3f} uJ"
+        )

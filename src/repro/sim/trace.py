@@ -1,0 +1,133 @@
+"""Execution tracing for the machine model.
+
+Wrap a :class:`~repro.sim.core.Core` in a :class:`TracedCore` and every
+operation the kernel narrates is recorded as a :class:`TraceEvent`.  The
+trace answers "what did this kernel actually do" during model debugging
+and powers the instruction-mix reports in tests and examples::
+
+    core = TracedCore(Core(machine))
+    ... run a kernel against `core` ...
+    print(core.trace.mix())
+
+Tracing is opt-in (kernels accept a plain ``Core``) so sweeps pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One narrated operation."""
+
+    kind: str
+    detail: str
+    count: int = 1
+
+
+@dataclass
+class Trace:
+    """An append-only list of events with aggregation helpers."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, kind: str, detail: str = "", count: int = 1) -> None:
+        self.events.append(TraceEvent(kind, detail, int(count)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def mix(self) -> Dict[str, int]:
+        """Operation counts by kind (the kernel's instruction mix)."""
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + ev.count
+        return out
+
+    def filter(self, kind: str) -> List[TraceEvent]:
+        return [ev for ev in self.events if ev.kind == kind]
+
+    def render(self, limit: Optional[int] = 40) -> str:
+        """Human-readable listing (truncated to ``limit`` events)."""
+        shown = self.events if limit is None else self.events[:limit]
+        lines = [f"{ev.kind:14s} x{ev.count:<8d} {ev.detail}" for ev in shown]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+
+class TracedCore:
+    """Transparent tracing proxy around a :class:`~repro.sim.core.Core`.
+
+    Forwards every attribute to the wrapped core, intercepting the
+    narration entry points to record events.  Because kernels only ever
+    call public ``Core`` methods, the proxy is a drop-in replacement.
+    """
+
+    _INTERCEPTS = {
+        "scalar_ops",
+        "vector_op",
+        "branches",
+        "dependency_stall",
+        "load_stream",
+        "store_stream",
+        "gather",
+        "scatter",
+        "gather_serial",
+        "scatter_serial",
+        "load_windows",
+        "scalar_load",
+        "scalar_store",
+        "bulk_stream",
+        "record_via_op",
+    }
+
+    def __init__(self, core):
+        self._core = core
+        self.trace = Trace()
+        # re-attach the VIA device so its record_via_op calls route here
+        if core.via is not None:
+            core.via.attach(self)
+
+    def __getattr__(self, name):
+        attr = getattr(self._core, name)
+        if name not in self._INTERCEPTS or not callable(attr):
+            return attr
+
+        def wrapper(*args, **kwargs):
+            self.trace.add(name, _describe(name, args, kwargs), _count(args, kwargs))
+            return attr(*args, **kwargs)
+
+        return wrapper
+
+
+def _count(args, kwargs) -> int:
+    for value in list(args) + list(kwargs.values()):
+        if isinstance(value, (int, np.integer)) and value > 0:
+            return int(value)
+        if isinstance(value, np.ndarray):
+            return max(int(value.size), 1)
+    return 1
+
+
+def _describe(name: str, args, kwargs) -> str:
+    parts = []
+    for a in args:
+        if isinstance(a, np.ndarray):
+            parts.append(f"<{a.size} elems>")
+        elif hasattr(a, "name") and hasattr(a, "base"):
+            parts.append(a.name)
+        else:
+            parts.append(repr(a))
+    parts += [f"{k}={_short(v)}" for k, v in kwargs.items()]
+    return ", ".join(parts)
+
+
+def _short(v) -> str:
+    if isinstance(v, np.ndarray):
+        return f"<{v.size} elems>"
+    return repr(v)

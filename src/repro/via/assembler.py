@@ -1,0 +1,353 @@
+"""Assembler, disassembler and executor for the VIA ISA extensions.
+
+The paper adds its instructions to AVX2 (Section IV-C).  At the ISA level
+an instruction names *registers*, not data, so this module provides the
+register-level view that complements the data-level
+:class:`~repro.via.isa.ViaInstruction`:
+
+* :class:`AsmInstruction` — opcode + mode/dest + register numbers +
+  immediates;
+* :func:`assemble` / :func:`disassemble` — textual syntax, e.g.
+  ``vidxblkmult.d v1, v2, idx_offset=11, offset=2048``;
+* :func:`encode` / :func:`decode` — a fixed 64-bit machine encoding;
+* :class:`Program` + :func:`execute_program` — run assembled code against
+  a functional :class:`~repro.via.engine.ViaDevice` with a simple
+  register file, which is how the ISA-level tests validate that the
+  encoding carries everything the hardware needs.
+
+64-bit encoding layout (LSB first)::
+
+    [ 0: 8)  opcode        (8 bits)
+    [ 8: 9)  mode          (0 = .d, 1 = .c)
+    [ 9:10)  dest          (0 = VRF, 1 = SSPM)
+    [10:15)  vsrc1 / data  (32 vector registers)
+    [15:20)  vsrc2 / idx
+    [20:25)  vdst (vector) or scalar destination register
+    [25:41)  offset        (16-bit unsigned immediate)
+    [41:47)  idx_offset    (6-bit unsigned immediate)
+    [47:63)  count         (16-bit unsigned immediate)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ISAError
+from repro.via.engine import ViaDevice
+from repro.via.isa import ARITH_OPS, Dest, Mode, Opcode, ViaInstruction
+
+NUM_VREGS = 32
+MAX_OFFSET = (1 << 16) - 1
+MAX_IDX_OFFSET = (1 << 6) - 1
+MAX_COUNT = (1 << 16) - 1
+
+_OPCODE_IDS = {op: i for i, op in enumerate(Opcode)}
+_OPCODE_FROM_ID = {i: op for op, i in _OPCODE_IDS.items()}
+
+#: which operands each opcode uses: (data_reg, idx_reg, dst_reg, count)
+_OPERAND_PROFILE = {
+    Opcode.VIDXLOAD: (True, True, False, False),
+    Opcode.VIDXMOV: (False, False, True, True),
+    Opcode.VIDXCOUNT: (False, False, True, False),
+    Opcode.VIDXCLEAR: (False, False, False, True),
+    Opcode.VIDXADD: (True, True, True, False),
+    Opcode.VIDXSUB: (True, True, True, False),
+    Opcode.VIDXMULT: (True, True, True, False),
+    Opcode.VIDXBLKMULT: (True, True, False, False),
+}
+
+
+@dataclass(frozen=True)
+class AsmInstruction:
+    """One register-level VIA instruction."""
+
+    opcode: Opcode
+    mode: Optional[Mode] = None
+    dest: Dest = Dest.VRF
+    data_reg: int = 0
+    idx_reg: int = 0
+    dst_reg: int = 0
+    offset: int = 0
+    idx_offset: int = 0
+    count: int = 0
+
+    def __post_init__(self):
+        if self.opcode not in _OPERAND_PROFILE:
+            raise ISAError(f"unknown opcode {self.opcode!r}")
+        for name, reg in (
+            ("data_reg", self.data_reg),
+            ("idx_reg", self.idx_reg),
+            ("dst_reg", self.dst_reg),
+        ):
+            if not (0 <= reg < NUM_VREGS):
+                raise ISAError(f"{name}={reg} outside v0..v{NUM_VREGS - 1}")
+        if not (0 <= self.offset <= MAX_OFFSET):
+            raise ISAError(f"offset={self.offset} exceeds 16-bit immediate")
+        if not (0 <= self.idx_offset <= MAX_IDX_OFFSET):
+            raise ISAError(f"idx_offset={self.idx_offset} exceeds 6 bits")
+        if not (0 <= self.count <= MAX_COUNT):
+            raise ISAError(f"count={self.count} exceeds 16-bit immediate")
+        if self.opcode is Opcode.VIDXBLKMULT:
+            if self.mode is not Mode.DIRECT:
+                raise ISAError("vidxblkmult only supports .d mode")
+            if self.idx_offset == 0:
+                raise ISAError("vidxblkmult requires idx_offset > 0")
+        if self.opcode in (Opcode.VIDXMOV,) and self.count == 0:
+            raise ISAError("vidxmov requires count > 0")
+        moded = self.opcode in (
+            Opcode.VIDXLOAD,
+            Opcode.VIDXADD,
+            Opcode.VIDXSUB,
+            Opcode.VIDXMULT,
+            Opcode.VIDXBLKMULT,
+        )
+        if moded and self.mode is None:
+            raise ISAError(f"{self.opcode.value} requires a .d/.c suffix")
+        if not moded and self.mode is not None:
+            raise ISAError(f"{self.opcode.value} takes no mode suffix")
+
+    @property
+    def mnemonic(self) -> str:
+        if self.mode is not None:
+            return f"{self.opcode.value}.{self.mode.value}"
+        return self.opcode.value
+
+    def render(self) -> str:
+        """Assembly text, parseable by :func:`assemble`."""
+        uses_data, uses_idx, uses_dst, uses_count = _OPERAND_PROFILE[self.opcode]
+        parts: List[str] = []
+        if uses_dst and self.dest is Dest.VRF:
+            parts.append(f"v{self.dst_reg}")
+        if uses_data:
+            parts.append(f"v{self.data_reg}")
+        if uses_idx:
+            parts.append(f"v{self.idx_reg}")
+        if self.opcode in ARITH_OPS and self.dest is Dest.SSPM:
+            parts.append("sspm")
+        if uses_count and self.count:
+            parts.append(f"count={self.count}")
+        if self.opcode is Opcode.VIDXBLKMULT:
+            parts.append(f"idx_offset={self.idx_offset}")
+        if self.offset:
+            parts.append(f"offset={self.offset}")
+        return f"{self.mnemonic} " + ", ".join(parts) if parts else self.mnemonic
+
+
+# ---------------------------------------------------------------------------
+# Binary encoding
+# ---------------------------------------------------------------------------
+def encode(instr: AsmInstruction) -> int:
+    """Pack an instruction into its 64-bit machine word."""
+    word = _OPCODE_IDS[instr.opcode]
+    word |= (1 if instr.mode is Mode.CAM else 0) << 8
+    word |= (1 if instr.dest is Dest.SSPM else 0) << 9
+    word |= instr.data_reg << 10
+    word |= instr.idx_reg << 15
+    word |= instr.dst_reg << 20
+    word |= instr.offset << 25
+    word |= instr.idx_offset << 41
+    word |= instr.count << 47
+    return word
+
+
+def decode(word: int) -> AsmInstruction:
+    """Unpack a 64-bit machine word; raises :class:`ISAError` if invalid."""
+    if not (0 <= word < 1 << 63):
+        raise ISAError(f"machine word out of range: {word:#x}")
+    opcode_id = word & 0xFF
+    if opcode_id not in _OPCODE_FROM_ID:
+        raise ISAError(f"unknown opcode id {opcode_id}")
+    opcode = _OPCODE_FROM_ID[opcode_id]
+    moded = opcode in (
+        Opcode.VIDXLOAD,
+        Opcode.VIDXADD,
+        Opcode.VIDXSUB,
+        Opcode.VIDXMULT,
+        Opcode.VIDXBLKMULT,
+    )
+    mode = (Mode.CAM if word >> 8 & 1 else Mode.DIRECT) if moded else None
+    return AsmInstruction(
+        opcode=opcode,
+        mode=mode,
+        dest=Dest.SSPM if word >> 9 & 1 else Dest.VRF,
+        data_reg=word >> 10 & 0x1F,
+        idx_reg=word >> 15 & 0x1F,
+        dst_reg=word >> 20 & 0x1F,
+        offset=word >> 25 & 0xFFFF,
+        idx_offset=word >> 41 & 0x3F,
+        count=word >> 47 & 0xFFFF,
+    )
+
+
+def disassemble_word(word: int) -> str:
+    """Decode a machine word straight to its assembly text."""
+    return decode(word).render()
+
+
+# ---------------------------------------------------------------------------
+# Textual assembly
+# ---------------------------------------------------------------------------
+_REG_RE = re.compile(r"^v(\d+)$")
+_KW_RE = re.compile(r"^(offset|idx_offset|count)=(\d+)$")
+
+
+def assemble(text: str) -> AsmInstruction:
+    """Parse one line of VIA assembly.
+
+    Syntax: ``mnemonic[.d|.c] [vDST,] [vDATA, vIDX][, sspm][, key=value...]``
+    """
+    stripped = text.split("#", 1)[0].strip()
+    if not stripped:
+        raise ISAError("empty assembly line")
+    head, _sep, rest = stripped.partition(" ")
+    mnemonic = head.lower()
+    mode: Optional[Mode] = None
+    if "." in mnemonic:
+        base, suffix = mnemonic.rsplit(".", 1)
+        try:
+            mode = Mode(suffix)
+        except ValueError:
+            raise ISAError(f"unknown mode suffix {suffix!r}") from None
+        mnemonic = base
+    try:
+        opcode = Opcode(mnemonic)
+    except ValueError:
+        raise ISAError(f"unknown mnemonic {mnemonic!r}") from None
+
+    regs: List[int] = []
+    dest = Dest.VRF
+    kwargs: Dict[str, int] = {}
+    for token in filter(None, (t.strip() for t in rest.split(","))):
+        m = _REG_RE.match(token)
+        if m:
+            regs.append(int(m.group(1)))
+            continue
+        if token.lower() == "sspm":
+            dest = Dest.SSPM
+            continue
+        m = _KW_RE.match(token)
+        if m:
+            kwargs[m.group(1)] = int(m.group(2))
+            continue
+        raise ISAError(f"unparseable operand {token!r}")
+
+    uses_data, uses_idx, uses_dst, _uses_count = _OPERAND_PROFILE[opcode]
+    expected = int(uses_dst and dest is Dest.VRF) + int(uses_data) + int(uses_idx)
+    # SSPM-destination arithmetic drops the vDST operand
+    fields: Dict[str, int] = {}
+    it = iter(regs)
+    try:
+        if uses_dst and dest is Dest.VRF:
+            fields["dst_reg"] = next(it)
+        if uses_data:
+            fields["data_reg"] = next(it)
+        if uses_idx:
+            fields["idx_reg"] = next(it)
+    except StopIteration:
+        raise ISAError(
+            f"{mnemonic} expects {expected} register operand(s), got {len(regs)}"
+        ) from None
+    if list(it):
+        raise ISAError(f"too many register operands for {mnemonic}")
+    return AsmInstruction(opcode=opcode, mode=mode, dest=dest, **fields, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Programs and execution
+# ---------------------------------------------------------------------------
+@dataclass
+class Program:
+    """A sequence of VIA instructions with binary round-tripping."""
+
+    instructions: List[AsmInstruction] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, source: str) -> "Program":
+        """Assemble a multi-line program (``#`` comments allowed)."""
+        instrs = []
+        for line in source.splitlines():
+            code = line.split("#", 1)[0].strip()
+            if code:
+                instrs.append(assemble(code))
+        return cls(instrs)
+
+    def to_words(self) -> List[int]:
+        return [encode(i) for i in self.instructions]
+
+    @classmethod
+    def from_words(cls, words) -> "Program":
+        return cls([decode(int(w)) for w in words])
+
+    def render(self) -> str:
+        return "\n".join(i.render() for i in self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class RegisterFile:
+    """32 vector registers plus a scalar view (element 0)."""
+
+    def __init__(self, vl: int):
+        self.vl = vl
+        self._regs = np.zeros((NUM_VREGS, vl), dtype=float)
+
+    def read(self, reg: int) -> np.ndarray:
+        return self._regs[reg].copy()
+
+    def write(self, reg: int, values) -> None:
+        vals = np.asarray(values, dtype=float).ravel()
+        if vals.size > self.vl:
+            raise ISAError(f"value wider than VL={self.vl}")
+        self._regs[reg] = 0.0
+        self._regs[reg, : vals.size] = vals
+
+    def scalar(self, reg: int) -> float:
+        return float(self._regs[reg, 0])
+
+
+def execute_program(
+    program: Program, device: ViaDevice, regs: Optional[RegisterFile] = None
+) -> RegisterFile:
+    """Run an assembled program against a functional VIA device.
+
+    Returns the final register file.  Vector register contents are bound
+    to the data/idx operands of each instruction exactly as the hardware
+    would read them from the VRF.
+    """
+    regs = regs or RegisterFile(device.vl)
+    for instr in program.instructions:
+        result = device.execute(_bind(instr, regs))
+        if instr.opcode is Opcode.VIDXCOUNT:
+            regs.write(instr.dst_reg, [float(result)])
+        elif instr.opcode is Opcode.VIDXMOV:
+            idx, vals = result
+            regs.write(instr.dst_reg, vals)
+        elif instr.opcode in ARITH_OPS and instr.dest is Dest.VRF:
+            values = result[0] if isinstance(result, tuple) else result
+            regs.write(instr.dst_reg, values)
+    return regs
+
+
+def _bind(instr: AsmInstruction, regs: RegisterFile) -> ViaInstruction:
+    """Materialize a data-level instruction from the register file."""
+    op = instr.opcode
+    if op is Opcode.VIDXCLEAR:
+        return ViaInstruction.clear()
+    if op is Opcode.VIDXCOUNT:
+        return ViaInstruction.count_()
+    if op is Opcode.VIDXMOV:
+        return ViaInstruction.mov(instr.offset, min(instr.count, regs.vl))
+    data = regs.read(instr.data_reg)
+    idx = regs.read(instr.idx_reg).astype(np.int64)
+    if op is Opcode.VIDXLOAD:
+        return ViaInstruction.load(data, idx, instr.mode)
+    if op is Opcode.VIDXBLKMULT:
+        return ViaInstruction.blkmult(data, idx, instr.idx_offset, instr.offset)
+    return ViaInstruction.arith(
+        op, data, idx, instr.mode, dest=instr.dest, offset=instr.offset
+    )

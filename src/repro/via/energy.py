@@ -1,0 +1,66 @@
+"""VIA-side energy accounting helpers (McPAT/CACTI substitute).
+
+The core-level energy model (:meth:`repro.sim.core.Core.finalize`) already
+folds SSPM and CAM event energies into every kernel result.  This module
+adds a finer, geometry-aware view used by reports: per-event energies that
+scale with the configured SRAM size (CACTI-style ``sqrt(capacity)`` word
+line/bit line scaling) and with the number of *active* CAM banks (the
+clock-gating optimization of Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import calibration as cal
+from repro.via.config import ViaConfig
+from repro.via.sspm import SSPMCounters
+
+#: reference geometry the flat calibration energies correspond to
+_REF_SRAM_KB = 16.0
+_REF_BANKS = 8.0
+
+
+def sram_access_energy_pj(config: ViaConfig) -> float:
+    """Per-access SRAM energy, scaled with sqrt of capacity (CACTI-like)."""
+    scale = (config.sram_kb / _REF_SRAM_KB) ** 0.5
+    return cal.ENERGY_PJ["sspm_access"] * scale
+
+
+def cam_search_energy_pj(config: ViaConfig, active_banks: int) -> float:
+    """Per-search CAM energy: only non-gated banks burn compare energy."""
+    banks = max(1, min(active_banks, config.cam_banks))
+    return cal.ENERGY_PJ["cam_search"] * banks / _REF_BANKS
+
+
+@dataclass(frozen=True)
+class ViaEnergyBreakdown:
+    """Dynamic energy of the VIA device for one kernel run (picojoules)."""
+
+    sram_pj: float
+    cam_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.sram_pj + self.cam_pj
+
+
+def via_energy(config: ViaConfig, counters: SSPMCounters) -> ViaEnergyBreakdown:
+    """Dynamic VIA energy from the SSPM's own event counters.
+
+    ``bank_activations`` already accumulates the number of active banks at
+    every search, so the CAM term uses it directly instead of an average.
+    """
+    sram_events = (
+        counters.dm_reads
+        + counters.dm_writes
+        + counters.cam_reads
+        + counters.cam_writes
+    )
+    sram_pj = sram_events * sram_access_energy_pj(config)
+    cam_pj = (
+        counters.bank_activations
+        * cal.ENERGY_PJ["cam_search"]
+        / _REF_BANKS
+    )
+    return ViaEnergyBreakdown(sram_pj=sram_pj, cam_pj=cam_pj)

@@ -1,0 +1,220 @@
+"""VIA ISA extensions — paper Section IV-C.
+
+Eight new instructions extend an AVX2-class vector ISA.  All of them are
+pure register operations (their memory operands live in the VRF), which is
+what lets VIA execute them at commit time without renaming the SSPM
+(Section IV-E).
+
+===============  =====================================================
+Instruction      Semantics
+===============  =====================================================
+``vidxload.X``   VRF -> SSPM store.  ``.d``: ``sspm[idx] = data``;
+                 ``.c``: CAM insert/update under application index.
+``vidxmov``      Drain ``count`` consecutive index-table entries and
+                 their SRAM values to the VRF, starting at ``offset``.
+``vidxcount``    Element count register -> scalar destination.
+``vidxclear``    Flash-zero the valid bitmap (full or segment) and reset
+                 the index tracking logic.
+``vidxadd.X``    ``data (+) sspm[idx]`` with destination VRF, or SSPM at
+``vidxsub.X``    ``idx + offset``; ``.d`` addresses the SRAM directly,
+``vidxmult.X``   ``.c`` goes through the index table (index matching).
+``vidxblkmult``  Block multiply-accumulate for merged-index block
+                 formats (CSB): split ``idx`` at bit ``idx_offset`` into
+                 (row, col); ``sspm[offset + row] += data * sspm[col]``.
+                 Destination is always the SSPM.
+===============  =====================================================
+
+Instruction objects are validated at construction (:class:`ISAError` on
+malformed operands) and executed by :class:`repro.via.engine.ViaDevice`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ISAError
+
+
+class Opcode(enum.Enum):
+    """The eight VIA instruction opcodes."""
+
+    VIDXLOAD = "vidxload"
+    VIDXMOV = "vidxmov"
+    VIDXCOUNT = "vidxcount"
+    VIDXCLEAR = "vidxclear"
+    VIDXADD = "vidxadd"
+    VIDXSUB = "vidxsub"
+    VIDXMULT = "vidxmult"
+    VIDXBLKMULT = "vidxblkmult"
+
+
+class Mode(enum.Enum):
+    """SSPM addressing mode suffix (``.d`` / ``.c``)."""
+
+    DIRECT = "d"
+    CAM = "c"
+
+
+class Dest(enum.Enum):
+    """Writeback destination selected by the FIVU post-processing stage."""
+
+    VRF = "vrf"
+    SSPM = "sspm"
+
+
+#: opcodes performing arithmetic, mapped to the SSPM accumulate op name
+ARITH_OPS: Dict[Opcode, str] = {
+    Opcode.VIDXADD: "add",
+    Opcode.VIDXSUB: "sub",
+    Opcode.VIDXMULT: "mult",
+}
+
+#: opcodes that accept a mode suffix
+MODED_OPCODES = {
+    Opcode.VIDXLOAD,
+    Opcode.VIDXADD,
+    Opcode.VIDXSUB,
+    Opcode.VIDXMULT,
+    Opcode.VIDXBLKMULT,
+}
+
+
+@dataclass(frozen=True)
+class ViaInstruction:
+    """One decoded VIA instruction.
+
+    Vector operands (``data``, ``idx``) hold at most VL elements — the
+    engine chunks longer arrays into multiple instructions, exactly as a
+    compiler would emit one instruction per vector register.
+    """
+
+    opcode: Opcode
+    mode: Optional[Mode] = None
+    data: Optional[np.ndarray] = None
+    idx: Optional[np.ndarray] = None
+    dest: Dest = Dest.VRF
+    offset: int = 0
+    idx_offset: int = 0
+    count: int = 0
+    segment: Optional[Tuple[int, int]] = field(default=None)
+
+    def __post_init__(self):
+        self._validate()
+
+    @property
+    def mnemonic(self) -> str:
+        """Assembly-style name, e.g. ``vidxmult.c``."""
+        if self.mode is not None:
+            return f"{self.opcode.value}.{self.mode.value}"
+        return self.opcode.value
+
+    @property
+    def num_elements(self) -> int:
+        """Vector elements the instruction operates on."""
+        if self.idx is not None:
+            return int(self.idx.size)
+        if self.opcode is Opcode.VIDXMOV:
+            return int(self.count)
+        return 0
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        op = self.opcode
+        if op in MODED_OPCODES:
+            if self.mode is None:
+                raise ISAError(f"{op.value} requires a .d or .c mode suffix")
+        elif self.mode is not None:
+            raise ISAError(f"{op.value} does not take a mode suffix")
+
+        if op is Opcode.VIDXBLKMULT and self.mode is not Mode.DIRECT:
+            raise ISAError("vidxblkmult only supports direct-mapped mode")
+        if op is Opcode.VIDXBLKMULT and self.dest is not Dest.SSPM:
+            raise ISAError("vidxblkmult always writes to the SSPM")
+        if op is Opcode.VIDXBLKMULT and self.idx_offset <= 0:
+            raise ISAError("vidxblkmult requires a positive idx_offset")
+
+        needs_vectors = op in (
+            Opcode.VIDXLOAD,
+            Opcode.VIDXADD,
+            Opcode.VIDXSUB,
+            Opcode.VIDXMULT,
+            Opcode.VIDXBLKMULT,
+        )
+        if needs_vectors:
+            if self.data is None or self.idx is None:
+                raise ISAError(f"{self.mnemonic} requires data and idx operands")
+            if self.data.shape != self.idx.shape:
+                raise ISAError(
+                    f"{self.mnemonic}: data {self.data.shape} and idx "
+                    f"{self.idx.shape} must match"
+                )
+        else:
+            if self.data is not None or self.idx is not None:
+                raise ISAError(f"{self.mnemonic} takes no vector operands")
+
+        if op is Opcode.VIDXMOV and self.count <= 0:
+            raise ISAError("vidxmov requires a positive count")
+        if op is Opcode.VIDXLOAD and self.dest is not Dest.VRF:
+            raise ISAError("vidxload has no writeback destination operand")
+        if self.segment is not None and op is not Opcode.VIDXCLEAR:
+            raise ISAError(f"{self.mnemonic} takes no segment operand")
+
+    # ------------------------------------------------------------------
+    # Assembly-style constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load(data, idx, mode: Mode = Mode.DIRECT) -> "ViaInstruction":
+        return ViaInstruction(
+            Opcode.VIDXLOAD,
+            mode=mode,
+            data=np.asarray(data, dtype=float),
+            idx=np.asarray(idx, dtype=np.int64),
+        )
+
+    @staticmethod
+    def mov(offset: int, count: int) -> "ViaInstruction":
+        return ViaInstruction(Opcode.VIDXMOV, offset=offset, count=count)
+
+    @staticmethod
+    def count_() -> "ViaInstruction":
+        return ViaInstruction(Opcode.VIDXCOUNT)
+
+    @staticmethod
+    def clear(segment: Optional[Tuple[int, int]] = None) -> "ViaInstruction":
+        return ViaInstruction(Opcode.VIDXCLEAR, segment=segment)
+
+    @staticmethod
+    def arith(
+        op: Opcode,
+        data,
+        idx,
+        mode: Mode,
+        dest: Dest = Dest.VRF,
+        offset: int = 0,
+    ) -> "ViaInstruction":
+        if op not in ARITH_OPS:
+            raise ISAError(f"{op} is not an arithmetic VIA opcode")
+        return ViaInstruction(
+            op,
+            mode=mode,
+            data=np.asarray(data, dtype=float),
+            idx=np.asarray(idx, dtype=np.int64),
+            dest=dest,
+            offset=offset,
+        )
+
+    @staticmethod
+    def blkmult(data, idx, idx_offset: int, offset: int) -> "ViaInstruction":
+        return ViaInstruction(
+            Opcode.VIDXBLKMULT,
+            mode=Mode.DIRECT,
+            data=np.asarray(data, dtype=float),
+            idx=np.asarray(idx, dtype=np.int64),
+            dest=Dest.SSPM,
+            offset=offset,
+            idx_offset=idx_offset,
+        )

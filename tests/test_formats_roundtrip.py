@@ -1,0 +1,145 @@
+"""Round-trip and cross-format equivalence tests for every sparse format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    COOMatrix,
+    CSBMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    SPC5Matrix,
+    SellCSigmaMatrix,
+    convert,
+)
+
+ALL_FORMATS = ["coo", "csr", "csc", "csb", "spc5", "sellcs"]
+
+
+def random_dense(rows, cols, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((rows, cols))
+    n = max(1, int(rows * cols * density))
+    idx = rng.choice(rows * cols, size=n, replace=False)
+    dense.ravel()[idx] = rng.standard_normal(n)
+    return dense
+
+
+@pytest.fixture(params=[(8, 8, 0.3, 0), (40, 23, 0.08, 1), (100, 100, 0.01, 2)])
+def dense(request):
+    return random_dense(*request.param)
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_roundtrip_through_coo(dense, name):
+    coo = COOMatrix.from_dense(dense)
+    mat = convert(coo, name)
+    assert mat.shape == coo.shape
+    np.testing.assert_allclose(mat.to_dense(), dense)
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_nnz_preserved(dense, name):
+    coo = COOMatrix.from_dense(dense)
+    mat = convert(coo, name)
+    assert mat.nnz == coo.nnz
+
+
+@pytest.mark.parametrize("src", ALL_FORMATS)
+@pytest.mark.parametrize("dst", ALL_FORMATS)
+def test_pairwise_conversion(src, dst):
+    dense = random_dense(17, 31, 0.15, 42)
+    a = convert(COOMatrix.from_dense(dense), src)
+    b = convert(a, dst)
+    np.testing.assert_allclose(b.to_dense(), dense)
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_empty_matrix(name):
+    empty = COOMatrix.empty((5, 7))
+    mat = convert(empty, name)
+    assert mat.nnz == 0
+    assert mat.to_dense().shape == (5, 7)
+    np.testing.assert_array_equal(mat.to_dense(), 0.0)
+
+
+def test_coo_duplicate_summing():
+    coo = COOMatrix((3, 3), [0, 0, 1], [1, 1, 2], [2.0, 3.0, 4.0])
+    assert coo.nnz == 2
+    assert coo.to_dense()[0, 1] == 5.0
+
+
+def test_coo_transpose():
+    dense = random_dense(6, 9, 0.3, 7)
+    coo = COOMatrix.from_dense(dense)
+    np.testing.assert_allclose(coo.transpose().to_dense(), dense.T)
+
+
+def test_csr_csc_transpose_swap():
+    dense = random_dense(12, 5, 0.25, 3)
+    csr = CSRMatrix.from_dense(dense)
+    csc = csr.transpose()
+    assert isinstance(csc, CSCMatrix)
+    np.testing.assert_allclose(csc.to_dense(), dense.T)
+    back = csc.transpose()
+    assert isinstance(back, CSRMatrix)
+    np.testing.assert_allclose(back.to_dense(), dense)
+
+
+def test_csr_spmv_reference():
+    dense = random_dense(20, 20, 0.2, 11)
+    x = np.random.default_rng(0).standard_normal(20)
+    csr = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(csr.spmv_reference(x), dense @ x)
+
+
+def test_csb_merged_index_split():
+    dense = random_dense(30, 30, 0.1, 5)
+    csb = CSBMatrix.from_dense(dense, block_size=8)
+    assert csb.col_bits == 3
+    r, c = csb.split_idx(csb.idx)
+    assert r.max() < 8 and c.max() < 8
+
+
+def test_csb_block_iteration_covers_all_entries():
+    dense = random_dense(50, 50, 0.05, 9)
+    csb = CSBMatrix.from_dense(dense, block_size=16)
+    total = sum(len(v) for *_coords, _i, v in csb.iter_blocks())
+    assert total == csb.nnz
+    assert np.all(csb.nnz_per_block() > 0)
+
+
+def test_spc5_masks_and_fill_ratio():
+    dense = np.zeros((4, 16))
+    dense[0, 0:4] = 1.0  # one dense run -> single block, 4 lanes
+    dense[1, 8] = 2.0
+    spc5 = SPC5Matrix.from_dense(dense, vl=8)
+    assert spc5.num_blocks == 2
+    assert 0.0 < spc5.fill_ratio() <= 1.0
+    np.testing.assert_allclose(spc5.to_dense(), dense)
+
+
+def test_spc5_block_lane_cols():
+    dense = np.zeros((2, 10))
+    dense[0, [1, 3, 4]] = [1.0, 2.0, 3.0]
+    spc5 = SPC5Matrix.from_dense(dense, vl=8)
+    np.testing.assert_array_equal(spc5.block_lane_cols(0), [1, 3, 4])
+
+
+def test_sellcs_padding_and_perm():
+    dense = random_dense(37, 29, 0.1, 13)
+    m = SellCSigmaMatrix.from_dense(dense, c=4, sigma=16)
+    assert m.padded_entries >= m.nnz
+    assert 0.0 <= m.padding_ratio() < 1.0
+    # permutation covers all rows exactly once
+    assert sorted(m.perm.tolist()) == list(range(37))
+    np.testing.assert_allclose(m.to_dense(), dense)
+
+
+def test_sellcs_chunk_lengths_are_window_maxima():
+    dense = np.zeros((8, 20))
+    dense[0, :5] = 1.0
+    dense[3, :2] = 1.0
+    m = SellCSigmaMatrix.from_dense(dense, c=4, sigma=8)
+    # first chunk holds the longest rows after local sort
+    assert int(m.chunk_len[0]) == 5

@@ -1,0 +1,141 @@
+"""Negative tests: malformed format arrays must raise FormatError."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import (
+    COOMatrix,
+    CSBMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    SPC5Matrix,
+    SellCSigmaMatrix,
+)
+
+
+class TestCOOValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [0, 1], [0], [1.0])
+
+    def test_row_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [3], [0], [1.0])
+
+    def test_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [0], [3], [1.0])
+
+    def test_negative_index(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [-1], [0], [1.0])
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((3,), [0], [0], [1.0])
+        with pytest.raises(ShapeError):
+            COOMatrix((-1, 3), [], [], [])
+
+    def test_non_integral_indices(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [0.5], [0], [1.0])
+
+    def test_dense_must_be_2d(self):
+        with pytest.raises(FormatError):
+            COOMatrix.from_dense(np.zeros(4))
+
+
+class TestCSRValidation:
+    def test_row_ptr_wrong_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_row_ptr_not_starting_at_zero(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [1, 1, 1], [0], [1.0])
+
+    def test_row_ptr_decreasing(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_row_ptr_nnz_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+    def test_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+    def test_unsorted_columns_in_row(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 4), [0, 2], [2, 1], [1.0, 2.0])
+
+    def test_duplicate_columns_in_row(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 4), [0, 2], [1, 1], [1.0, 2.0])
+
+    def test_spmv_reference_shape_check(self):
+        csr = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(FormatError):
+            csr.spmv_reference(np.zeros(4))
+
+
+class TestCSCValidation:
+    def test_col_ptr_wrong_length(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_row_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((2, 2), [0, 1, 1], [4], [1.0])
+
+    def test_unsorted_rows_in_column(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((4, 1), [0, 2], [2, 1], [1.0, 2.0])
+
+
+class TestCSBValidation:
+    def test_bad_block_size(self):
+        with pytest.raises(FormatError):
+            CSBMatrix.from_dense(np.eye(4), block_size=0)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(FormatError):
+            CSBMatrix((4, 4), 2, [0, 0], [0], [0], [], [])
+
+    def test_merged_index_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSBMatrix((4, 4), 2, [0, 1], [0], [0], [100], [1.0])
+
+    def test_block_coord_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSBMatrix((4, 4), 2, [0, 1], [9], [0], [0], [1.0])
+
+
+class TestSPC5Validation:
+    def test_bad_vl(self):
+        with pytest.raises(FormatError):
+            SPC5Matrix.from_dense(np.eye(4), vl=0)
+        with pytest.raises(FormatError):
+            SPC5Matrix.from_dense(np.eye(4), vl=65)
+
+    def test_zero_mask_rejected(self):
+        with pytest.raises(FormatError):
+            SPC5Matrix((2, 8), 8, [0], [0], [0], [0, 0], [])
+
+    def test_mask_popcount_mismatch(self):
+        with pytest.raises(FormatError):
+            SPC5Matrix((2, 8), 8, [0], [0], [0b11], [0, 1], [1.0])
+
+
+class TestSellCSValidation:
+    def test_sigma_smaller_than_c(self):
+        with pytest.raises(FormatError):
+            SellCSigmaMatrix.from_dense(np.eye(4), c=8, sigma=4)
+
+    def test_perm_must_be_permutation(self):
+        with pytest.raises(FormatError):
+            SellCSigmaMatrix(
+                (2, 2), 2, 2, [0, 0], [0, 2], [1], [1, 1], [0, 0], [1.0, 1.0]
+            )

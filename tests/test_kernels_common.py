@@ -1,0 +1,111 @@
+"""Tests for the shared kernel plumbing and result bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.common import (
+    chunk_instr_count,
+    make_core,
+    make_via_core,
+    row_fragmented_elements,
+)
+from repro.sim import Core, MachineConfig
+from repro.via import VIA_4_2P, ViaDevice
+
+
+class TestChunkInstrCount:
+    def test_empty(self):
+        assert chunk_instr_count(np.array([], dtype=int), 4) == 0
+
+    def test_exact_multiples(self):
+        assert chunk_instr_count(np.array([4, 8]), 4) == 3
+
+    def test_fragmentation(self):
+        # short runs each need a whole instruction
+        assert chunk_instr_count(np.array([1, 1, 1, 1]), 4) == 4
+
+    def test_mixed(self):
+        assert chunk_instr_count(np.array([5, 3, 0]), 4) == 3
+
+    def test_zero_length_runs_cost_nothing(self):
+        assert chunk_instr_count(np.zeros(10, dtype=int), 4) == 0
+
+    def test_fragmented_elements(self):
+        assert row_fragmented_elements(np.array([1, 5]), 4) == 12
+
+
+class TestCoreFactories:
+    def test_make_core_defaults(self):
+        core = make_core()
+        assert isinstance(core, Core)
+        assert core.via is None
+        assert core.machine.vl == 4
+
+    def test_make_core_custom_machine(self):
+        core = make_core(MachineConfig().with_lanes(8))
+        assert core.machine.vl == 8
+
+    def test_make_via_core_attaches_device(self):
+        core, dev = make_via_core(via_config=VIA_4_2P)
+        assert isinstance(dev, ViaDevice)
+        assert core.via is dev
+        assert dev.config is VIA_4_2P
+        # the device sees the machine's VL through the attachment
+        assert dev.vl == core.machine.vl
+
+    def test_fresh_cores_have_independent_caches(self):
+        core_a = make_core()
+        x = core_a.alloc("x", 1000)
+        core_a.load_stream(x, 0, 1000)
+        core_b = make_core()
+        assert core_b.memory.l1.stats.accesses == 0
+
+    def test_each_call_returns_new_device(self):
+        _core1, dev1 = make_via_core()
+        _core2, dev2 = make_via_core()
+        assert dev1 is not dev2
+        dev1.vidxload([1.0], [0])
+        assert dev2.sspm.element_count == 0
+        assert dev2.sspm.dm_read([0])[0] == 0.0
+
+
+class TestBulkVsFunctionalConsistency:
+    """The bulk FIVU accounting must price identically to functional runs."""
+
+    def test_vidxload_bulk_matches_functional(self):
+        from repro.via import Mode, Opcode
+
+        core_f, dev_f = make_via_core()
+        dev_f.vidxload(np.ones(64), np.arange(64))
+        core_b, dev_b = make_via_core()
+        dev_b.account_bulk(Opcode.VIDXLOAD, 64, mode=Mode.DIRECT)
+        assert core_b.counters.sspm_busy_cycles == pytest.approx(
+            core_f.counters.sspm_busy_cycles
+        )
+        assert core_b.counters.via_instructions == core_f.counters.via_instructions
+
+    def test_vidxadd_sspm_bulk_matches_functional(self):
+        from repro.via import Dest, Opcode
+
+        core_f, dev_f = make_via_core()
+        dev_f.vidxadd(np.ones(32), np.arange(32), dest=Dest.SSPM)
+        core_b, dev_b = make_via_core()
+        dev_b.account_bulk(Opcode.VIDXADD, 32, dest=Dest.SSPM)
+        assert core_b.counters.sspm_busy_cycles == pytest.approx(
+            core_f.counters.sspm_busy_cycles
+        )
+
+    def test_bulk_rejects_scalar_opcodes(self):
+        from repro.errors import ISAError
+        from repro.via import Opcode
+
+        _core, dev = make_via_core()
+        with pytest.raises(ISAError):
+            dev.account_bulk(Opcode.VIDXCOUNT, 4)
+
+    def test_bulk_zero_elements_is_noop(self):
+        from repro.via import Opcode
+
+        core, dev = make_via_core()
+        dev.account_bulk(Opcode.VIDXLOAD, 0)
+        assert core.counters.via_instructions == 0

@@ -1,0 +1,144 @@
+"""Tests for the virtual matrix collection and structure statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.formats import COOMatrix
+from repro.matrices import (
+    MatrixCollection,
+    block_density_metric,
+    domain_names,
+    nnz_per_row_metric,
+    paper_collection,
+    quartile_split,
+    small_collection,
+    structure_stats,
+)
+
+
+def test_collection_is_deterministic():
+    a = small_collection(16, seed=5)
+    b = small_collection(16, seed=5)
+    assert [s.name for s in a] == [s.name for s in b]
+    assert [s.params for s in a] == [s.params for s in b]
+    ma, mb = a.matrix(a.specs[0]), b.matrix(b.specs[0])
+    np.testing.assert_array_equal(ma.row, mb.row)
+
+
+def test_collection_seed_matters():
+    a = small_collection(16, seed=5)
+    b = small_collection(16, seed=6)
+    assert [s.seed for s in a] != [s.seed for s in b]
+
+
+def test_collection_length_and_iteration():
+    coll = small_collection(24, seed=0)
+    assert len(coll) == 24
+    assert len(list(coll)) == 24
+    assert len(coll.specs) == 24
+
+
+def test_collection_materializes_valid_matrices():
+    coll = small_collection(12, seed=1, max_n=256)
+    for spec, mat in zip(coll, coll.matrices()):
+        assert mat.rows == mat.cols
+        assert mat.nnz > 0
+        assert mat.rows <= 260  # grid/kron generators may round the dim
+
+
+def test_collection_caches_matrices():
+    coll = small_collection(4, seed=2)
+    spec = coll.specs[0]
+    assert coll.matrix(spec) is coll.matrix(spec)
+
+
+def test_collection_no_cache_mode():
+    coll = MatrixCollection(4, seed=2, min_n=64, max_n=128, cache=False)
+    spec = coll.specs[0]
+    assert coll.matrix(spec) is not coll.matrix(spec)
+
+
+def test_collection_spans_multiple_domains():
+    coll = small_collection(64, seed=3)
+    seen = {s.domain for s in coll}
+    assert len(seen) >= 4
+    assert seen <= set(domain_names())
+
+
+def test_by_domain_filter():
+    coll = small_collection(64, seed=3)
+    for d in domain_names():
+        for spec in coll.by_domain(d):
+            assert spec.domain == d
+
+
+def test_paper_collection_profile():
+    coll = paper_collection()
+    assert len(coll) == 1024
+    dims = [s.n for s in coll]
+    assert max(dims) <= 20_000
+    assert min(dims) >= 256
+
+
+def test_summary_shape():
+    coll = small_collection(10, seed=4)
+    s = coll.summary()
+    assert s["count"] == 10
+    assert set(s["dims"]) == {"min", "median", "max"}
+    assert sum(s["domains"].values()) == 10
+
+
+def test_collection_rejects_bad_args():
+    with pytest.raises(ReproError):
+        MatrixCollection(0)
+    with pytest.raises(ReproError):
+        MatrixCollection(4, min_n=100, max_n=10)
+
+
+class TestStats:
+    def setup_method(self):
+        dense = np.zeros((40, 40))
+        dense[0, :10] = 1.0
+        dense[5, 5] = 2.0
+        dense[39, 0] = 3.0
+        self.mat = COOMatrix.from_dense(dense)
+
+    def test_structure_stats_fields(self):
+        st = structure_stats(self.mat, csb_block_size=8)
+        assert st.rows == st.cols == 40
+        assert st.nnz == 12
+        assert st.max_nnz_per_row == 10
+        assert st.empty_rows == 37
+        assert st.bandwidth == 39
+        assert st.csb_num_blocks >= 2
+        assert st.median_nnz_per_block > 0
+
+    def test_stats_as_dict(self):
+        st = structure_stats(self.mat)
+        d = st.as_dict()
+        assert d["nnz"] == 12
+
+    def test_nnz_per_row_metric_ignores_empty_rows(self):
+        assert nnz_per_row_metric(self.mat) == pytest.approx(12 / 3)
+
+    def test_block_density_metric_positive(self):
+        assert block_density_metric(self.mat, block_size=8) > 0
+
+
+class TestQuartileSplit:
+    def test_four_equal_groups(self):
+        groups, medians = quartile_split(list(range(100)))
+        assert [g.size for g in groups] == [25, 25, 25, 25]
+        assert medians == sorted(medians)
+
+    def test_groups_partition_indices(self):
+        groups, _ = quartile_split([5.0, 1.0, 3.0, 2.0, 4.0, 0.0, 7.0, 6.0])
+        all_idx = np.sort(np.concatenate(groups))
+        np.testing.assert_array_equal(all_idx, np.arange(8))
+
+    def test_sorted_by_metric(self):
+        vals = [10.0, 1.0, 5.0, 7.0]
+        groups, medians = quartile_split(vals)
+        assert vals[int(groups[0][0])] == 1.0
+        assert vals[int(groups[-1][0])] == 10.0

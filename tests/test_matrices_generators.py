@@ -1,0 +1,146 @@
+"""Tests for the synthetic matrix generators (SuiteSparse substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.matrices import (
+    banded,
+    blocked,
+    circuit,
+    diagonal_dominant,
+    grid_2d,
+    kronecker,
+    power_law,
+    random_uniform,
+)
+
+GENERATORS = [
+    ("random_uniform", lambda s: random_uniform(200, 0.01, s)),
+    ("banded", lambda s: banded(200, 5, 0.5, s)),
+    ("blocked", lambda s: blocked(200, 16, 0.05, 0.5, s)),
+    ("power_law", lambda s: power_law(200, 4.0, 2.0, s)),
+    ("circuit", lambda s: circuit(200, 2.0, 2, s)),
+    ("grid_2d", lambda s: grid_2d(14, s)),
+    ("kronecker", lambda s: kronecker(8, 8, s)),
+    ("diagonal_dominant", lambda s: diagonal_dominant(200, 8, s)),
+]
+
+
+@pytest.mark.parametrize("name,make", GENERATORS)
+def test_generator_is_deterministic(name, make):
+    a, b = make(7), make(7)
+    assert a.shape == b.shape
+    np.testing.assert_array_equal(a.row, b.row)
+    np.testing.assert_array_equal(a.col, b.col)
+    np.testing.assert_allclose(a.data, b.data)
+
+
+@pytest.mark.parametrize("name,make", GENERATORS)
+def test_generator_seed_changes_pattern(name, make):
+    a, b = make(1), make(2)
+    same = (
+        a.nnz == b.nnz
+        and np.array_equal(a.row, b.row)
+        and np.array_equal(a.col, b.col)
+        # regular structures (grids, diagonals) share the pattern but the
+        # seed must still change the values
+        and np.allclose(a.data, b.data)
+    )
+    assert not same, f"{name} ignored its seed"
+
+
+@pytest.mark.parametrize("name,make", GENERATORS)
+def test_generator_is_square_and_nonempty(name, make):
+    m = make(3)
+    assert m.rows == m.cols
+    assert m.nnz > 0
+    assert m.nnz <= m.rows * m.cols
+
+
+@pytest.mark.parametrize("name,make", GENERATORS)
+def test_generator_has_no_duplicates(name, make):
+    m = make(11)
+    keys = m.row * m.cols + m.col
+    assert np.unique(keys).size == keys.size
+
+
+def test_random_uniform_density_is_accurate():
+    m = random_uniform(400, 0.01, 3)
+    assert m.nnz == int(round(400 * 400 * 0.01))
+
+
+def test_banded_respects_bandwidth():
+    m = banded(300, 7, 0.8, 5)
+    assert int(np.abs(m.row - m.col).max()) <= 7
+
+
+def test_banded_has_full_diagonal():
+    m = banded(50, 3, 0.1, 1)
+    dense = m.to_dense()
+    assert np.all(np.diagonal(dense) != 0.0)
+
+
+def test_blocked_clusters_into_tiles():
+    m = blocked(256, 16, 0.05, 0.6, 9)
+    off_diag = m.row // 16 != m.col // 16
+    # off-diagonal entries only in active tiles: tile count bounded
+    tiles = set(zip((m.row[off_diag] // 16).tolist(), (m.col[off_diag] // 16).tolist()))
+    assert len(tiles) <= 256 // 16 * (256 // 16)
+
+
+def test_power_law_has_heavy_tail():
+    m = power_law(2000, 4.0, 2.0, 3)
+    per_col = np.bincount(m.col, minlength=2000)
+    # hub columns should dominate: top column way above the mean
+    assert per_col.max() > 5 * per_col.mean()
+
+
+def test_circuit_has_dense_rails():
+    m = circuit(1000, 2.0, 2, 4)
+    per_row = np.bincount(m.row, minlength=1000)
+    assert per_row.max() >= 1000 // 20
+
+
+def test_grid_2d_five_point_degree():
+    m = grid_2d(10, 0, connectivity=5)
+    per_row = np.bincount(m.row, minlength=100)
+    # interior nodes have 5 entries (self + 4 neighbours)
+    assert per_row.max() == 5
+    assert per_row.min() == 3  # corners
+
+
+def test_grid_2d_nine_point_degree():
+    m = grid_2d(10, 0, connectivity=9)
+    per_row = np.bincount(m.row, minlength=100)
+    assert per_row.max() == 9
+
+
+def test_kronecker_size_is_power_of_two():
+    m = kronecker(7, 4, 2)
+    assert m.rows == 128
+
+
+def test_diagonal_dominant_diagonals_only():
+    m = diagonal_dominant(100, 5, 8)
+    offsets = np.unique(m.col - m.row)
+    assert offsets.size <= 6 + 1  # requested diagonals + main
+
+
+@pytest.mark.parametrize(
+    "call",
+    [
+        lambda: random_uniform(0, 0.1, 0),
+        lambda: random_uniform(10, 0.0, 0),
+        lambda: random_uniform(10, 1.5, 0),
+        lambda: banded(10, -1, 0.5, 0),
+        lambda: power_law(10, 0.0, 2.0, 0),
+        lambda: grid_2d(0, 0),
+        lambda: grid_2d(4, 0, connectivity=7),
+        lambda: kronecker(0, 4, 0),
+        lambda: kronecker(30, 4, 0),
+    ],
+)
+def test_generator_rejects_bad_parameters(call):
+    with pytest.raises(FormatError):
+        call()

@@ -1,0 +1,140 @@
+"""Tests for MatrixMarket I/O (the real SuiteSparse on-ramp)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, CSRMatrix
+from repro.matrices import random_uniform
+from repro.matrices.io import (
+    read_matrix_market,
+    reads_matrix_market,
+    write_matrix_market,
+    writes_matrix_market,
+)
+
+
+class TestRead:
+    def test_general_real(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "3 4 2\n"
+            "1 1 1.5\n"
+            "3 4 -2.0\n"
+        )
+        coo = reads_matrix_market(text)
+        assert coo.shape == (3, 4)
+        assert coo.to_dense()[0, 0] == 1.5
+        assert coo.to_dense()[2, 3] == -2.0
+
+    def test_pattern_field(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n"
+        coo = reads_matrix_market(text)
+        np.testing.assert_array_equal(coo.to_dense(), [[0, 1], [1, 0]])
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n"
+        assert reads_matrix_market(text).to_dense()[0, 0] == 7.0
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n1 1 5.0\n2 1 1.0\n3 2 2.0\n"
+        )
+        dense = reads_matrix_market(text).to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        assert dense[0, 1] == 1.0 and dense[1, 0] == 1.0
+
+    def test_skew_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n"
+        )
+        dense = reads_matrix_market(text).to_dense()
+        assert dense[1, 0] == 3.0 and dense[0, 1] == -3.0
+
+    def test_skew_rejects_diagonal(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n1 1 3.0\n"
+        )
+        with pytest.raises(FormatError):
+            reads_matrix_market(text)
+
+    def test_blank_and_comment_lines_between_entries(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n\n% interleaved\n1 1 1.0\n\n2 2 2.0\n"
+        )
+        assert reads_matrix_market(text).nnz == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a header\n1 1 1\n1 1 1.0\n",
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1.0\n",
+            "%%MatrixMarket matrix coordinate real general\nbogus\n",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 2.0\n",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+            "%%MatrixMarket matrix coordinate real general\n",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(FormatError):
+            reads_matrix_market(bad)
+
+
+class TestWrite:
+    def test_roundtrip_string(self):
+        coo = random_uniform(40, 0.05, 9)
+        text = writes_matrix_market(coo, comment="generated")
+        again = reads_matrix_market(text)
+        np.testing.assert_allclose(again.to_dense(), coo.to_dense())
+
+    def test_roundtrip_file(self, tmp_path):
+        coo = random_uniform(25, 0.08, 10)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(coo, path)
+        again = read_matrix_market(path)
+        np.testing.assert_allclose(again.to_dense(), coo.to_dense())
+
+    def test_writes_any_format(self):
+        csr = CSRMatrix.from_dense(np.eye(3))
+        text = writes_matrix_market(csr)
+        assert reads_matrix_market(text).nnz == 3
+
+    def test_values_survive_exactly(self):
+        coo = COOMatrix((1, 1), [0], [0], [1.0 / 3.0])
+        again = reads_matrix_market(writes_matrix_market(coo))
+        assert again.data[0] == coo.data[0]  # repr round-trip is exact
+
+
+@given(
+    st.integers(1, 12),
+    st.lists(
+        st.tuples(
+            st.integers(0, 11),
+            st.integers(0, 11),
+            st.floats(-1e3, 1e3, allow_nan=False).filter(lambda v: v != 0),
+        ),
+        max_size=30,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(dim, entries):
+    entries = [(r % dim, c % dim, v) for r, c, v in entries]
+    coo = COOMatrix(
+        (dim, dim),
+        [e[0] for e in entries],
+        [e[1] for e in entries],
+        [e[2] for e in entries],
+    )
+    again = reads_matrix_market(writes_matrix_market(coo))
+    np.testing.assert_allclose(again.to_dense(), coo.to_dense())

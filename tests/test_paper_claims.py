@@ -1,0 +1,107 @@
+"""End-to-end assertions of the paper's headline claims at test scale.
+
+The benchmark suite regenerates the full artifacts; this module pins the
+*qualitative* claims into the fast test suite so a regression that flips a
+winner is caught by ``pytest tests/`` alone.  Scales are small (seconds,
+not minutes) and thresholds deliberately loose — shape, not magnitude.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSBMatrix, CSCMatrix, CSRMatrix
+from repro.kernels import (
+    histogram_scalar_baseline,
+    histogram_vector_baseline,
+    histogram_via,
+    spma_csr_baseline,
+    spma_via,
+    spmm_csr_baseline,
+    spmm_via,
+    spmv_csb_baseline,
+    spmv_csb_via,
+    stencil_vector_baseline,
+    stencil_via,
+)
+from repro.matrices import blocked, random_uniform
+from repro.via import VIA_16_2P, area_mm2, leakage_mw
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(2021)
+
+
+class TestHeadlineClaims:
+    """Abstract: 4.22x SpMV, 6.14x SpMA, 6.00x SpMM, 4.51x hist, 3.39x stencil."""
+
+    def test_spmv_csb_wins_by_multiples(self, rng):
+        coo = blocked(700, 16, 0.04, 0.5, 1)
+        csb = CSBMatrix.from_coo(coo, block_size=VIA_16_2P.csb_block_size)
+        x = rng.standard_normal(700)
+        speedup = spmv_csb_baseline(csb, x).cycles / spmv_csb_via(csb, x).cycles
+        assert speedup > 2.5
+
+    def test_spma_wins_by_multiples(self):
+        a = CSRMatrix.from_coo(random_uniform(300, 0.02, 2))
+        b = CSRMatrix.from_coo(random_uniform(300, 0.02, 3))
+        assert spma_csr_baseline(a, b).cycles / spma_via(a, b).cycles > 2.5
+
+    def test_spmm_wins_by_multiples(self):
+        a = CSRMatrix.from_coo(random_uniform(200, 0.03, 4))
+        b = CSCMatrix.from_coo(random_uniform(200, 0.03, 5))
+        assert spmm_csr_baseline(a, b).cycles / spmm_via(a, b).cycles > 3.0
+
+    def test_histogram_wins_and_scalar_is_slowest(self, rng):
+        keys = rng.integers(0, 512, size=6000)
+        s = histogram_scalar_baseline(keys, 512).cycles
+        v = histogram_vector_baseline(keys, 512).cycles
+        via = histogram_via(keys, 512).cycles
+        assert s / via > 3.0 and v / via > 3.0
+        assert s > v  # the paper's ordering (5.49x > 4.51x)
+
+    def test_stencil_wins_in_band(self, rng):
+        image = rng.standard_normal((40, 40))
+        ratio = stencil_vector_baseline(image).cycles / stencil_via(image).cycles
+        assert 2.0 < ratio < 6.0  # paper 3.39x
+
+    def test_energy_reduction_for_csb_spmv(self, rng):
+        coo = blocked(700, 16, 0.04, 0.5, 6)
+        csb = CSBMatrix.from_coo(coo, block_size=VIA_16_2P.csb_block_size)
+        x = rng.standard_normal(700)
+        base = spmv_csb_baseline(csb, x)
+        via = spmv_csb_via(csb, x)
+        assert base.energy_pj / via.energy_pj > 1.5  # paper 3.8x
+
+    def test_area_headline(self):
+        # "area- and power-efficient (0.515 mm^2 and 0.5 mW)" — abstract
+        assert area_mm2(VIA_16_2P) == pytest.approx(0.515)
+        assert leakage_mw(VIA_16_2P) == pytest.approx(0.50)
+
+
+class TestMechanismClaims:
+    """Section III: the two challenges VIA removes."""
+
+    def test_challenge1_gathers_eliminated_for_csb(self, rng):
+        coo = blocked(400, 16, 0.05, 0.5, 7)
+        csb = CSBMatrix.from_coo(coo, block_size=VIA_16_2P.csb_block_size)
+        x = rng.standard_normal(400)
+        assert spmv_csb_baseline(csb, x).counters.gathers > 0
+        assert spmv_csb_via(csb, x).counters.gathers == 0
+
+    def test_challenge2_branches_eliminated_for_spma(self):
+        a = CSRMatrix.from_coo(random_uniform(150, 0.03, 8))
+        b = CSRMatrix.from_coo(random_uniform(150, 0.03, 9))
+        assert spma_csr_baseline(a, b).counters.branch_mispredicts > 0
+        via = spma_via(a, b)
+        assert via.counters.branch_mispredicts == 0
+        assert via.counters.cam_searches > 0
+
+    def test_memory_bound_kernels_free_bandwidth(self, rng):
+        # Section III-B: VIA releases bandwidth to stream the sparse matrix
+        coo = blocked(700, 16, 0.04, 0.5, 10)
+        csb = CSBMatrix.from_coo(coo, block_size=VIA_16_2P.csb_block_size)
+        x = rng.standard_normal(700)
+        base = spmv_csb_baseline(csb, x)
+        via = spmv_csb_via(csb, x)
+        assert via.memory_bandwidth_gbs > base.memory_bandwidth_gbs

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the sparse-format substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, convert
+from repro.sim import compress_lines
+
+FORMATS = ["csr", "csc", "csb", "spc5", "sellcs"]
+
+
+@st.composite
+def coo_matrices(draw, max_dim=24):
+    """Random small sparse matrices as canonical COO."""
+    rows = draw(st.integers(1, max_dim))
+    cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, rows * cols))
+    if nnz == 0:
+        return COOMatrix.empty((rows, cols))
+    positions = draw(
+        st.lists(
+            st.tuples(st.integers(0, rows - 1), st.integers(0, cols - 1)),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False).filter(lambda v: v != 0.0),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    rr = [p[0] for p in positions]
+    cc = [p[1] for p in positions]
+    return COOMatrix((rows, cols), rr, cc, values)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_all_formats_roundtrip_dense(coo):
+    dense = coo.to_dense()
+    for fmt in FORMATS:
+        mat = convert(coo, fmt)
+        np.testing.assert_allclose(mat.to_dense(), dense, rtol=1e-12)
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_all_formats_preserve_nnz(coo):
+    for fmt in FORMATS:
+        assert convert(coo, fmt).nnz == coo.nnz
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_transpose_involution(coo):
+    np.testing.assert_allclose(
+        coo.transpose().transpose().to_dense(), coo.to_dense()
+    )
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_coo_is_canonical(coo):
+    # sorted row-major, no duplicate coordinates
+    keys = coo.row * coo.cols + coo.col
+    assert np.all(np.diff(keys) > 0) or keys.size <= 1
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=50)
+)
+@settings(max_examples=40, deadline=None)
+def test_duplicate_summing_matches_dense_accumulation(pairs):
+    rr = [p[0] for p in pairs]
+    cc = [p[1] for p in pairs]
+    vals = [float(i + 1) for i in range(len(pairs))]
+    coo = COOMatrix((10, 10), rr, cc, vals)
+    dense = np.zeros((10, 10))
+    for r, c, v in zip(rr, cc, vals):
+        dense[r, c] += v
+    np.testing.assert_allclose(coo.to_dense(), dense)
+
+
+@given(coo_matrices(max_dim=16))
+@settings(max_examples=30, deadline=None)
+def test_spmv_reference_matches_dense(coo):
+    from repro.formats import CSRMatrix
+
+    x = np.linspace(-1, 1, coo.cols)
+    csr = CSRMatrix.from_coo(coo)
+    np.testing.assert_allclose(
+        csr.spmv_reference(x), coo.to_dense() @ x, rtol=1e-9, atol=1e-9
+    )
+
+
+@given(
+    st.lists(st.integers(0, 2**20), min_size=0, max_size=200),
+    st.sampled_from([32, 64, 128]),
+)
+@settings(max_examples=40, deadline=None)
+def test_compress_lines_properties(addresses, line_bytes):
+    addrs = np.asarray(addresses, dtype=np.int64)
+    lines, counts = compress_lines(addrs, line_bytes)
+    # counts partition the raw accesses
+    assert counts.sum() == addrs.size
+    # no two consecutive runs share a line
+    assert lines.size <= 1 or np.all(np.diff(lines) != 0)
+    # expanding the runs reproduces the line sequence
+    if addrs.size:
+        np.testing.assert_array_equal(
+            np.repeat(lines, counts), addrs // line_bytes
+        )

@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the SSPM and VIA kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.kernels import reference, spma_via, spmv_csr_via
+from repro.via import SSPM, Dest, Mode, ViaConfig, ViaDevice
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 63), st.floats(-100, 100, allow_nan=False)),
+        min_size=1,
+        max_size=64,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_dm_mode_behaves_like_an_array(writes):
+    """Direct-mapped SSPM == plain array with a written-flag per slot."""
+    sspm = SSPM(ViaConfig(4, 2))
+    model = {}
+    for idx, val in writes:
+        sspm.dm_write([idx], [val])
+        model[idx] = val
+    probe = np.arange(64)
+    expected = np.array([model.get(i, 0.0) for i in probe])
+    np.testing.assert_allclose(sspm.dm_read(probe), expected)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 200), st.floats(-50, 50, allow_nan=False)),
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_cam_accumulate_behaves_like_a_dict(updates):
+    """CAM-mode add == defaultdict(float) accumulation, insertion-ordered."""
+    sspm = SSPM(ViaConfig(4, 2))
+    model = {}
+    for idx, val in updates:
+        sspm.cam_write([idx], [val], op="add")
+        model[idx] = model.get(idx, 0.0) + val
+    assert sspm.element_count == len(model)
+    tracked = sspm.cam_tracked_indices(0, len(model))
+    np.testing.assert_array_equal(tracked, list(model.keys()))  # in order
+    values = sspm.cam_slot_values(0, len(model))
+    np.testing.assert_allclose(values, list(model.values()), atol=1e-9)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 127), st.floats(-10, 10, allow_nan=False)),
+        min_size=1,
+        max_size=100,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_device_sspm_accumulate_scatter_semantics(updates):
+    """vidxadd.d with SSPM destination == np.add.at on a zero array."""
+    dev = ViaDevice(ViaConfig(4, 2))
+    idx = np.array([u[0] for u in updates], dtype=np.int64)
+    vals = np.array([u[1] for u in updates])
+    dev.vidxadd(vals, idx, dest=Dest.SSPM)
+    expected = np.zeros(128)
+    np.add.at(expected, idx, vals)
+    got = dev.vidxadd(np.zeros(128), np.arange(128))
+    np.testing.assert_allclose(got, expected, atol=1e-9)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 500), st.floats(-10, 10, allow_nan=False)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.lists(
+        st.tuples(st.integers(0, 500), st.floats(-10, 10, allow_nan=False)),
+        min_size=0,
+        max_size=60,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_cam_load_then_add_merges_two_streams(a_items, b_items):
+    """vidxload.c + vidxadd.c == merging two sparse rows by index."""
+    dev = ViaDevice(ViaConfig(16, 2))
+    a = {}
+    for i, v in a_items:
+        a[i] = v  # vidxload.c overwrites on repeated index
+    dev.vidxload(
+        np.array([v for _, v in a_items]),
+        np.array([i for i, _ in a_items], dtype=np.int64),
+        Mode.CAM,
+    )
+    merged = dict(a)
+    for i, v in b_items:
+        merged[i] = merged.get(i, 0.0) + v
+    if b_items:
+        dev.vidxadd(
+            np.array([v for _, v in b_items]),
+            np.array([i for i, _ in b_items], dtype=np.int64),
+            mode=Mode.CAM,
+            dest=Dest.SSPM,
+        )
+    idx, vals = dev.drain()
+    got = dict(zip(idx.tolist(), vals.tolist()))
+    assert set(got) == set(merged)
+    for k in merged:
+        assert abs(got[k] - merged[k]) < 1e-9
+
+
+@st.composite
+def small_coo(draw, dim=20):
+    nnz = draw(st.integers(0, dim * 2))
+    rr = draw(st.lists(st.integers(0, dim - 1), min_size=nnz, max_size=nnz))
+    cc = draw(st.lists(st.integers(0, dim - 1), min_size=nnz, max_size=nnz))
+    vv = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False).filter(lambda v: v != 0),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix((dim, dim), rr, cc, vv)
+
+
+@given(small_coo())
+@settings(max_examples=25, deadline=None)
+def test_spmv_via_matches_reference(coo):
+    csr = CSRMatrix.from_coo(coo)
+    x = np.linspace(-1, 1, coo.cols)
+    res = spmv_csr_via(csr, x)
+    np.testing.assert_allclose(
+        res.output, csr.spmv_reference(x), rtol=1e-9, atol=1e-9
+    )
+
+
+@given(small_coo(), small_coo())
+@settings(max_examples=20, deadline=None)
+def test_spma_via_matches_reference(coo_a, coo_b):
+    a, b = CSRMatrix.from_coo(coo_a), CSRMatrix.from_coo(coo_b)
+    res = spma_via(a, b)
+    want = CSRMatrix.from_coo(reference.spma(a, b))
+    np.testing.assert_allclose(
+        res.output.to_dense(), want.to_dense(), rtol=1e-9, atol=1e-9
+    )

@@ -1,0 +1,91 @@
+"""Public-API contract tests: the names README documents must exist."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigError,
+    FormatError,
+    ISAError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+    SSPMCapacityError,
+    SSPMError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            FormatError,
+            ShapeError,
+            ConfigError,
+            SSPMError,
+            SSPMCapacityError,
+            ISAError,
+            SimulationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_shape_is_a_format_error(self):
+        assert issubclass(ShapeError, FormatError)
+
+    def test_capacity_is_an_sspm_error(self):
+        assert issubclass(SSPMCapacityError, SSPMError)
+
+    def test_catching_repro_error_covers_library_failures(self):
+        from repro.formats import COOMatrix
+
+        with pytest.raises(ReproError):
+            COOMatrix((2, 2), [9], [0], [1.0])
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_quickstart_is_executable(self):
+        # the module docstring carries a quickstart; keep it honest
+        doc = repro.__doc__
+        assert "spmv_csb_via" in doc
+        lines = [
+            l[4:]
+            for l in doc.splitlines()
+            if l.startswith("    ") and not l.strip().startswith(">>>")
+        ]
+        code = "\n".join(lines)
+        namespace: dict = {}
+        exec(compile(code, "<docstring>", "exec"), namespace)  # runs the demo
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.formats",
+            "repro.matrices",
+            "repro.sim",
+            "repro.via",
+            "repro.kernels",
+            "repro.eval",
+        ],
+    )
+    def test_subpackages_document_themselves(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 40
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_public_kernels_have_docstrings(self):
+        import repro.kernels as k
+
+        for name in k.__all__:
+            obj = getattr(k, name)
+            if inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"

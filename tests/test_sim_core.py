@@ -1,0 +1,198 @@
+"""Unit tests for the core cycle model and address space."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim import Core, MachineConfig, table1
+
+
+class TestAddressSpace:
+    def test_arrays_are_line_aligned_and_disjoint(self):
+        core = Core()
+        a = core.alloc("a", 10, 8)
+        b = core.alloc("b", 10, 8)
+        assert a.base % 64 == 0 and b.base % 64 == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_addr_computation(self):
+        core = Core()
+        a = core.alloc("a", 100, 8)
+        np.testing.assert_array_equal(
+            a.addr([0, 1, 2]), [a.base, a.base + 8, a.base + 16]
+        )
+
+    def test_addr_range(self):
+        core = Core()
+        a = core.alloc("a", 100, 4)
+        base, nbytes = a.addr_range(10, 5)
+        assert base == a.base + 40 and nbytes == 20
+
+    def test_lookup_by_name(self):
+        core = Core()
+        a = core.alloc("x", 4)
+        assert core.mem["x"] is a
+
+    def test_bad_alloc_rejected(self):
+        core = Core()
+        with pytest.raises(SimulationError):
+            core.alloc("bad", -1)
+        with pytest.raises(SimulationError):
+            core.alloc("bad", 4, 0)
+
+
+class TestCycleModel:
+    def test_empty_kernel_is_zero_cycles(self):
+        res = Core().finalize("empty")
+        assert res.cycles == 0.0
+
+    def test_scalar_ops_bound_by_issue_width(self):
+        core = Core()
+        core.scalar_ops(800)
+        res = core.finalize("scalar")
+        assert res.breakdown.issue_cycles == pytest.approx(
+            800 / core.machine.issue_width
+        )
+
+    def test_vector_ops_bound_by_vfu(self):
+        core = Core()
+        core.vector_op("fma", 1000)
+        res = core.finalize("vec")
+        assert res.breakdown.vfu_cycles == pytest.approx(1000)
+        assert res.cycles >= 1000
+
+    def test_unknown_vector_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            Core().vector_op("frobnicate")
+
+    def test_gather_costs_fixed_serial_latency(self):
+        core = Core()
+        x = core.alloc("x", 4096)
+        idx = np.arange(64)
+        core.gather(x, idx)
+        res = core.finalize("gather")
+        n_instr = 64 // core.machine.vl
+        expected = n_instr * core.machine.gather_base_latency
+        assert res.breakdown.gather_serial_cycles == pytest.approx(expected)
+        assert res.cycles >= expected
+
+    def test_gather_dependent_latency_classified(self):
+        core = Core()
+        x = core.alloc("x", 100000)
+        core.gather(x, np.arange(0, 100000, 997))  # cold, sparse: misses
+        assert core.counters.dependent_miss_latency > 0
+        assert core.counters.stream_miss_latency == 0
+
+    def test_stream_misses_classified_as_stream(self):
+        core = Core()
+        x = core.alloc("x", 10000)
+        core.load_stream(x, 0, 10000)
+        assert core.counters.stream_miss_latency > 0
+        assert core.counters.dependent_miss_latency == 0
+
+    def test_stream_load_is_cheaper_than_gather_of_same_data(self):
+        n = 8192
+        core_a = Core()
+        x = core_a.alloc("x", n)
+        core_a.load_stream(x, 0, n)
+        stream_cycles = core_a.finalize("s").cycles
+
+        core_b = Core()
+        y = core_b.alloc("y", n)
+        core_b.gather(y, np.arange(n))
+        gather_cycles = core_b.finalize("g").cycles
+        assert gather_cycles > stream_cycles
+
+    def test_dram_occupancy_bounds_streaming(self):
+        core = Core()
+        x = core.alloc("x", 1_000_00)
+        core.load_stream(x, 0, 1_000_00)
+        res = core.finalize("stream")
+        assert res.breakdown.dram_occupancy_cycles > 0
+        assert res.dram_traffic_bytes >= 1_000_00 * 8
+
+    def test_second_pass_hits_cache(self):
+        core = Core()
+        x = core.alloc("x", 1000)
+        core.load_stream(x, 0, 1000)
+        fills_first = core.counters.dram_fills
+        core.load_stream(x, 0, 1000)
+        assert core.counters.dram_fills == fills_first
+
+    def test_scalar_load_store_roundtrip(self):
+        core = Core()
+        x = core.alloc("x", 64)
+        core.scalar_store(x, [0, 1, 2])
+        core.scalar_load(x, [0, 1, 2])
+        assert core.counters.scalar_uops == 6
+        assert core.counters.l1_hits >= 1
+
+    def test_record_via_op_accumulates(self):
+        core = Core()
+        core.record_via_op(sspm_elements=16, cam_searches=4, port_cycles=8)
+        assert core.counters.via_instructions == 1
+        assert core.counters.sspm_accesses == 16
+        assert core.counters.cam_searches == 4
+        assert core.counters.sspm_busy_cycles > 8  # + commit overhead
+
+    def test_energy_accumulates(self):
+        core = Core()
+        core.vector_op("fma", 10)
+        x = core.alloc("x", 1000)
+        core.load_stream(x, 0, 1000)
+        res = core.finalize("e")
+        assert res.energy_pj > 0
+
+    def test_result_speedup_helpers(self):
+        core_a = Core()
+        core_a.vector_op("fma", 1000)
+        fast = core_a.finalize("fast")
+        core_b = Core()
+        core_b.vector_op("fma", 4000)
+        slow = core_b.finalize("slow")
+        assert fast.speedup_over(slow) == pytest.approx(4.0, rel=0.01)
+        assert slow.speedup_over(fast) == pytest.approx(0.25, rel=0.01)
+
+    def test_breakdown_bottleneck_name(self):
+        core = Core()
+        core.vector_op("fma", 100)
+        res = core.finalize("b")
+        assert res.breakdown.bottleneck in (
+            "issue",
+            "vfu",
+            "gather",
+            "dram",
+            "sspm",
+            "commit",
+        )
+
+    def test_summary_is_readable(self):
+        core = Core()
+        core.scalar_ops(10)
+        s = core.finalize("demo").summary()
+        assert "demo" in s and "cycles" in s
+
+
+class TestMachineConfig:
+    def test_table1_renders(self):
+        text = table1()
+        assert "Table I" in text
+        assert "L1D" in text and "DRAM" in text
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(clock_ghz=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(issue_width=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(vector_lanes=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(dram_bw_bytes_per_cycle=0)
+
+    def test_with_lanes(self):
+        m = MachineConfig().with_lanes(8)
+        assert m.vl == 8
+
+    def test_cycles_to_seconds(self):
+        m = MachineConfig(clock_ghz=2.0)
+        assert m.cycles_to_seconds(2e9) == pytest.approx(1.0)

@@ -1,0 +1,108 @@
+"""Tests for the Table II area/leakage model and VIA energy helpers."""
+
+import pytest
+
+from repro.via import (
+    PUBLISHED_SYNTHESIS,
+    SSPM,
+    ViaConfig,
+    all_configs,
+    area_mm2,
+    chip_area_overhead,
+    core_area_overhead,
+    dse_configs,
+    leakage_mw,
+    table2,
+    via_energy,
+)
+from repro.via.energy import cam_search_energy_pj, sram_access_energy_pj
+
+
+class TestPublishedAnchors:
+    """The model must reproduce the paper's synthesis points exactly."""
+
+    @pytest.mark.parametrize(
+        "kb,ports,area,leak",
+        [(kb, p, a, l) for (kb, p), (a, l) in PUBLISHED_SYNTHESIS.items()],
+    )
+    def test_anchor_exact(self, kb, ports, area, leak):
+        cfg = ViaConfig(kb, ports)
+        assert area_mm2(cfg) == pytest.approx(area)
+        assert leakage_mw(cfg) == pytest.approx(leak)
+
+    def test_table2_headline_numbers(self):
+        # the paper's flagship claims: 16_2p is 0.515 mm^2 and 0.5 mW
+        cfg = ViaConfig(16, 2)
+        assert area_mm2(cfg) == pytest.approx(0.515)
+        assert leakage_mw(cfg) == pytest.approx(0.50)
+
+
+class TestModelShape:
+    def test_area_monotone_in_size(self):
+        assert area_mm2(ViaConfig(16, 2)) > area_mm2(ViaConfig(8, 2))
+        assert area_mm2(ViaConfig(8, 2)) > area_mm2(ViaConfig(4, 2))
+
+    def test_area_monotone_in_ports(self):
+        for kb in (4, 8, 16):
+            assert area_mm2(ViaConfig(kb, 4)) > area_mm2(ViaConfig(kb, 2))
+
+    def test_interpolated_config_is_reasonable(self):
+        # 32 KB, 2 ports: extrapolation must land above 16_2p and scale
+        # roughly linearly-plus in capacity
+        a = area_mm2(ViaConfig(32, 2))
+        assert 2 * 0.515 * 0.7 < a < 2 * 0.515 * 1.8
+
+    def test_core_chip_overheads_match_paper(self):
+        # paper: 16_4p ~5% of a Haswell core / ~1.5% of the chip;
+        # 16_2p ~3% / ~1%
+        assert core_area_overhead(ViaConfig(16, 4)) == pytest.approx(0.05, abs=0.01)
+        assert core_area_overhead(ViaConfig(16, 2)) == pytest.approx(0.03, abs=0.01)
+        assert chip_area_overhead(ViaConfig(16, 4)) == pytest.approx(0.015, abs=0.004)
+        assert chip_area_overhead(ViaConfig(16, 2)) == pytest.approx(0.01, abs=0.003)
+
+    def test_table2_renders_all_configs(self):
+        text = table2()
+        for cfg in all_configs():
+            assert cfg.name in text
+
+    def test_dse_configs_are_the_four_from_fig9(self):
+        names = {c.name for c in dse_configs()}
+        assert names == {"4_2p", "4_4p", "16_2p", "16_4p"}
+
+
+class TestViaEnergy:
+    def test_sram_energy_scales_with_capacity(self):
+        assert sram_access_energy_pj(ViaConfig(16, 2)) > sram_access_energy_pj(
+            ViaConfig(4, 2)
+        )
+
+    def test_cam_energy_scales_with_active_banks(self):
+        cfg = ViaConfig(16, 2)
+        assert cam_search_energy_pj(cfg, 8) > cam_search_energy_pj(cfg, 1)
+
+    def test_cam_energy_capped_at_bank_count(self):
+        cfg = ViaConfig(4, 2)
+        assert cam_search_energy_pj(cfg, 10**6) == cam_search_energy_pj(
+            cfg, cfg.cam_banks
+        )
+
+    def test_via_energy_from_counters(self):
+        s = SSPM(ViaConfig(16, 2))
+        s.cam_write(range(32), [1.0] * 32)
+        s.dm_write(range(16), [1.0] * 16)
+        e = via_energy(s.config, s.counters)
+        assert e.sram_pj > 0 and e.cam_pj > 0
+        assert e.total_pj == pytest.approx(e.sram_pj + e.cam_pj)
+
+    def test_gated_banks_burn_less(self):
+        # few tracked entries -> fewer bank activations per search
+        small, big = SSPM(ViaConfig(16, 2)), SSPM(ViaConfig(16, 2))
+        small.cam_write(range(4), [1.0] * 4)
+        big.cam_write(range(256), [1.0] * 256)
+        small.counters.bank_activations = 0
+        big.counters.bank_activations = 0
+        small.cam_read(range(4))
+        big.cam_read(range(4))
+        e_small = via_energy(small.config, small.counters)
+        e_big = via_energy(big.config, big.counters)
+        assert e_big.cam_pj > e_small.cam_pj

@@ -1,0 +1,192 @@
+"""Tests for the VIA assembler, 64-bit encoding and program executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ISAError
+from repro.via import Dest, Mode, Opcode, ViaConfig, ViaDevice
+from repro.via.assembler import (
+    MAX_COUNT,
+    MAX_IDX_OFFSET,
+    MAX_OFFSET,
+    NUM_VREGS,
+    AsmInstruction,
+    Program,
+    RegisterFile,
+    assemble,
+    decode,
+    encode,
+    execute_program,
+)
+
+
+class TestAssemble:
+    def test_arith_vrf(self):
+        i = assemble("vidxadd.d v3, v1, v2")
+        assert i.opcode is Opcode.VIDXADD
+        assert i.mode is Mode.DIRECT
+        assert (i.dst_reg, i.data_reg, i.idx_reg) == (3, 1, 2)
+        assert i.dest is Dest.VRF
+
+    def test_arith_sspm_dest(self):
+        i = assemble("vidxadd.c v1, v2, sspm, offset=64")
+        assert i.dest is Dest.SSPM
+        assert i.offset == 64
+        assert i.mode is Mode.CAM
+
+    def test_blkmult(self):
+        i = assemble("vidxblkmult.d v1, v2, idx_offset=11, offset=2048")
+        assert i.idx_offset == 11 and i.offset == 2048
+
+    def test_mov_and_count(self):
+        assert assemble("vidxmov v5, count=4").count == 4
+        assert assemble("vidxcount v7").dst_reg == 7
+
+    def test_clear(self):
+        assert assemble("vidxclear").opcode is Opcode.VIDXCLEAR
+
+    def test_comments_ignored(self):
+        i = assemble("vidxload.d v1, v2  # store the chunk")
+        assert i.opcode is Opcode.VIDXLOAD
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "frobnicate v1",
+            "vidxadd v1, v2, v3",  # missing mode
+            "vidxadd.x v1, v2, v3",  # bad mode
+            "vidxadd.d v1",  # too few regs
+            "vidxadd.d v1, v2, v3, v4",  # too many regs
+            "vidxadd.d v1, v2, v3, bogus=1",
+            "vidxmov v1",  # count required
+            "vidxblkmult.d v1, v2",  # idx_offset required
+            "vidxblkmult.c v1, v2, idx_offset=4",  # CAM invalid
+            "vidxcount.d v1",  # no mode allowed
+            "vidxadd.d v99, v1, v2",  # register out of range
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ISAError):
+            assemble(bad)
+
+
+class TestEncoding:
+    def test_roundtrip_examples(self):
+        for text in (
+            "vidxload.c v1, v2",
+            "vidxadd.d v3, v1, v2, offset=100",
+            "vidxsub.c v1, v2, sspm",
+            "vidxmult.d v0, v31, v15",
+            "vidxblkmult.d v1, v2, idx_offset=11, offset=2048",
+            "vidxmov v5, count=16, offset=8",
+            "vidxcount v9",
+            "vidxclear",
+        ):
+            instr = assemble(text)
+            again = decode(encode(instr))
+            assert again == instr, text
+
+    def test_render_then_assemble_roundtrip(self):
+        instr = assemble("vidxadd.c v4, v5, sspm, offset=7")
+        assert assemble(instr.render()) == instr
+
+    def test_decode_rejects_bad_words(self):
+        with pytest.raises(ISAError):
+            decode(0xFF)  # unknown opcode id
+        with pytest.raises(ISAError):
+            decode(-1)
+
+    def test_immediate_limits(self):
+        with pytest.raises(ISAError):
+            AsmInstruction(Opcode.VIDXADD, Mode.DIRECT, offset=MAX_OFFSET + 1)
+        with pytest.raises(ISAError):
+            AsmInstruction(
+                Opcode.VIDXBLKMULT,
+                Mode.DIRECT,
+                idx_offset=MAX_IDX_OFFSET + 1,
+            )
+        with pytest.raises(ISAError):
+            AsmInstruction(Opcode.VIDXMOV, count=MAX_COUNT + 1)
+
+    @given(
+        st.sampled_from([Opcode.VIDXADD, Opcode.VIDXSUB, Opcode.VIDXMULT]),
+        st.sampled_from(list(Mode)),
+        st.sampled_from(list(Dest)),
+        st.integers(0, NUM_VREGS - 1),
+        st.integers(0, NUM_VREGS - 1),
+        st.integers(0, NUM_VREGS - 1),
+        st.integers(0, MAX_OFFSET),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, op, mode, dest, d, i, o, off):
+        instr = AsmInstruction(
+            op, mode, dest, data_reg=d, idx_reg=i, dst_reg=o, offset=off
+        )
+        assert decode(encode(instr)) == instr
+
+
+class TestProgram:
+    SOURCE = """
+    # accumulate two updates at positions held in v2
+    vidxclear
+    vidxload.d v1, v2
+    vidxadd.d v1, v2, sspm
+    vidxadd.d v3, v1, v2      # read back: v3 = v1 + sspm[v2]
+    """
+
+    def test_parse_skips_comments_and_blanks(self):
+        prog = Program.parse(self.SOURCE)
+        assert len(prog) == 4
+
+    def test_binary_roundtrip(self):
+        prog = Program.parse(self.SOURCE)
+        again = Program.from_words(prog.to_words())
+        assert again.instructions == prog.instructions
+
+    def test_render_reparses(self):
+        prog = Program.parse(self.SOURCE)
+        again = Program.parse(prog.render())
+        assert again.instructions == prog.instructions
+
+
+class TestExecution:
+    def test_load_add_readback(self):
+        dev = ViaDevice(ViaConfig(4, 2))
+        regs = RegisterFile(dev.vl)
+        regs.write(1, [10.0, 20.0, 30.0, 40.0])
+        regs.write(2, [0, 1, 2, 3])
+        prog = Program.parse(
+            """
+            vidxclear
+            vidxload.d v1, v2
+            vidxadd.d v1, v2, sspm      # sspm[i] = 2 * v1[i]
+            vidxadd.d v3, v1, v2        # v3 = v1 + sspm = 3 * v1
+            """
+        )
+        out = execute_program(prog, dev, regs)
+        np.testing.assert_allclose(out.read(3), [30.0, 60.0, 90.0, 120.0])
+
+    def test_cam_count_and_mov(self):
+        dev = ViaDevice(ViaConfig(4, 2))
+        regs = RegisterFile(dev.vl)
+        regs.write(1, [1.0, 2.0, 3.0, 4.0])
+        regs.write(2, [100, 200, 100, 300])  # duplicate key 100
+        prog = Program.parse(
+            """
+            vidxclear
+            vidxload.c v1, v2
+            vidxcount v4
+            vidxmov v5, count=3
+            """
+        )
+        out = execute_program(prog, dev, regs)
+        assert out.scalar(4) == 3.0  # three distinct keys tracked
+        np.testing.assert_allclose(out.read(5)[:3], [3.0, 2.0, 4.0])
+
+    def test_register_file_validation(self):
+        regs = RegisterFile(4)
+        with pytest.raises(ISAError):
+            regs.write(0, np.arange(9))
