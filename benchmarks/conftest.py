@@ -9,6 +9,17 @@ Scaling knobs (environment variables):
 * ``REPRO_FULL_COLLECTION=1`` — use the full 1,024-matrix paper-envelope
   collection (hours of runtime in pure Python).
 
+Sweep-runner knobs (see :mod:`repro.eval.runner`):
+
+* ``REPRO_SWEEP_WORKERS`` — process-pool size for the sweeps (default 1);
+* ``REPRO_SWEEP_CACHE`` — result-cache directory (default
+  ``benchmarks/.sweep-cache``; entries are keyed by matrix spec, kernel,
+  hardware configs and a code fingerprint, so edits invalidate
+  automatically);
+* ``REPRO_SWEEP_NO_CACHE=1`` — recompute everything;
+* ``REPRO_SWEEP_JOURNAL`` — JSONL run journal (default
+  ``benchmarks/results/sweep_journal.jsonl``, truncated per session).
+
 Every artifact module writes its rendered table/figure into
 ``benchmarks/results/`` so EXPERIMENTS.md can quote the regenerated data.
 """
@@ -20,9 +31,12 @@ from pathlib import Path
 
 import pytest
 
+from repro.eval import RunnerConfig
 from repro.matrices import MatrixCollection, paper_collection
 
 RESULTS_DIR = Path(__file__).parent / "results"
+SWEEP_CACHE_DIR = Path(__file__).parent / ".sweep-cache"
+SWEEP_JOURNAL = RESULTS_DIR / "sweep_journal.jsonl"
 
 
 def bench_collection() -> MatrixCollection:
@@ -33,9 +47,27 @@ def bench_collection() -> MatrixCollection:
     return MatrixCollection(count, seed=2021, min_n=192, max_n=max_n)
 
 
+def bench_runner() -> RunnerConfig:
+    """Runner policy for figure regeneration: cached by default."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    journal = os.environ.get("REPRO_SWEEP_JOURNAL", str(SWEEP_JOURNAL))
+    return RunnerConfig.from_env(
+        cache_dir=os.environ.get("REPRO_SWEEP_CACHE", str(SWEEP_CACHE_DIR)),
+        journal_path=journal,
+    )
+
+
 @pytest.fixture(scope="session")
 def collection() -> MatrixCollection:
     return bench_collection()
+
+
+@pytest.fixture(scope="session")
+def runner() -> RunnerConfig:
+    config = bench_runner()
+    if config.journal_path and Path(config.journal_path).exists():
+        Path(config.journal_path).unlink()  # fresh journal per session
+    return config
 
 
 @pytest.fixture(scope="session")

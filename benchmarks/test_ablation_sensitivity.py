@@ -27,6 +27,8 @@ from repro.matrices import blocked
 from repro.sim import MachineConfig
 from repro.via import VIA_16_2P, ViaConfig
 
+pytestmark = pytest.mark.figure
+
 
 @pytest.fixture(scope="module")
 def problem():

@@ -23,6 +23,8 @@ from repro.kernels import (
 from repro.matrices import banded, power_law, random_uniform
 from repro.via import VIA_16_2P
 
+pytestmark = pytest.mark.figure
+
 MATRICES = {
     "banded": lambda: banded(1200, 8, 0.6, 61),
     "powerlaw": lambda: power_law(1200, 6.0, 2.0, 62),

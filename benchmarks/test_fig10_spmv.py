@@ -20,9 +20,12 @@ from repro.eval import (
 )
 
 
+pytestmark = pytest.mark.figure
+
+
 @pytest.fixture(scope="module")
-def spmv_records(collection):
-    return sweep_spmv(collection)
+def spmv_records(collection, runner):
+    return sweep_spmv(collection, runner=runner)
 
 
 def test_fig10_artifact(spmv_records, benchmark, results_dir):

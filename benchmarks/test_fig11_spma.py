@@ -10,9 +10,12 @@ from conftest import save_artifact
 from repro.eval import categorize, render_categories, sweep_spma
 
 
+pytestmark = pytest.mark.figure
+
+
 @pytest.fixture(scope="module")
-def spma_records(collection):
-    return sweep_spma(collection)
+def spma_records(collection, runner):
+    return sweep_spma(collection, runner=runner)
 
 
 def test_fig11_artifact(spma_records, benchmark, results_dir):

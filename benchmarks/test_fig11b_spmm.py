@@ -13,12 +13,15 @@ from repro.eval import categorize, render_categories, sweep_spmm
 from repro.matrices import MatrixCollection
 
 
+pytestmark = pytest.mark.figure
+
+
 @pytest.fixture(scope="module")
-def spmm_records():
+def spmm_records(runner):
     # smaller, denser matrices: the golden dense product is cubic
     count = int(os.environ.get("REPRO_BENCH_MATRICES", "24")) // 2
     coll = MatrixCollection(max(count, 6), seed=77, min_n=192, max_n=768)
-    return sweep_spmm(coll, max_n=1024)
+    return sweep_spmm(coll, max_n=1024, runner=runner)
 
 
 def test_fig11b_artifact(spmm_records, benchmark, results_dir):

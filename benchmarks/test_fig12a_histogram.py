@@ -18,6 +18,8 @@ from repro.kernels import (
     reference,
 )
 
+pytestmark = pytest.mark.figure
+
 NUM_BINS = 1024
 NUM_KEYS = 32_768
 

@@ -11,6 +11,8 @@ from conftest import save_artifact
 from repro.eval import geomean, render_table
 from repro.kernels import reference, stencil_vector_baseline, stencil_via
 
+pytestmark = pytest.mark.figure
+
 SIZES = (128, 256, 512)
 
 

@@ -20,12 +20,16 @@ def spmm_dse_collection() -> MatrixCollection:
     return MatrixCollection(6, seed=99, min_n=256, max_n=768)
 
 
+pytestmark = pytest.mark.figure
+
+
 @pytest.fixture(scope="module")
-def dse_result():
+def dse_result(runner):
     return run_dse(
         dse_collection(),
         spmm_collection=spmm_dse_collection(),
         spmm_max_n=1024,
+        runner=runner,
     )
 
 

@@ -5,10 +5,17 @@ Sweeps the four DSE configurations over a small matrix set, pairs the
 performance with the synthesized area/leakage model, and prints the
 efficiency trade-off the paper uses to select 16_2p.
 
-Run:  python examples/design_space.py   (takes a minute or two)
+The sweep routes through the parallel cached runner, so a re-run is
+near-free: results land in ``examples/.sweep-cache`` keyed by matrix spec,
+kernel and hardware configs.  ``REPRO_SWEEP_WORKERS=4`` fans the sweep out
+over a process pool; ``REPRO_SWEEP_NO_CACHE=1`` forces recomputation.
+
+Run:  python examples/design_space.py   (takes a minute or two cold)
 """
 
-from repro.eval import render_dse, render_table, run_dse
+import pathlib
+
+from repro.eval import RunnerConfig, render_dse, render_table, run_dse
 from repro.matrices import MatrixCollection
 from repro.via import ViaConfig, area_mm2, dse_configs, leakage_mw, table2
 
@@ -16,7 +23,10 @@ from repro.via import ViaConfig, area_mm2, dse_configs, leakage_mw, table2
 def main() -> None:
     coll = MatrixCollection(6, seed=33, min_n=1024, max_n=3072)
     spmm_coll = MatrixCollection(4, seed=34, min_n=256, max_n=640)
-    result = run_dse(coll, spmm_collection=spmm_coll)
+    runner = RunnerConfig.from_env(
+        cache_dir=str(pathlib.Path(__file__).parent / ".sweep-cache"),
+    )
+    result = run_dse(coll, spmm_collection=spmm_coll, runner=runner)
 
     print(render_dse(result))
     print()

@@ -20,6 +20,23 @@ from repro.eval.harness import (
     sweep_spmm,
     sweep_spmv,
 )
+from repro.eval.runner import (
+    ResultCache,
+    RunnerConfig,
+    SweepResult,
+    UnitFailure,
+    code_version,
+    run_units,
+)
+from repro.eval.units import (
+    UNIT_KINDS,
+    WorkUnit,
+    compute_unit,
+    spma_units,
+    spmm_units,
+    spmv_units,
+    unit_cache_key,
+)
 from repro.eval.reporting import (
     render_categories,
     render_dict,
@@ -47,4 +64,17 @@ __all__ = [
     "render_dse",
     "render_ratio_line",
     "render_table",
+    "ResultCache",
+    "RunnerConfig",
+    "SweepResult",
+    "UnitFailure",
+    "code_version",
+    "run_units",
+    "UNIT_KINDS",
+    "WorkUnit",
+    "compute_unit",
+    "spma_units",
+    "spmm_units",
+    "spmv_units",
+    "unit_cache_key",
 ]

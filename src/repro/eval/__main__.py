@@ -1,0 +1,6 @@
+"""``python -m repro.eval`` — the sweep-runner CLI (see runner.main)."""
+
+from repro.eval.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

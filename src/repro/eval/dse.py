@@ -9,12 +9,15 @@ their synthesized area and leakage (see :mod:`repro.via.area`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.eval.harness import geomean, sweep_spma, sweep_spmm, sweep_spmv
 from repro.matrices.collection import MatrixCollection
 from repro.sim.config import DEFAULT_MACHINE, MachineConfig
 from repro.via.config import ViaConfig, dse_configs
+
+if TYPE_CHECKING:
+    from repro.eval.runner import RunnerConfig
 
 DSE_KERNELS = ("spmv", "spma", "spmm")
 
@@ -46,6 +49,7 @@ def run_dse(
     limit: Optional[int] = None,
     spmm_collection: Optional[MatrixCollection] = None,
     spmm_max_n: int = 1024,
+    runner: Optional["RunnerConfig"] = None,
 ) -> DseResult:
     """Sweep every configuration over the three kernels (Figure 9).
 
@@ -53,6 +57,10 @@ def run_dse(
     format); SpMA and SpMM run the CSR flows.  CSB block sizes follow each
     configuration (half the SSPM), so the sweep captures the capacity
     effect as well as the port effect.
+
+    ``runner`` is forwarded to every underlying sweep — the DSE re-sweeps
+    the same collection once per configuration, so a cached parallel
+    :class:`~repro.eval.runner.RunnerConfig` pays off most here.
     """
     configs = list(configs) if configs is not None else dse_configs()
     cycles: Dict[str, Dict[str, float]] = {k: {} for k in DSE_KERNELS}
@@ -63,12 +71,14 @@ def run_dse(
             machine=machine,
             via_config=cfg,
             limit=limit,
+            runner=runner,
         )
         cycles["spmv"][cfg.name] = geomean(
             r.via_cycles["csb"] for r in spmv_recs
         )
         spma_recs = sweep_spma(
-            collection, machine=machine, via_config=cfg, limit=limit
+            collection, machine=machine, via_config=cfg, limit=limit,
+            runner=runner,
         )
         cycles["spma"][cfg.name] = geomean(
             r.via_cycles["csr"] for r in spma_recs
@@ -79,6 +89,7 @@ def run_dse(
             via_config=cfg,
             limit=limit,
             max_n=spmm_max_n,
+            runner=runner,
         )
         cycles["spmm"][cfg.name] = geomean(
             r.via_cycles["csr"] for r in spmm_recs

@@ -8,30 +8,39 @@ paper categorizes by (CSB block density for Fig. 10, nnz/row for Fig. 11).
 Each record also carries energy and memory-bandwidth ratios, used for the
 Section VII-A prose claims (3.8x energy reduction, 2.5x bandwidth increase
 for CSB SpMV).
+
+Execution is delegated to :mod:`repro.eval.runner`: every sweep decomposes
+into picklable :class:`~repro.eval.units.WorkUnit` items, so passing a
+:class:`~repro.eval.runner.RunnerConfig` via ``runner=`` fans the sweep out
+over a process pool and/or serves results from the content-addressed cache.
+With ``runner=None`` (the default) the sweep runs inline and raises on the
+first kernel error, exactly like the historical sequential path.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.formats.coo import COOMatrix
-from repro.formats.csb import CSBMatrix
-from repro.formats.csc import CSCMatrix
-from repro.formats.csr import CSRMatrix
-from repro.formats.sellcs import SellCSigmaMatrix
-from repro.formats.spc5 import SPC5Matrix
-from repro.kernels import spma as spma_mod
-from repro.kernels import spmm as spmm_mod
-from repro.kernels import spmv as spmv_mod
-from repro.matrices.collection import MatrixCollection, MatrixSpec
-from repro.matrices.stats import nnz_per_row_metric
-from repro.sim.config import DEFAULT_MACHINE, MachineConfig
-from repro.via.config import DEFAULT_VIA, ViaConfig
+if TYPE_CHECKING:  # runner imports harness; keep the cycle import-time free
+    from repro.eval.runner import RunnerConfig
+    from repro.matrices.collection import MatrixCollection
+    from repro.sim.config import MachineConfig
+    from repro.via.config import ViaConfig
 
 SPMV_FORMATS = ("csr", "csb", "spc5", "sellcs")
+
+#: SweepRecord fields holding per-format mappings (serialization order)
+_RECORD_DICT_FIELDS = (
+    "speedup",
+    "energy_ratio",
+    "bandwidth_ratio",
+    "baseline_cycles",
+    "via_cycles",
+)
 
 
 @dataclass
@@ -49,81 +58,110 @@ class SweepRecord:
     baseline_cycles: Dict[str, float] = field(default_factory=dict)
     via_cycles: Dict[str, float] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload; ``from_dict`` round-trips bit-identically."""
+        out = {
+            "name": self.name,
+            "domain": self.domain,
+            "n": int(self.n),
+            "nnz": int(self.nnz),
+            "metric": float(self.metric),
+        }
+        for key in _RECORD_DICT_FIELDS:
+            out[key] = {k: float(v) for k, v in getattr(self, key).items()}
+        return out
 
-def geomean(values: Iterable[float]) -> float:
-    """Geometric mean — the standard aggregate for speedup ratios."""
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepRecord":
+        return cls(
+            name=data["name"],
+            domain=data["domain"],
+            n=int(data["n"]),
+            nnz=int(data["nnz"]),
+            metric=float(data["metric"]),
+            **{key: dict(data.get(key, {})) for key in _RECORD_DICT_FIELDS},
+        )
+
+
+def geomean(values: Iterable[float], *, warn_label: str = "geomean") -> float:
+    """Geometric mean — the standard aggregate for speedup ratios.
+
+    Two degenerate cases return NaN but mean different things:
+
+    * *no data* — the input was empty; silent, because aggregating an
+      empty category is routine (e.g. a format absent from a sweep);
+    * *all values filtered out* — data arrived but every value was
+      non-positive (or NaN), so the geomean is undefined; a
+      ``RuntimeWarning`` flags it because silently dropping measurements
+      has masked real regressions before.
+
+    Dropping *some* non-positive values also warns, with the drop count.
+    """
     arr = np.asarray(list(values), dtype=float)
-    arr = arr[arr > 0]
-    return float(np.exp(np.log(arr).mean())) if arr.size else float("nan")
+    if arr.size == 0:
+        return float("nan")  # no data: vacuously undefined, not suspicious
+    positive = arr[arr > 0]
+    if positive.size == 0:
+        warnings.warn(
+            f"{warn_label}: all {arr.size} value(s) are non-positive or NaN; "
+            "geometric mean is undefined — returning NaN",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return float("nan")
+    if positive.size < arr.size:
+        warnings.warn(
+            f"{warn_label}: dropped {arr.size - positive.size} non-positive "
+            f"or NaN value(s) out of {arr.size} before averaging",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return float(np.exp(np.log(positive).mean()))
 
 
-def _build_format(coo: COOMatrix, fmt: str, machine: MachineConfig, via: ViaConfig):
-    if fmt == "csr":
-        return CSRMatrix.from_coo(coo)
-    if fmt == "csb":
-        return CSBMatrix.from_coo(coo, block_size=via.csb_block_size)
-    if fmt == "spc5":
-        return SPC5Matrix.from_coo(coo, vl=machine.vl)
-    if fmt == "sellcs":
-        return SellCSigmaMatrix.from_coo(coo, c=machine.vl, sigma=16 * machine.vl)
-    raise ValueError(f"unknown SpMV format {fmt!r}")
+def _run(units, runner: Optional["RunnerConfig"], progress):
+    """Execute units through the runner; default = strict inline run."""
+    from repro.eval.runner import RunnerConfig, run_units
+
+    if runner is None:
+        runner = RunnerConfig(capture_errors=False)
+    return run_units(units, runner, progress=progress).records
 
 
 def sweep_spmv(
-    collection: MatrixCollection,
+    collection: "MatrixCollection",
     *,
     formats: Iterable[str] = SPMV_FORMATS,
-    machine: MachineConfig = DEFAULT_MACHINE,
-    via_config: ViaConfig = DEFAULT_VIA,
+    machine: Optional["MachineConfig"] = None,
+    via_config: Optional["ViaConfig"] = None,
     limit: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional["RunnerConfig"] = None,
 ) -> List[SweepRecord]:
     """Run baseline + VIA SpMV for every matrix and format (Fig. 10 data).
 
     The per-record ``metric`` is the matrix's median non-zeros per CSB
     block at the configured block size — the x-axis of Figure 10.
     """
-    records: List[SweepRecord] = []
-    rng = np.random.default_rng(12345)
-    for spec in _iter(collection, limit):
-        coo = collection.matrix(spec)
-        x = rng.standard_normal(coo.cols)
-        csb = CSBMatrix.from_coo(coo, block_size=via_config.csb_block_size)
-        per_block = csb.nnz_per_block()
-        rec = SweepRecord(
-            name=spec.name,
-            domain=spec.domain,
-            n=coo.rows,
-            nnz=coo.nnz,
-            metric=float(np.median(per_block)) if per_block.size else 0.0,
-        )
-        for fmt in formats:
-            mat = csb if fmt == "csb" else _build_format(coo, fmt, machine, via_config)
-            base_fn, via_fn = spmv_mod.SPMV_VARIANTS[fmt]
-            base = base_fn(mat, x, machine)
-            via = via_fn(mat, x, machine, via_config)
-            rec.speedup[fmt] = base.cycles / via.cycles
-            rec.energy_ratio[fmt] = base.energy_pj / via.energy_pj
-            rec.bandwidth_ratio[fmt] = (
-                via.memory_bandwidth_gbs / base.memory_bandwidth_gbs
-                if base.memory_bandwidth_gbs
-                else float("nan")
-            )
-            rec.baseline_cycles[fmt] = base.cycles
-            rec.via_cycles[fmt] = via.cycles
-        records.append(rec)
-        if progress is not None:
-            progress(spec.name)
-    return records
+    from repro.eval.units import spmv_units
+
+    units = spmv_units(
+        collection,
+        formats=formats,
+        **_hw(machine, via_config),
+        limit=limit,
+    )
+    return _run(units, runner, progress)
 
 
 def sweep_spma(
-    collection: MatrixCollection,
+    collection: "MatrixCollection",
     *,
-    machine: MachineConfig = DEFAULT_MACHINE,
-    via_config: ViaConfig = DEFAULT_VIA,
+    machine: Optional["MachineConfig"] = None,
+    via_config: Optional["ViaConfig"] = None,
     limit: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional["RunnerConfig"] = None,
 ) -> List[SweepRecord]:
     """Run baseline + VIA SpMA per matrix (Fig. 11 data).
 
@@ -131,53 +169,21 @@ def sweep_spma(
     spec with a shifted seed, mirroring the paper's same-shape additions.
     The metric is the average non-zeros per non-empty row.
     """
-    records: List[SweepRecord] = []
-    for spec in _iter(collection, limit):
-        coo_a = collection.matrix(spec)
-        sibling = MatrixSpec(
-            name=spec.name + "_b",
-            domain=spec.domain,
-            n=spec.n,
-            seed=spec.seed + 1,
-            params=spec.params,
-        )
-        coo_b = sibling.build()
-        if coo_b.shape != coo_a.shape:  # grid/kron generators round dims
-            coo_b = COOMatrix(
-                coo_a.shape,
-                coo_b.row % coo_a.shape[0],
-                coo_b.col % coo_a.shape[1],
-                coo_b.data,
-            )
-        a = CSRMatrix.from_coo(coo_a)
-        b = CSRMatrix.from_coo(coo_b)
-        base = spma_mod.spma_csr_baseline(a, b, machine)
-        via = spma_mod.spma_via(a, b, machine, via_config)
-        rec = SweepRecord(
-            name=spec.name,
-            domain=spec.domain,
-            n=coo_a.rows,
-            nnz=coo_a.nnz,
-            metric=nnz_per_row_metric(coo_a),
-            speedup={"csr": base.cycles / via.cycles},
-            energy_ratio={"csr": base.energy_pj / via.energy_pj},
-            baseline_cycles={"csr": base.cycles},
-            via_cycles={"csr": via.cycles},
-        )
-        records.append(rec)
-        if progress is not None:
-            progress(spec.name)
-    return records
+    from repro.eval.units import spma_units
+
+    units = spma_units(collection, **_hw(machine, via_config), limit=limit)
+    return _run(units, runner, progress)
 
 
 def sweep_spmm(
-    collection: MatrixCollection,
+    collection: "MatrixCollection",
     *,
-    machine: MachineConfig = DEFAULT_MACHINE,
-    via_config: ViaConfig = DEFAULT_VIA,
+    machine: Optional["MachineConfig"] = None,
+    via_config: Optional["ViaConfig"] = None,
     limit: Optional[int] = None,
     max_n: int = 1024,
     progress: Optional[Callable[[str], None]] = None,
+    runner: Optional["RunnerConfig"] = None,
 ) -> List[SweepRecord]:
     """Run baseline + VIA SpMM per matrix (Section VII-C data).
 
@@ -186,49 +192,20 @@ def sweep_spmm(
     cubic, the same kind of simulation-time cut the paper makes at 20,000
     rows.
     """
-    records: List[SweepRecord] = []
-    for spec in _iter(collection, limit):
-        if spec.n > max_n:
-            continue
-        coo_a = collection.matrix(spec)
-        if coo_a.rows > max_n:
-            continue
-        sibling = MatrixSpec(
-            name=spec.name + "_b",
-            domain=spec.domain,
-            n=spec.n,
-            seed=spec.seed + 2,
-            params=spec.params,
-        )
-        coo_b = sibling.build()
-        if coo_b.shape != coo_a.shape:
-            coo_b = COOMatrix(
-                coo_a.shape,
-                coo_b.row % coo_a.shape[0],
-                coo_b.col % coo_a.shape[1],
-                coo_b.data,
-            )
-        a = CSRMatrix.from_coo(coo_a)
-        b = CSCMatrix.from_coo(coo_b)
-        base = spmm_mod.spmm_csr_baseline(a, b, machine)
-        via = spmm_mod.spmm_via(a, b, machine, via_config)
-        rec = SweepRecord(
-            name=spec.name,
-            domain=spec.domain,
-            n=coo_a.rows,
-            nnz=coo_a.nnz,
-            metric=nnz_per_row_metric(coo_a),
-            speedup={"csr": base.cycles / via.cycles},
-            energy_ratio={"csr": base.energy_pj / via.energy_pj},
-            baseline_cycles={"csr": base.cycles},
-            via_cycles={"csr": via.cycles},
-        )
-        records.append(rec)
-        if progress is not None:
-            progress(spec.name)
-    return records
+    from repro.eval.units import spmm_units
+
+    units = spmm_units(
+        collection, **_hw(machine, via_config), limit=limit, max_n=max_n
+    )
+    return _run(units, runner, progress)
 
 
-def _iter(collection: MatrixCollection, limit: Optional[int]):
-    specs = collection.specs
-    return specs[:limit] if limit is not None else specs
+def _hw(machine, via_config) -> dict:
+    """Resolve hardware-config defaults lazily (import-cycle free)."""
+    from repro.sim.config import DEFAULT_MACHINE
+    from repro.via.config import DEFAULT_VIA
+
+    return {
+        "machine": machine if machine is not None else DEFAULT_MACHINE,
+        "via_config": via_config if via_config is not None else DEFAULT_VIA,
+    }

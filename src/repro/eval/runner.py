@@ -1,0 +1,456 @@
+"""Parallel, cached sweep-execution engine with structured run telemetry.
+
+The paper's evaluation (Section VII) sweeps 1,024 matrices across kernels
+and formats; replaying that loop sequentially repays the full simulation
+cost on every figure regeneration.  This module turns a list of
+:class:`~repro.eval.units.WorkUnit` into :class:`SweepRecord` results three
+ways faster:
+
+* **parallelism** — units fan out over a ``multiprocessing`` pool with a
+  configurable worker count and ``chunksize``; results keep unit order, so
+  a parallel sweep is bit-identical to a sequential one;
+* **caching** — a content-addressed on-disk cache keyed by
+  :func:`repro.eval.units.unit_cache_key` (matrix spec, kernel, formats,
+  :class:`MachineConfig`, :class:`ViaConfig`, and a code fingerprint) makes
+  re-runs and partial sweeps near-free; entries carry checksums so a
+  corrupted or truncated file is recomputed, never served;
+* **telemetry** — a JSONL run journal records per-unit wall time, cycles,
+  cache status and worker id, and aggregate
+  :class:`repro.sim.stats.SweepCounters` summarize the run; a unit that
+  raises becomes a recorded :class:`UnitFailure` instead of killing the
+  sweep (when ``capture_errors`` is on).
+
+Environment knobs (read by :meth:`RunnerConfig.from_env`):
+
+* ``REPRO_SWEEP_WORKERS`` — pool size (default 1 = inline execution);
+* ``REPRO_SWEEP_CACHE`` — cache directory (unset = caching off);
+* ``REPRO_SWEEP_NO_CACHE=1`` — escape hatch: ignore any cache directory;
+* ``REPRO_SWEEP_JOURNAL`` — JSONL journal path (unset = no journal).
+
+A CLI is included for demo sweeps::
+
+    python -m repro.eval --kernel spmv --count 8 --workers 2 \
+        --cache-dir /tmp/via-cache --journal /tmp/via-run.jsonl
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import repro
+from repro.eval.harness import SweepRecord, geomean
+from repro.eval.units import WorkUnit, compute_unit, unit_cache_key
+from repro.sim.stats import SweepCounters
+
+#: bump when the cache entry layout (not the results) changes
+CACHE_FORMAT = 1
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Fingerprint of every source file that can influence sweep results.
+
+    Hashing the package sources (rather than trusting a version string)
+    means any edit to kernels, formats, the machine model, or the unit
+    computation invalidates stale cache entries automatically.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Execution policy for one sweep run."""
+
+    workers: int = 1
+    chunksize: Optional[int] = None
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    journal_path: Optional[str] = None
+    capture_errors: bool = True
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {self.chunksize}")
+
+    @property
+    def caching(self) -> bool:
+        return self.use_cache and self.cache_dir is not None
+
+    @classmethod
+    def from_env(cls, **overrides) -> "RunnerConfig":
+        """Build a config from the ``REPRO_SWEEP_*`` environment knobs."""
+        values = {
+            "workers": int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
+            "cache_dir": os.environ.get("REPRO_SWEEP_CACHE") or None,
+            "use_cache": os.environ.get("REPRO_SWEEP_NO_CACHE") != "1",
+            "journal_path": os.environ.get("REPRO_SWEEP_JOURNAL") or None,
+        }
+        values.update(overrides)
+        return cls(**values)
+
+
+@dataclass
+class UnitFailure:
+    """A work unit that raised; the sweep records it and moves on."""
+
+    index: int
+    kind: str
+    name: str
+    error: str
+    traceback: str = ""
+
+
+@dataclass
+class SweepResult:
+    """Everything one runner invocation produced."""
+
+    records: List[SweepRecord] = field(default_factory=list)
+    failures: List[UnitFailure] = field(default_factory=list)
+    counters: SweepCounters = field(default_factory=SweepCounters)
+    journal_path: Optional[str] = None
+
+
+class ResultCache:
+    """Content-addressed on-disk store of serialized :class:`SweepRecord`.
+
+    Layout: ``<root>/<key[:2]>/<key>.json``.  Each entry embeds its own key
+    and a checksum of the payload; :meth:`get` treats a missing key, a
+    parse failure, a key mismatch, or a checksum mismatch as a miss (the
+    latter three flagged *corrupt* and the entry deleted) so a truncated
+    or tampered file is recomputed, never served.
+    """
+
+    def __init__(self, root: str):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _checksum(payload) -> str:
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def get(self, key: str) -> Tuple[Optional[dict], str]:
+        """Return ``(entry_payload, status)``; status in hit/miss/corrupt."""
+        path = self._path(key)
+        if not path.exists():
+            return None, "miss"
+        try:
+            entry = json.loads(path.read_text())
+            if (
+                entry.get("format") != CACHE_FORMAT
+                or entry.get("key") != key
+                or entry.get("checksum") != self._checksum(entry["payload"])
+            ):
+                raise ValueError("cache entry failed integrity check")
+            return entry["payload"], "hit"
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            path.unlink(missing_ok=True)
+            return None, "corrupt"
+
+    def put(self, key: str, payload: Optional[dict]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "payload": payload,
+            "checksum": self._checksum(payload),
+        }
+        tmp = path.with_suffix(".tmp")
+        # no sort_keys: the payload's dict order must survive the round
+        # trip so cached records stay bit-identical to computed ones
+        tmp.write_text(json.dumps(entry))
+        os.replace(tmp, path)  # atomic: readers never see a partial entry
+
+    def invalidate(self, key: Optional[str] = None) -> int:
+        """Drop one entry (or, with no key, every entry); returns count."""
+        if key is not None:
+            path = self._path(key)
+            existed = path.exists()
+            path.unlink(missing_ok=True)
+            return int(existed)
+        dropped = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.json"):
+                path.unlink()
+                dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.rglob("*.json")) if self.root.exists() else 0
+
+
+# ----------------------------------------------------------------------
+# worker-side execution
+
+
+def _execute(task: Tuple[int, WorkUnit]):
+    """Run one unit in the current process; never raises.
+
+    Returns ``(index, status, payload, wall_s, worker_pid)`` where status
+    is ``ok`` (payload = SweepRecord or None for self-filtered units) or
+    ``failed`` (payload = (error, traceback) strings).
+    """
+    index, unit = task
+    start = time.perf_counter()
+    try:
+        record = compute_unit(unit)
+        return index, "ok", record, time.perf_counter() - start, os.getpid()
+    except Exception as exc:  # per-unit fault isolation
+        tb = traceback.format_exc()
+        return index, "failed", (repr(exc), tb), time.perf_counter() - start, os.getpid()
+
+
+def _pool_context():
+    """Fork keeps registered UNIT_KINDS visible to workers; fall back
+    to the platform default elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class _Journal:
+    """Append-only JSONL writer; one line per work unit."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._fh = None
+        if path is not None:
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(path, "a", encoding="utf-8")
+
+    def write(self, **fields) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(fields, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _journal_cycles(record: Optional[SweepRecord]) -> dict:
+    if record is None:
+        return {}
+    return {
+        "baseline_cycles": dict(record.baseline_cycles),
+        "via_cycles": dict(record.via_cycles),
+    }
+
+
+def run_units(
+    units: Sequence[WorkUnit],
+    config: Optional[RunnerConfig] = None,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Execute ``units`` under ``config`` and return ordered results.
+
+    Records come back in unit order no matter how many workers computed
+    them, so ``workers=N`` is bit-identical to ``workers=1``.  With a cache
+    configured, known-good entries are served without recomputation; with
+    ``capture_errors`` on, a raising unit becomes a :class:`UnitFailure`
+    and the sweep completes.
+    """
+    config = config or RunnerConfig()
+    units = list(units)
+    counters = SweepCounters(units_total=len(units), workers=config.workers)
+    result = SweepResult(counters=counters, journal_path=config.journal_path)
+    journal = _Journal(config.journal_path)
+    cache = ResultCache(config.cache_dir) if config.caching else None
+    version = code_version() if cache is not None else ""
+    run_start = time.perf_counter()
+    my_pid = os.getpid()
+
+    # per-index outcome slots keep deterministic ordering
+    slots: List[Optional[Tuple[str, object, float, int]]] = [None] * len(units)
+    keys: List[Optional[str]] = [None] * len(units)
+    pending: List[Tuple[int, WorkUnit]] = []
+
+    try:
+        for i, unit in enumerate(units):
+            if cache is None:
+                pending.append((i, unit))
+                continue
+            lookup_start = time.perf_counter()
+            keys[i] = unit_cache_key(unit, version)
+            payload, status = cache.get(keys[i])
+            if status == "hit":
+                counters.cache_hits += 1
+                record = SweepRecord.from_dict(payload) if payload is not None else None
+                slots[i] = ("hit", record, time.perf_counter() - lookup_start, my_pid)
+            else:
+                counters.cache_misses += 1
+                if status == "corrupt":
+                    counters.cache_corrupt += 1
+                pending.append((i, unit))
+
+        if config.workers > 1 and len(pending) > 1:
+            chunksize = config.chunksize or max(
+                1, len(pending) // (config.workers * 4)
+            )
+            ctx = _pool_context()
+            with ctx.Pool(processes=config.workers) as pool:
+                outcomes = pool.imap(_execute, pending, chunksize=chunksize)
+                for index, status, payload, wall_s, pid in outcomes:
+                    slots[index] = (status, payload, wall_s, pid)
+        else:
+            for task in pending:
+                index, status, payload, wall_s, pid = _execute(task)
+                slots[index] = (status, payload, wall_s, pid)
+
+        for i, unit in enumerate(units):
+            status, payload, wall_s, pid = slots[i]
+            entry = {
+                "unit": i,
+                "kind": unit.kind,
+                "name": unit.spec.name,
+                "wall_s": round(wall_s, 6),
+                "worker": pid,
+                "cache": "hit" if status == "hit" else
+                         ("off" if cache is None else "miss"),
+            }
+            if status == "failed":
+                error, tb = payload
+                if not config.capture_errors:
+                    journal.write(status="failed", error=error, **entry)
+                    raise RuntimeError(
+                        f"work unit {i} ({unit.kind}/{unit.spec.name}) "
+                        f"failed: {error}\n{tb}"
+                    )
+                counters.units_failed += 1
+                result.failures.append(
+                    UnitFailure(i, unit.kind, unit.spec.name, error, tb)
+                )
+                journal.write(status="failed", error=error, **entry)
+            elif status == "hit":
+                counters.units_cached += 1
+                record = payload
+                if record is None:
+                    counters.units_skipped += 1
+                else:
+                    result.records.append(record)
+                journal.write(status="cached", **_journal_cycles(record), **entry)
+            else:  # computed
+                record = payload
+                if cache is not None:
+                    cache.put(
+                        keys[i], record.to_dict() if record is not None else None
+                    )
+                if record is None:
+                    counters.units_skipped += 1
+                    journal.write(status="skipped", **entry)
+                else:
+                    counters.units_ok += 1
+                    result.records.append(record)
+                    journal.write(status="ok", **_journal_cycles(record), **entry)
+            if progress is not None:
+                progress(unit.spec.name)
+    finally:
+        counters.wall_seconds = time.perf_counter() - run_start
+        journal.close()
+    return result
+
+
+# ----------------------------------------------------------------------
+# CLI — demo sweeps and cache management
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    from repro.eval.units import spma_units, spmm_units, spmv_units
+    from repro.matrices.collection import MatrixCollection
+
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Run a demo evaluation sweep through the parallel "
+        "cached runner.",
+    )
+    parser.add_argument("--kernel", choices=("spmv", "spma", "spmm"),
+                        default="spmv")
+    parser.add_argument("--count", type=positive_int, default=8,
+                        help="matrices in the seeded demo collection")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--max-n", type=int, default=512,
+                        help="largest matrix dimension")
+    parser.add_argument("--workers", type=positive_int, default=1)
+    parser.add_argument("--chunksize", type=positive_int, default=None)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="escape hatch: ignore --cache-dir")
+    parser.add_argument("--invalidate-cache", action="store_true",
+                        help="wipe the cache directory before running")
+    parser.add_argument("--journal", default=None,
+                        help="JSONL run-journal path")
+    args = parser.parse_args(argv)
+
+    config = RunnerConfig(
+        workers=args.workers,
+        chunksize=args.chunksize,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        journal_path=args.journal,
+    )
+    if args.invalidate_cache and args.cache_dir:
+        dropped = ResultCache(args.cache_dir).invalidate()
+        print(f"invalidated {dropped} cache entr{'y' if dropped == 1 else 'ies'}")
+
+    collection = MatrixCollection(
+        args.count, seed=args.seed, min_n=64, max_n=args.max_n
+    )
+    builders = {
+        "spmv": lambda: spmv_units(collection, formats=("csr", "csb")),
+        "spma": lambda: spma_units(collection),
+        "spmm": lambda: spmm_units(collection, max_n=args.max_n),
+    }
+    result = run_units(builders[args.kernel](), config)
+
+    print(result.counters.summary())
+    for failure in result.failures:
+        print(f"  FAILED {failure.kind}/{failure.name}: {failure.error}")
+    if result.records:
+        fmts = sorted(result.records[0].speedup)
+        for fmt in fmts:
+            mean = geomean(
+                r.speedup[fmt] for r in result.records if fmt in r.speedup
+            )
+            print(f"  {args.kernel}/{fmt}: geomean speedup {mean:.2f}x "
+                  f"over {len(result.records)} matrices")
+    if config.journal_path:
+        print(f"  journal: {config.journal_path}")
+    return 1 if result.failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,272 @@
+"""Picklable sweep work units — the quantum of evaluation execution.
+
+A :class:`WorkUnit` names one (matrix spec, kernel, parameters) cell of the
+paper's evaluation grid.  Units are frozen, picklable, and self-contained:
+:func:`compute_unit` materializes the matrix from the spec and runs the
+baseline/VIA kernel pair without touching any shared state, so units can be
+shipped to ``multiprocessing`` workers or hashed into a content-addressed
+result cache (:mod:`repro.eval.runner`).
+
+Unit kinds are dispatched through the :data:`UNIT_KINDS` registry so tests
+(and future kernels) can plug in new unit types without editing the runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.eval.harness import SweepRecord
+from repro.formats.coo import COOMatrix
+from repro.formats.csb import CSBMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.sellcs import SellCSigmaMatrix
+from repro.formats.spc5 import SPC5Matrix
+from repro.kernels import spma as spma_mod
+from repro.kernels import spmm as spmm_mod
+from repro.kernels import spmv as spmv_mod
+from repro.matrices.collection import MatrixCollection, MatrixSpec
+from repro.matrices.stats import nnz_per_row_metric
+from repro.sim.config import DEFAULT_MACHINE, MachineConfig
+from repro.via.config import DEFAULT_VIA, ViaConfig
+
+#: master seed for the dense operand vectors; combined with each spec's own
+#: seed so a unit's input is a pure function of the unit (not of sweep order)
+X_VECTOR_SEED = 12345
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One cell of the evaluation grid: matrix spec x kernel x parameters."""
+
+    kind: str
+    spec: MatrixSpec
+    machine: MachineConfig = DEFAULT_MACHINE
+    via_config: ViaConfig = DEFAULT_VIA
+    formats: Tuple[str, ...] = ()
+    max_n: Optional[int] = None
+
+
+def _x_vector(spec: MatrixSpec, cols: int) -> np.ndarray:
+    """Deterministic dense operand, independent of sweep order."""
+    rng = np.random.default_rng([X_VECTOR_SEED, spec.seed, cols])
+    return rng.standard_normal(cols)
+
+
+def _sibling(spec: MatrixSpec, coo_a: COOMatrix, seed_shift: int) -> COOMatrix:
+    """Structurally-similar second operand (paper: same-shape additions)."""
+    sibling = MatrixSpec(
+        name=spec.name + "_b",
+        domain=spec.domain,
+        n=spec.n,
+        seed=spec.seed + seed_shift,
+        params=spec.params,
+    )
+    coo_b = sibling.build()
+    if coo_b.shape != coo_a.shape:  # grid/kron generators round dims
+        coo_b = COOMatrix(
+            coo_a.shape,
+            coo_b.row % coo_a.shape[0],
+            coo_b.col % coo_a.shape[1],
+            coo_b.data,
+        )
+    return coo_b
+
+
+def build_spmv_format(
+    coo: COOMatrix, fmt: str, machine: MachineConfig, via: ViaConfig
+):
+    if fmt == "csr":
+        return CSRMatrix.from_coo(coo)
+    if fmt == "csb":
+        return CSBMatrix.from_coo(coo, block_size=via.csb_block_size)
+    if fmt == "spc5":
+        return SPC5Matrix.from_coo(coo, vl=machine.vl)
+    if fmt == "sellcs":
+        return SellCSigmaMatrix.from_coo(coo, c=machine.vl, sigma=16 * machine.vl)
+    raise ValueError(f"unknown SpMV format {fmt!r}")
+
+
+def _compute_spmv(unit: WorkUnit) -> SweepRecord:
+    spec, machine, via_config = unit.spec, unit.machine, unit.via_config
+    coo = spec.build()
+    x = _x_vector(spec, coo.cols)
+    csb = CSBMatrix.from_coo(coo, block_size=via_config.csb_block_size)
+    per_block = csb.nnz_per_block()
+    rec = SweepRecord(
+        name=spec.name,
+        domain=spec.domain,
+        n=coo.rows,
+        nnz=coo.nnz,
+        metric=float(np.median(per_block)) if per_block.size else 0.0,
+    )
+    for fmt in unit.formats:
+        mat = csb if fmt == "csb" else build_spmv_format(coo, fmt, machine, via_config)
+        base_fn, via_fn = spmv_mod.SPMV_VARIANTS[fmt]
+        base = base_fn(mat, x, machine)
+        via = via_fn(mat, x, machine, via_config)
+        rec.speedup[fmt] = base.cycles / via.cycles
+        rec.energy_ratio[fmt] = base.energy_pj / via.energy_pj
+        rec.bandwidth_ratio[fmt] = (
+            via.memory_bandwidth_gbs / base.memory_bandwidth_gbs
+            if base.memory_bandwidth_gbs
+            else float("nan")
+        )
+        rec.baseline_cycles[fmt] = base.cycles
+        rec.via_cycles[fmt] = via.cycles
+    return rec
+
+
+def _compute_spma(unit: WorkUnit) -> SweepRecord:
+    spec, machine, via_config = unit.spec, unit.machine, unit.via_config
+    coo_a = spec.build()
+    coo_b = _sibling(spec, coo_a, seed_shift=1)
+    a = CSRMatrix.from_coo(coo_a)
+    b = CSRMatrix.from_coo(coo_b)
+    base = spma_mod.spma_csr_baseline(a, b, machine)
+    via = spma_mod.spma_via(a, b, machine, via_config)
+    return SweepRecord(
+        name=spec.name,
+        domain=spec.domain,
+        n=coo_a.rows,
+        nnz=coo_a.nnz,
+        metric=nnz_per_row_metric(coo_a),
+        speedup={"csr": base.cycles / via.cycles},
+        energy_ratio={"csr": base.energy_pj / via.energy_pj},
+        baseline_cycles={"csr": base.cycles},
+        via_cycles={"csr": via.cycles},
+    )
+
+
+def _compute_spmm(unit: WorkUnit) -> Optional[SweepRecord]:
+    spec, machine, via_config = unit.spec, unit.machine, unit.via_config
+    max_n = unit.max_n if unit.max_n is not None else 1024
+    if spec.n > max_n:
+        return None
+    coo_a = spec.build()
+    if coo_a.rows > max_n:
+        return None
+    coo_b = _sibling(spec, coo_a, seed_shift=2)
+    a = CSRMatrix.from_coo(coo_a)
+    b = CSCMatrix.from_coo(coo_b)
+    base = spmm_mod.spmm_csr_baseline(a, b, machine)
+    via = spmm_mod.spmm_via(a, b, machine, via_config)
+    return SweepRecord(
+        name=spec.name,
+        domain=spec.domain,
+        n=coo_a.rows,
+        nnz=coo_a.nnz,
+        metric=nnz_per_row_metric(coo_a),
+        speedup={"csr": base.cycles / via.cycles},
+        energy_ratio={"csr": base.energy_pj / via.energy_pj},
+        baseline_cycles={"csr": base.cycles},
+        via_cycles={"csr": via.cycles},
+    )
+
+
+#: unit-kind dispatch table; extensible (tests register fault-injection kinds)
+UNIT_KINDS: Dict[str, Callable[[WorkUnit], Optional[SweepRecord]]] = {
+    "spmv": _compute_spmv,
+    "spma": _compute_spma,
+    "spmm": _compute_spmm,
+}
+
+
+def compute_unit(unit: WorkUnit) -> Optional[SweepRecord]:
+    """Execute one work unit; ``None`` means the unit filtered itself out."""
+    try:
+        fn = UNIT_KINDS[unit.kind]
+    except KeyError:
+        raise ReproError(f"unknown work-unit kind {unit.kind!r}") from None
+    return fn(unit)
+
+
+# ----------------------------------------------------------------------
+# unit-list builders used by the harness sweeps and by tests
+
+
+def _iter_specs(
+    collection: MatrixCollection, limit: Optional[int]
+) -> List[MatrixSpec]:
+    specs = collection.specs
+    return specs[:limit] if limit is not None else specs
+
+
+def spmv_units(
+    collection: MatrixCollection,
+    *,
+    formats: Iterable[str],
+    machine: MachineConfig = DEFAULT_MACHINE,
+    via_config: ViaConfig = DEFAULT_VIA,
+    limit: Optional[int] = None,
+) -> List[WorkUnit]:
+    fmts = tuple(formats)
+    return [
+        WorkUnit("spmv", spec, machine, via_config, formats=fmts)
+        for spec in _iter_specs(collection, limit)
+    ]
+
+
+def spma_units(
+    collection: MatrixCollection,
+    *,
+    machine: MachineConfig = DEFAULT_MACHINE,
+    via_config: ViaConfig = DEFAULT_VIA,
+    limit: Optional[int] = None,
+) -> List[WorkUnit]:
+    return [
+        WorkUnit("spma", spec, machine, via_config)
+        for spec in _iter_specs(collection, limit)
+    ]
+
+
+def spmm_units(
+    collection: MatrixCollection,
+    *,
+    machine: MachineConfig = DEFAULT_MACHINE,
+    via_config: ViaConfig = DEFAULT_VIA,
+    limit: Optional[int] = None,
+    max_n: int = 1024,
+) -> List[WorkUnit]:
+    return [
+        WorkUnit("spmm", spec, machine, via_config, max_n=max_n)
+        for spec in _iter_specs(collection, limit)
+    ]
+
+
+# ----------------------------------------------------------------------
+# content-addressed cache keys
+
+
+def unit_cache_key(unit: WorkUnit, code_version: str) -> str:
+    """Stable content hash of everything that determines a unit's record.
+
+    Two units hash equal iff they would produce the same
+    :class:`SweepRecord` under the same code: the matrix spec, the kernel
+    kind and its parameters, both hardware configurations, and the code
+    fingerprint all feed the key.
+    """
+    payload = {
+        "kind": unit.kind,
+        "spec": {
+            "name": unit.spec.name,
+            "domain": unit.spec.domain,
+            "n": unit.spec.n,
+            "seed": unit.spec.seed,
+            "params": unit.spec.params,
+        },
+        "formats": list(unit.formats),
+        "max_n": unit.max_n,
+        "machine": dataclasses.asdict(unit.machine),
+        "via": dataclasses.asdict(unit.via_config),
+        "code": code_version,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -16,7 +16,12 @@ from repro.sim.config import (
 from repro.sim.core import AddressSpace, Array, Core
 from repro.sim.dram import DRAMModel, DRAMStats
 from repro.sim.hierarchy import AccessResult, MemoryHierarchy
-from repro.sim.stats import CycleBreakdown, KernelResult, OpCounters
+from repro.sim.stats import (
+    CycleBreakdown,
+    KernelResult,
+    OpCounters,
+    SweepCounters,
+)
 
 __all__ = [
     "Cache",
@@ -37,4 +42,5 @@ __all__ = [
     "CycleBreakdown",
     "KernelResult",
     "OpCounters",
+    "SweepCounters",
 ]

@@ -102,6 +102,50 @@ class CycleBreakdown:
 
 
 @dataclass
+class SweepCounters:
+    """Aggregate observability counters for one sweep-runner invocation.
+
+    Produced by :func:`repro.eval.runner.run_units`; every work unit lands
+    in exactly one of ``units_ok`` / ``units_cached`` / ``units_failed`` /
+    ``units_skipped``.  ``cache_corrupt`` counts entries that failed
+    integrity checks and were recomputed rather than served.
+    """
+
+    units_total: int = 0
+    units_ok: int = 0
+    units_cached: int = 0
+    units_failed: int = 0
+    units_skipped: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_corrupt: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    def as_dict(self) -> Dict[str, float]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def merge(self, other: "SweepCounters") -> "SweepCounters":
+        """Combine counters from two sweeps (workers: max, wall: sum)."""
+        merged = SweepCounters(workers=max(self.workers, other.workers))
+        for name in self.__dataclass_fields__:
+            if name == "workers":
+                continue
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    def summary(self) -> str:
+        return (
+            f"{self.units_total} units: {self.units_ok} computed, "
+            f"{self.units_cached} cached, {self.units_failed} failed, "
+            f"{self.units_skipped} skipped "
+            f"(cache {self.cache_hits} hit / {self.cache_misses} miss"
+            + (f" / {self.cache_corrupt} corrupt" if self.cache_corrupt else "")
+            + f") in {self.wall_seconds:.2f}s with {self.workers} worker(s)"
+        )
+
+
+@dataclass
 class KernelResult:
     """Everything measured for one timed kernel execution."""
 

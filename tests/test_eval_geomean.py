@@ -1,0 +1,51 @@
+"""Edge-case tests for :func:`repro.eval.geomean`.
+
+The aggregate must distinguish two NaN cases that used to be
+indistinguishable: *no data* (empty input — routine, silent) and *all
+values filtered out* (every value non-positive or NaN — suspicious,
+warned).  Partial drops warn with the count instead of vanishing silently.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.eval import geomean
+
+pytestmark = pytest.mark.smoke
+
+
+def test_empty_input_is_silent_nan():
+    """No data: NaN without a warning — empty categories are routine."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any warning would raise
+        assert np.isnan(geomean([]))
+        assert np.isnan(geomean(iter(())))
+
+
+def test_all_filtered_out_warns_and_returns_nan():
+    with pytest.warns(RuntimeWarning, match="all 3 value.*non-positive"):
+        assert np.isnan(geomean([0.0, -1.0, -2.5]))
+
+
+def test_all_nan_input_warns_and_returns_nan():
+    with pytest.warns(RuntimeWarning, match="non-positive or NaN"):
+        assert np.isnan(geomean([float("nan"), float("nan")]))
+
+
+def test_partial_drop_warns_with_count_and_averages_the_rest():
+    with pytest.warns(RuntimeWarning, match="dropped 2 non-positive.*out of 4"):
+        assert geomean([4.0, 0.0, -1.0, 1.0]) == pytest.approx(2.0)
+
+
+def test_clean_input_is_silent_and_correct():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_warn_label_names_the_aggregate():
+    with pytest.warns(RuntimeWarning, match="csb speedups:"):
+        geomean([-1.0], warn_label="csb speedups")

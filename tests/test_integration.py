@@ -118,8 +118,9 @@ class TestGeomean:
     def test_geomean_empty_is_nan(self):
         assert np.isnan(geomean([]))
 
-    def test_geomean_ignores_nonpositive(self):
-        assert geomean([2.0, 0.0, -1.0]) == pytest.approx(2.0)
+    def test_geomean_ignores_nonpositive_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="dropped 2 non-positive"):
+            assert geomean([2.0, 0.0, -1.0]) == pytest.approx(2.0)
 
 
 class TestRenderTable:

@@ -1,0 +1,128 @@
+"""Differential tests: the parallel+cached runner vs the sequential path.
+
+The whole value of :mod:`repro.eval.runner` rests on one invariant — no
+execution strategy may change the science.  For a seeded matrix sample,
+every combination of (cold cache, warm cache, workers=1, workers=N) must
+produce **bit-identical** :class:`SweepRecord` lists: identical floats,
+identical ordering, identical per-format keys.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    RunnerConfig,
+    run_units,
+    spma_units,
+    spmm_units,
+    spmv_units,
+    sweep_spma,
+    sweep_spmv,
+)
+from repro.matrices import MatrixCollection, small_collection
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return small_collection(5, seed=7, max_n=192)
+
+
+@pytest.fixture(scope="module")
+def spmv_sequential(collection):
+    """The reference: strict inline execution, no pool, no cache."""
+    return sweep_spmv(collection, formats=("csr", "csb"))
+
+
+def _assert_bit_identical(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g == w, f"record for {w.name} differs"
+        # dataclass equality is ==; re-check floats are *bitwise* equal
+        for fld in ("speedup", "baseline_cycles", "via_cycles",
+                    "energy_ratio", "bandwidth_ratio"):
+            gd, wd = getattr(g, fld), getattr(w, fld)
+            assert list(gd) == list(wd)
+            for key in wd:
+                assert np.float64(gd[key]).tobytes() == \
+                    np.float64(wd[key]).tobytes(), (w.name, fld, key)
+
+
+class TestSpmvDifferential:
+    def test_workers1_no_cache_matches_sequential(
+        self, collection, spmv_sequential
+    ):
+        records = sweep_spmv(
+            collection, formats=("csr", "csb"), runner=RunnerConfig(workers=1)
+        )
+        _assert_bit_identical(records, spmv_sequential)
+
+    def test_parallel_matches_sequential(self, collection, spmv_sequential):
+        records = sweep_spmv(
+            collection, formats=("csr", "csb"), runner=RunnerConfig(workers=3)
+        )
+        _assert_bit_identical(records, spmv_sequential)
+
+    def test_cold_then_warm_cache_matches_sequential(
+        self, collection, spmv_sequential, tmp_path
+    ):
+        units = spmv_units(collection, formats=("csr", "csb"))
+        cold = run_units(
+            units, RunnerConfig(workers=2, cache_dir=str(tmp_path / "c"))
+        )
+        assert cold.counters.cache_hits == 0
+        assert cold.counters.cache_misses == len(units)
+        _assert_bit_identical(cold.records, spmv_sequential)
+
+        warm = run_units(
+            units, RunnerConfig(workers=2, cache_dir=str(tmp_path / "c"))
+        )
+        assert warm.counters.cache_hits == len(units)
+        assert warm.counters.units_ok == 0
+        _assert_bit_identical(warm.records, spmv_sequential)
+
+    def test_no_cache_escape_hatch_recomputes(self, collection, tmp_path):
+        units = spmv_units(collection, formats=("csr",), limit=2)
+        cache_dir = str(tmp_path / "c")
+        run_units(units, RunnerConfig(cache_dir=cache_dir))
+        bypass = run_units(
+            units, RunnerConfig(cache_dir=cache_dir, use_cache=False)
+        )
+        assert bypass.counters.cache_hits == 0
+        assert bypass.counters.units_ok == len(units)
+
+
+class TestSpmaSpmmDifferential:
+    def test_spma_parallel_and_cached_match_sequential(
+        self, collection, tmp_path
+    ):
+        sequential = sweep_spma(collection)
+        units = spma_units(collection)
+        config = RunnerConfig(workers=2, cache_dir=str(tmp_path / "c"))
+        _assert_bit_identical(run_units(units, config).records, sequential)
+        _assert_bit_identical(run_units(units, config).records, sequential)
+
+    def test_spmm_skips_are_order_stable(self, tmp_path):
+        coll = MatrixCollection(6, seed=11, min_n=64, max_n=512)
+        units = spmm_units(coll, max_n=256)
+        sequential = run_units(units)
+        parallel = run_units(units, RunnerConfig(workers=3))
+        cached = run_units(
+            units, RunnerConfig(workers=2, cache_dir=str(tmp_path / "c"))
+        )
+        warm = run_units(
+            units, RunnerConfig(workers=2, cache_dir=str(tmp_path / "c"))
+        )
+        assert sequential.counters.units_skipped > 0  # the cut bites
+        _assert_bit_identical(parallel.records, sequential.records)
+        _assert_bit_identical(cached.records, sequential.records)
+        _assert_bit_identical(warm.records, sequential.records)
+        # skipped units are cached as skips too, not recomputed
+        assert warm.counters.cache_hits == len(units)
+
+    def test_limit_prefix_consistency(self, collection):
+        """A limited sweep equals the prefix of the full sweep."""
+        full = sweep_spma(collection)
+        limited = sweep_spma(collection, limit=3)
+        _assert_bit_identical(limited, full[:3])

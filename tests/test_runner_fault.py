@@ -1,0 +1,157 @@
+"""Fault-injection tests for the sweep runner.
+
+Two failure classes the runner must degrade gracefully under:
+
+* **kernel faults** — a unit that raises mid-sweep becomes a recorded
+  :class:`UnitFailure` (with traceback) and the sweep completes with every
+  other record intact, sequentially and under a worker pool;
+* **cache rot** — a truncated, garbled, or tampered cache entry is
+  detected by the integrity checks, dropped, and recomputed — never
+  served.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.eval import (
+    ResultCache,
+    RunnerConfig,
+    WorkUnit,
+    run_units,
+    spmv_units,
+    unit_cache_key,
+)
+from repro.eval import units as units_mod
+from repro.eval.runner import code_version
+from repro.matrices import MatrixSpec, small_collection
+
+pytestmark = pytest.mark.smoke
+
+
+def _explode(unit: WorkUnit):
+    raise RuntimeError(f"injected kernel fault for {unit.spec.name}")
+
+
+@pytest.fixture(autouse=True)
+def _boom_kind():
+    """Register a unit kind that always raises; fork-based workers inherit
+    the registry, so the injection reaches pool processes too."""
+    units_mod.UNIT_KINDS["boom"] = _explode
+    yield
+    units_mod.UNIT_KINDS.pop("boom", None)
+
+
+def _mixed_units():
+    coll = small_collection(3, seed=21, max_n=128)
+    good = spmv_units(coll, formats=("csr",))
+    bad = WorkUnit("boom", MatrixSpec("poison", "random", 64, 1, {}))
+    return [good[0], bad, good[1], good[2]]
+
+
+class TestKernelFaults:
+    def test_failure_is_recorded_and_sweep_completes(self):
+        result = run_units(_mixed_units(), RunnerConfig())
+        assert len(result.records) == 3
+        assert [f.name for f in result.failures] == ["poison"]
+        failure = result.failures[0]
+        assert failure.index == 1 and failure.kind == "boom"
+        assert "injected kernel fault" in failure.error
+        assert "RuntimeError" in failure.traceback
+        assert result.counters.units_failed == 1
+        assert result.counters.units_ok == 3
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork workers")
+    def test_failure_is_recorded_under_worker_pool(self):
+        result = run_units(_mixed_units(), RunnerConfig(workers=2))
+        assert len(result.records) == 3
+        assert [f.name for f in result.failures] == ["poison"]
+
+    def test_failure_lands_in_journal(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        run_units(
+            _mixed_units(), RunnerConfig(journal_path=str(journal))
+        )
+        lines = [json.loads(l) for l in journal.read_text().splitlines()]
+        assert len(lines) == 4
+        failed = [l for l in lines if l["status"] == "failed"]
+        assert len(failed) == 1
+        assert failed[0]["name"] == "poison"
+        assert "injected kernel fault" in failed[0]["error"]
+
+    def test_failures_never_poison_the_cache(self, tmp_path):
+        """A failed unit must be retried next run, not served as a hit."""
+        config = RunnerConfig(cache_dir=str(tmp_path / "c"))
+        first = run_units(_mixed_units(), config)
+        assert first.counters.units_failed == 1
+        second = run_units(_mixed_units(), config)
+        assert second.counters.units_failed == 1  # retried, failed again
+        assert second.counters.cache_hits == 3  # the good units hit
+
+    def test_strict_mode_raises_like_the_sequential_path(self):
+        with pytest.raises(RuntimeError, match="injected kernel fault"):
+            run_units(_mixed_units(), RunnerConfig(capture_errors=False))
+
+    def test_unknown_kind_is_a_recorded_failure(self):
+        unit = WorkUnit("no-such-kernel", MatrixSpec("x", "random", 64, 1, {}))
+        result = run_units([unit], RunnerConfig())
+        assert result.records == []
+        assert len(result.failures) == 1
+        assert "no-such-kernel" in result.failures[0].error
+
+
+class TestCacheRot:
+    @pytest.fixture
+    def warmed(self, tmp_path):
+        coll = small_collection(2, seed=31, max_n=128)
+        units = spmv_units(coll, formats=("csr",))
+        config = RunnerConfig(cache_dir=str(tmp_path / "c"))
+        baseline = run_units(units, config)
+        cache = ResultCache(config.cache_dir)
+        key = unit_cache_key(units[0], code_version())
+        path = cache._path(key)
+        assert path.exists()
+        return units, config, baseline, path
+
+    def _assert_recomputed(self, units, config, baseline):
+        result = run_units(units, config)
+        assert result.counters.cache_corrupt == 1
+        assert result.counters.cache_hits == len(units) - 1
+        assert result.counters.units_ok == 1
+        assert result.records == baseline.records  # identical after repair
+        # the repaired entry is valid again: next run is all hits
+        healed = run_units(units, config)
+        assert healed.counters.cache_hits == len(units)
+        assert healed.records == baseline.records
+
+    def test_truncated_entry_is_recomputed(self, warmed):
+        units, config, baseline, path = warmed
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        self._assert_recomputed(units, config, baseline)
+
+    def test_garbage_entry_is_recomputed(self, warmed):
+        units, config, baseline, path = warmed
+        path.write_text("{this is not json")
+        self._assert_recomputed(units, config, baseline)
+
+    def test_tampered_payload_fails_checksum(self, warmed):
+        units, config, baseline, path = warmed
+        entry = json.loads(path.read_text())
+        entry["payload"]["speedup"]["csr"] = 999.0  # checksum now stale
+        path.write_text(json.dumps(entry))
+        self._assert_recomputed(units, config, baseline)
+
+    def test_key_mismatch_is_detected(self, warmed):
+        units, config, baseline, path = warmed
+        entry = json.loads(path.read_text())
+        entry["key"] = "f" * 64  # entry filed under the wrong address
+        path.write_text(json.dumps(entry))
+        self._assert_recomputed(units, config, baseline)
+
+    def test_wrong_format_version_is_dropped(self, warmed):
+        units, config, baseline, path = warmed
+        entry = json.loads(path.read_text())
+        entry["format"] = 999
+        path.write_text(json.dumps(entry))
+        self._assert_recomputed(units, config, baseline)
