@@ -52,3 +52,20 @@ class ISAError(ReproError):
 
 class SimulationError(ReproError):
     """The machine model was driven into an inconsistent state."""
+
+
+class RecordingError(SimulationError):
+    """A recorded op-stream artifact is unreadable, corrupt, or was written
+    by an incompatible IR schema version.
+
+    Cache layers treat this as a miss: the artifact is discarded and the
+    kernel is re-recorded.
+    """
+
+
+class ReplayMismatchError(SimulationError):
+    """A replay target configuration is stream-shape incompatible with the
+    recording — it would have produced a *different* op stream (different
+    vector length, L1 latency, or SSPM capacity), so re-pricing the
+    recorded one would be silently wrong.
+    """

@@ -28,10 +28,13 @@ from repro.eval.runner import (
     code_version,
     run_units,
 )
+from repro.eval.recordings import RecordingStore, recording_key
 from repro.eval.units import (
     UNIT_KINDS,
     WorkUnit,
     compute_unit,
+    record_units,
+    replay_units,
     spma_units,
     spmm_units,
     spmv_units,
@@ -70,9 +73,13 @@ __all__ = [
     "UnitFailure",
     "code_version",
     "run_units",
+    "RecordingStore",
+    "recording_key",
     "UNIT_KINDS",
     "WorkUnit",
     "compute_unit",
+    "record_units",
+    "replay_units",
     "spma_units",
     "spmm_units",
     "spmv_units",

@@ -4,6 +4,14 @@ Figure 9 sweeps the four SSPM configurations (4_2p, 4_4p, 16_2p, 16_4p)
 over the three sparse kernels and reports each kernel's speedup normalized
 to its own 4_2p configuration.  Table II pairs those configurations with
 their synthesized area and leakage (see :mod:`repro.via.area`).
+
+With ``record_dir`` set, the sweep runs in record/replay mode over the
+op-stream IR (:mod:`repro.sim.ops`): each matrix×kernel executes *once per
+stream-shape group* (the four configurations collapse into two — SSPM
+ports never shape the op stream), and every configuration re-prices the
+recorded streams.  Results are bit-identical to direct execution; only the
+wall time changes, from O(configs × full runs) to
+O(shape groups × full runs + configs × cheap replays).
 """
 
 from __future__ import annotations
@@ -41,6 +49,42 @@ class DseResult:
         return min(per_config, key=per_config.get)
 
 
+def _dse_unit_lists(
+    kernel: str,
+    collection: MatrixCollection,
+    cfg: ViaConfig,
+    machine: MachineConfig,
+    limit: Optional[int],
+    spmm_collection: Optional[MatrixCollection],
+    spmm_max_n: int,
+):
+    """The work-unit list and metric format for one kernel×config cell."""
+    from repro.eval.units import spma_units, spmm_units, spmv_units
+
+    if kernel == "spmv":
+        units = spmv_units(
+            collection,
+            formats=("csb",),
+            machine=machine,
+            via_config=cfg,
+            limit=limit,
+        )
+        return units, "csb"
+    if kernel == "spma":
+        units = spma_units(
+            collection, machine=machine, via_config=cfg, limit=limit
+        )
+        return units, "csr"
+    units = spmm_units(
+        spmm_collection if spmm_collection is not None else collection,
+        machine=machine,
+        via_config=cfg,
+        limit=limit,
+        max_n=spmm_max_n,
+    )
+    return units, "csr"
+
+
 def run_dse(
     collection: MatrixCollection,
     *,
@@ -50,6 +94,7 @@ def run_dse(
     spmm_collection: Optional[MatrixCollection] = None,
     spmm_max_n: int = 1024,
     runner: Optional["RunnerConfig"] = None,
+    record_dir: Optional[str] = None,
 ) -> DseResult:
     """Sweep every configuration over the three kernels (Figure 9).
 
@@ -61,8 +106,25 @@ def run_dse(
     ``runner`` is forwarded to every underlying sweep — the DSE re-sweeps
     the same collection once per configuration, so a cached parallel
     :class:`~repro.eval.runner.RunnerConfig` pays off most here.
+
+    ``record_dir`` switches to record/replay mode: each matrix×kernel runs
+    functionally once per SSPM-capacity group, writing op-stream artifacts
+    into that directory, and every configuration is priced by replaying
+    them (bit-identical to the direct sweep, see
+    ``tests/test_ops_replay_differential.py``).
     """
     configs = list(configs) if configs is not None else dse_configs()
+    if record_dir is not None:
+        return _run_dse_replay(
+            collection,
+            configs=configs,
+            machine=machine,
+            limit=limit,
+            spmm_collection=spmm_collection,
+            spmm_max_n=spmm_max_n,
+            runner=runner,
+            record_dir=record_dir,
+        )
     cycles: Dict[str, Dict[str, float]] = {k: {} for k in DSE_KERNELS}
     for cfg in configs:
         spmv_recs = sweep_spmv(
@@ -94,4 +156,45 @@ def run_dse(
         cycles["spmm"][cfg.name] = geomean(
             r.via_cycles["csr"] for r in spmm_recs
         )
+    return DseResult(cycles=cycles)
+
+
+def _run_dse_replay(
+    collection: MatrixCollection,
+    *,
+    configs: List[ViaConfig],
+    machine: MachineConfig,
+    limit: Optional[int],
+    spmm_collection: Optional[MatrixCollection],
+    spmm_max_n: int,
+    runner: Optional["RunnerConfig"],
+    record_dir: str,
+) -> DseResult:
+    """Record once per stream-shape group, replay once per configuration."""
+    from repro.eval.harness import _run
+    from repro.eval.units import record_units, replay_units
+
+    # one representative per shape group: ports never shape the op stream,
+    # so configs differing only in ports share recordings
+    representatives: Dict[int, ViaConfig] = {}
+    for cfg in configs:
+        representatives.setdefault(cfg.sram_kb, cfg)
+    for rep in representatives.values():
+        for kernel in DSE_KERNELS:
+            units, _ = _dse_unit_lists(
+                kernel, collection, rep, machine, limit,
+                spmm_collection, spmm_max_n,
+            )
+            _run(record_units(units, record_dir=record_dir), runner, None)
+    cycles: Dict[str, Dict[str, float]] = {k: {} for k in DSE_KERNELS}
+    for cfg in configs:
+        for kernel in DSE_KERNELS:
+            units, fmt = _dse_unit_lists(
+                kernel, collection, cfg, machine, limit,
+                spmm_collection, spmm_max_n,
+            )
+            recs = _run(replay_units(units, record_dir=record_dir), runner, None)
+            cycles[kernel][cfg.name] = geomean(
+                r.via_cycles[fmt] for r in recs
+            )
     return DseResult(cycles=cycles)

@@ -1,0 +1,168 @@
+"""Content-addressed store for recorded op-stream artifacts.
+
+Mirrors the layout and integrity discipline of the PR-1 result cache
+(:class:`repro.eval.runner.ResultCache`): one compressed ``.npz`` file per
+work unit at ``<root>/<key[:2]>/<key>.npz``, written atomically, verified
+on load (schema version + checksum + key match), and *self-healing* — any
+unreadable or mismatched artifact is deleted and treated as a miss, so the
+caller re-records instead of ever consuming rot.
+
+The key (:func:`recording_key`) hashes only what determines the *stream*:
+the matrix spec, kernel, formats, the stream-shaping subset of the machine
+config, the SSPM capacity, the code fingerprint, and the IR schema
+version.  SSPM port counts and pure-pricing machine knobs are deliberately
+absent — that is what lets one recording serve every port variant of a
+Fig. 9 shape group.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import RecordingError
+from repro.sim.ops import (
+    OPS_SCHEMA_VERSION,
+    Recording,
+    load_recordings,
+    machine_shape_key,
+    save_recordings,
+)
+
+#: kernel families whose *baseline* narration never reads the VIA config.
+#: Their baseline recordings drop the SSPM capacity from the key, so one
+#: baseline artifact serves every shape group of the Fig. 9 DSE — the
+#: second group's record run replays it instead of re-running the kernel.
+SHARED_BASELINE_KERNELS = frozenset({"spma", "spmm"})
+
+
+def recording_key(unit, code_version: str, *, part: str = "via") -> str:
+    """Stable content hash of everything that shapes a unit's op streams.
+
+    Two units hash equal iff direct execution would narrate identical op
+    streams for them, so their recordings are interchangeable: same spec,
+    kernel, formats, vector length, L1 latency, and SSPM capacity.  Port
+    counts and all other machine knobs only affect pricing and are applied
+    at replay time.
+
+    ``part`` separates a unit's two artifacts: ``"via"`` (the VIA kernel
+    streams plus the unit's skeleton metadata) and ``"base"`` (the baseline
+    kernel streams).  For :data:`SHARED_BASELINE_KERNELS` the base key
+    additionally drops the SSPM capacity — those baselines narrate
+    identically under every VIA configuration.
+    """
+    kernel = unit.kernel or unit.kind
+    via_sram_kb: Optional[int] = unit.via_config.sram_kb
+    if part == "base" and kernel in SHARED_BASELINE_KERNELS:
+        via_sram_kb = None
+    payload = {
+        "kernel": kernel,
+        "part": part,
+        "spec": {
+            "name": unit.spec.name,
+            "domain": unit.spec.domain,
+            "n": unit.spec.n,
+            "seed": unit.spec.seed,
+            "params": unit.spec.params,
+        },
+        "formats": list(unit.formats),
+        "max_n": unit.max_n,
+        "machine_shape": machine_shape_key(unit.machine),
+        "via_sram_kb": via_sram_kb,
+        "code": code_version,
+        "ops_schema": OPS_SCHEMA_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: process-local artifact cache keyed by (path, mtime_ns, size) — any write
+#: or tamper changes the stat signature, so stale entries can never be
+#: served after the file on disk changes
+_LOAD_MEMO: "OrderedDict[Tuple[str, int, int], Tuple[Dict[str, Recording], Dict[str, Any]]]" = OrderedDict()
+_LOAD_MEMO_MAX = 256
+
+
+class RecordingStore:
+    """On-disk artifact store, one ``save_recordings`` file per key."""
+
+    def __init__(self, root: str):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def get(
+        self, key: str
+    ) -> Optional[Tuple[Dict[str, Recording], Dict[str, Any]]]:
+        """Load ``(recordings, extra_meta)`` for a key, or ``None``.
+
+        Corrupt, truncated, schema-stale, or mis-keyed artifacts are
+        deleted on sight so the next record run rewrites them cleanly.
+        """
+        path = self._path(key)
+        try:
+            st = path.stat()
+        except OSError:
+            return None
+        memo_key = (str(path), st.st_mtime_ns, st.st_size)
+        hit = _LOAD_MEMO.get(memo_key)
+        if hit is not None:
+            _LOAD_MEMO.move_to_end(memo_key)
+            return hit
+        try:
+            recordings, extra = load_recordings(path)
+            if extra.get("key") != key:
+                raise RecordingError(
+                    f"artifact {path} is filed under the wrong key"
+                )
+        except RecordingError:
+            path.unlink(missing_ok=True)
+            return None
+        _LOAD_MEMO[memo_key] = (recordings, extra)
+        while len(_LOAD_MEMO) > _LOAD_MEMO_MAX:
+            _LOAD_MEMO.popitem(last=False)
+        return recordings, extra
+
+    def put(
+        self,
+        key: str,
+        recordings: Dict[str, Recording],
+        *,
+        extra_meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Atomically persist recordings under a key (tmp + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = dict(extra_meta or {})
+        meta["key"] = key
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        os.close(fd)
+        try:
+            save_recordings(tmp, recordings, extra_meta=meta)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        # pre-seed the load memo: in-process readers (the replay phase of a
+        # record/replay sweep) skip the decompress-and-rebuild round trip
+        st = path.stat()
+        _LOAD_MEMO[(str(path), st.st_mtime_ns, st.st_size)] = (
+            dict(recordings),
+            meta,
+        )
+        while len(_LOAD_MEMO) > _LOAD_MEMO_MAX:
+            _LOAD_MEMO.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Delete every stored artifact."""
+        if self.root.exists():
+            shutil.rmtree(self.root)

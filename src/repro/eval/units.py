@@ -9,6 +9,21 @@ result cache (:mod:`repro.eval.runner`).
 
 Unit kinds are dispatched through the :data:`UNIT_KINDS` registry so tests
 (and future kernels) can plug in new unit types without editing the runner.
+Beyond the direct kinds (``spmv``/``spma``/``spmm``) there are two
+op-stream kinds riding the IR seam (:mod:`repro.sim.ops`):
+
+* ``record`` — run the unit's kernel pair once per format with a
+  :class:`~repro.sim.backends.RecorderBackend`, persist the op streams and
+  functional outputs to a :class:`~repro.eval.recordings.RecordingStore`
+  artifact, and return the (direct-identical) :class:`SweepRecord`;
+* ``replay`` — load the artifact and re-price the recorded streams under
+  the unit's own machine/VIA configuration without executing any numpy.
+  A missing or corrupt artifact self-heals: the unit records under its own
+  configuration instead (bit-identical by construction).
+
+Every unit's execution is a pure function of the unit, so record-once /
+replay-per-config sweeps (the Fig. 9 DSE) return bit-identical records to
+direct per-config runs.
 """
 
 from __future__ import annotations
@@ -34,7 +49,10 @@ from repro.kernels import spmm as spmm_mod
 from repro.kernels import spmv as spmv_mod
 from repro.matrices.collection import MatrixCollection, MatrixSpec
 from repro.matrices.stats import nnz_per_row_metric
+from repro.sim.backends import Backend, RecorderBackend, replay_recording
 from repro.sim.config import DEFAULT_MACHINE, MachineConfig
+from repro.sim.ops import OPS_SCHEMA_VERSION
+from repro.sim.stats import KernelResult
 from repro.via.config import DEFAULT_VIA, ViaConfig
 
 #: master seed for the dense operand vectors; combined with each spec's own
@@ -44,7 +62,14 @@ X_VECTOR_SEED = 12345
 
 @dataclass(frozen=True)
 class WorkUnit:
-    """One cell of the evaluation grid: matrix spec x kernel x parameters."""
+    """One cell of the evaluation grid: matrix spec x kernel x parameters.
+
+    ``kernel`` names the underlying kernel family for the ``record`` and
+    ``replay`` kinds (whose ``kind`` no longer encodes it); direct kinds
+    leave it empty.  ``record_dir`` points record/replay units at their
+    artifact store; it never enters the result-cache key because a unit's
+    record is invariant to where its artifact lives.
+    """
 
     kind: str
     spec: MatrixSpec
@@ -52,6 +77,8 @@ class WorkUnit:
     via_config: ViaConfig = DEFAULT_VIA
     formats: Tuple[str, ...] = ()
     max_n: Optional[int] = None
+    kernel: str = ""
+    record_dir: Optional[str] = None
 
 
 def _x_vector(spec: MatrixSpec, cols: int) -> np.ndarray:
@@ -94,58 +121,96 @@ def build_spmv_format(
     raise ValueError(f"unknown SpMV format {fmt!r}")
 
 
-def _compute_spmv(unit: WorkUnit) -> SweepRecord:
+#: one kernel-pair execution: ``fn(backend) -> KernelResult``
+_Runner = Callable[[Optional[Backend]], KernelResult]
+
+
+@dataclass
+class UnitPlan:
+    """A unit's execution, decomposed so every backend shares one source.
+
+    ``skeleton`` is the :class:`SweepRecord` with the structural fields
+    filled; ``runs`` maps each format to a ``(baseline, via)`` pair of
+    callables taking an op-stream backend.  Direct execution passes
+    ``None``, recording passes a :class:`RecorderBackend` per run — so
+    direct, record, and (transitively) replay all price the exact same
+    narration.
+    """
+
+    skeleton: SweepRecord
+    runs: Dict[str, Tuple[_Runner, _Runner]]
+
+
+def _fill_record(
+    rec: SweepRecord, fmt: str, base: KernelResult, via: KernelResult
+) -> None:
+    """Derive one format's ratio columns from a baseline/VIA result pair."""
+    rec.speedup[fmt] = base.cycles / via.cycles
+    rec.energy_ratio[fmt] = base.energy_pj / via.energy_pj
+    rec.bandwidth_ratio[fmt] = (
+        via.memory_bandwidth_gbs / base.memory_bandwidth_gbs
+        if base.memory_bandwidth_gbs
+        else float("nan")
+    )
+    rec.baseline_cycles[fmt] = base.cycles
+    rec.via_cycles[fmt] = via.cycles
+
+
+def _plan_spmv(unit: WorkUnit) -> UnitPlan:
     spec, machine, via_config = unit.spec, unit.machine, unit.via_config
     coo = spec.build()
     x = _x_vector(spec, coo.cols)
     csb = CSBMatrix.from_coo(coo, block_size=via_config.csb_block_size)
     per_block = csb.nnz_per_block()
-    rec = SweepRecord(
+    skeleton = SweepRecord(
         name=spec.name,
         domain=spec.domain,
         n=coo.rows,
         nnz=coo.nnz,
         metric=float(np.median(per_block)) if per_block.size else 0.0,
     )
+    runs: Dict[str, Tuple[_Runner, _Runner]] = {}
     for fmt in unit.formats:
         mat = csb if fmt == "csb" else build_spmv_format(coo, fmt, machine, via_config)
         base_fn, via_fn = spmv_mod.SPMV_VARIANTS[fmt]
-        base = base_fn(mat, x, machine)
-        via = via_fn(mat, x, machine, via_config)
-        rec.speedup[fmt] = base.cycles / via.cycles
-        rec.energy_ratio[fmt] = base.energy_pj / via.energy_pj
-        rec.bandwidth_ratio[fmt] = (
-            via.memory_bandwidth_gbs / base.memory_bandwidth_gbs
-            if base.memory_bandwidth_gbs
-            else float("nan")
+        runs[fmt] = (
+            lambda backend=None, mat=mat, base_fn=base_fn: base_fn(
+                mat, x, machine, backend=backend
+            ),
+            lambda backend=None, mat=mat, via_fn=via_fn: via_fn(
+                mat, x, machine, via_config, backend=backend
+            ),
         )
-        rec.baseline_cycles[fmt] = base.cycles
-        rec.via_cycles[fmt] = via.cycles
-    return rec
+    return UnitPlan(skeleton, runs)
 
 
-def _compute_spma(unit: WorkUnit) -> SweepRecord:
+def _plan_spma(unit: WorkUnit) -> UnitPlan:
     spec, machine, via_config = unit.spec, unit.machine, unit.via_config
     coo_a = spec.build()
     coo_b = _sibling(spec, coo_a, seed_shift=1)
     a = CSRMatrix.from_coo(coo_a)
     b = CSRMatrix.from_coo(coo_b)
-    base = spma_mod.spma_csr_baseline(a, b, machine)
-    via = spma_mod.spma_via(a, b, machine, via_config)
-    return SweepRecord(
+    skeleton = SweepRecord(
         name=spec.name,
         domain=spec.domain,
         n=coo_a.rows,
         nnz=coo_a.nnz,
         metric=nnz_per_row_metric(coo_a),
-        speedup={"csr": base.cycles / via.cycles},
-        energy_ratio={"csr": base.energy_pj / via.energy_pj},
-        baseline_cycles={"csr": base.cycles},
-        via_cycles={"csr": via.cycles},
     )
+    runs = {
+        "csr": (
+            lambda backend=None: spma_mod.spma_csr_baseline(
+                a, b, machine, backend=backend
+            ),
+            lambda backend=None: spma_mod.spma_via(
+                a, b, machine, via_config, backend=backend
+            ),
+        )
+    }
+    return UnitPlan(skeleton, runs)
 
 
-def _compute_spmm(unit: WorkUnit) -> Optional[SweepRecord]:
+def _plan_spmm(unit: WorkUnit) -> Optional[UnitPlan]:
     spec, machine, via_config = unit.spec, unit.machine, unit.via_config
     max_n = unit.max_n if unit.max_n is not None else 1024
     if spec.n > max_n:
@@ -156,26 +221,180 @@ def _compute_spmm(unit: WorkUnit) -> Optional[SweepRecord]:
     coo_b = _sibling(spec, coo_a, seed_shift=2)
     a = CSRMatrix.from_coo(coo_a)
     b = CSCMatrix.from_coo(coo_b)
-    base = spmm_mod.spmm_csr_baseline(a, b, machine)
-    via = spmm_mod.spmm_via(a, b, machine, via_config)
-    return SweepRecord(
+    skeleton = SweepRecord(
         name=spec.name,
         domain=spec.domain,
         n=coo_a.rows,
         nnz=coo_a.nnz,
         metric=nnz_per_row_metric(coo_a),
-        speedup={"csr": base.cycles / via.cycles},
-        energy_ratio={"csr": base.energy_pj / via.energy_pj},
-        baseline_cycles={"csr": base.cycles},
-        via_cycles={"csr": via.cycles},
     )
+    runs = {
+        "csr": (
+            lambda backend=None: spmm_mod.spmm_csr_baseline(
+                a, b, machine, backend=backend
+            ),
+            lambda backend=None: spmm_mod.spmm_via(
+                a, b, machine, via_config, backend=backend
+            ),
+        )
+    }
+    return UnitPlan(skeleton, runs)
+
+
+#: kernel family -> plan builder (used by direct, record, and self-heal paths)
+PLAN_KINDS: Dict[str, Callable[[WorkUnit], Optional[UnitPlan]]] = {
+    "spmv": _plan_spmv,
+    "spma": _plan_spma,
+    "spmm": _plan_spmm,
+}
+
+
+def _execute_plan(plan: Optional[UnitPlan]) -> Optional[SweepRecord]:
+    """Direct execution: price every run immediately, fill the record."""
+    if plan is None:
+        return None
+    rec = plan.skeleton
+    for fmt, (base_run, via_run) in plan.runs.items():
+        _fill_record(rec, fmt, base_run(None), via_run(None))
+    return rec
+
+
+def _compute_direct(unit: WorkUnit) -> Optional[SweepRecord]:
+    return _execute_plan(PLAN_KINDS[unit.kind](unit))
+
+
+def _try_replay(unit: WorkUnit, store, code: str) -> Optional[SweepRecord]:
+    """Build a unit's record purely from stored artifacts, or ``None``."""
+    from repro.eval.recordings import recording_key
+
+    via_found = store.get(recording_key(unit, code, part="via"))
+    base_found = store.get(recording_key(unit, code, part="base"))
+    if via_found is None or base_found is None:
+        return None
+    via_recs, extra = via_found
+    base_recs, _ = base_found
+    rec = SweepRecord(**extra["skeleton"])
+    try:
+        for fmt in extra["formats"]:
+            base = replay_recording(
+                base_recs[f"{fmt}/base"], machine=unit.machine
+            )
+            via = replay_recording(
+                via_recs[f"{fmt}/via"],
+                machine=unit.machine,
+                via_config=unit.via_config,
+            )
+            _fill_record(rec, fmt, base, via)
+    except KeyError:
+        return None
+    return rec
+
+
+def _compute_record(unit: WorkUnit) -> Optional[SweepRecord]:
+    """Ensure the unit's op streams are recorded; return its record.
+
+    The returned record is identical to direct execution (the recorder
+    prices ops through the same path it captures them on); the artifacts
+    additionally let any shape-compatible configuration replay them.  Each
+    unit writes two: the VIA streams (plus skeleton metadata) under the
+    ``via`` key and the baseline streams under the ``base`` key — for
+    :data:`~repro.eval.recordings.SHARED_BASELINE_KERNELS` the base key is
+    capacity-invariant, so a record run that finds another shape group's
+    baseline artifact replays it instead of re-running the kernel.
+    Recording is idempotent: a warm store satisfies the unit by replay
+    without re-running anything.
+    """
+    from repro.eval.recordings import RecordingStore, recording_key
+
+    store = code = None
+    if unit.record_dir is not None:
+        store = RecordingStore(unit.record_dir)
+        code = _code_version()
+        cached = _try_replay(unit, store, code)
+        if cached is not None:
+            return cached
+    plan = PLAN_KINDS[unit.kernel](unit)
+    if plan is None:
+        return None
+    rec = plan.skeleton
+    base_results: Dict[str, KernelResult] = {}
+    if store is not None:
+        base_found = store.get(recording_key(unit, code, part="base"))
+        if base_found is not None:
+            try:
+                for fmt in plan.runs:
+                    base_results[fmt] = replay_recording(
+                        base_found[0][f"{fmt}/base"], machine=unit.machine
+                    )
+            except KeyError:
+                base_results = {}
+    if not base_results:
+        base_recordings = {}
+        for fmt, (base_run, _via_run) in plan.runs.items():
+            backend = RecorderBackend()
+            base_results[fmt] = base_run(backend)
+            base_recordings[f"{fmt}/base"] = backend.recording
+        if store is not None:
+            store.put(recording_key(unit, code, part="base"), base_recordings)
+    via_recordings = {}
+    for fmt, (_base_run, via_run) in plan.runs.items():
+        backend = RecorderBackend()
+        via = via_run(backend)
+        via_recordings[f"{fmt}/via"] = backend.recording
+        _fill_record(rec, fmt, base_results[fmt], via)
+    if store is not None:
+        store.put(
+            recording_key(unit, code, part="via"),
+            via_recordings,
+            extra_meta={
+                "skeleton": {
+                    "name": rec.name,
+                    "domain": rec.domain,
+                    "n": int(rec.n),
+                    "nnz": int(rec.nnz),
+                    "metric": float(rec.metric),
+                },
+                "formats": sorted(plan.runs),
+            },
+        )
+    return rec
+
+
+def _compute_replay(unit: WorkUnit) -> Optional[SweepRecord]:
+    """Re-price a recorded unit under this unit's machine/VIA configuration.
+
+    No matrix is built and no functional numpy runs: the artifacts' op
+    streams are replayed — pure arithmetic over their stored pricing state
+    when the machine matches, a memory-pass re-simulation otherwise.  On a
+    store miss (or a corrupt artifact the store already discarded) the unit
+    self-heals by recording under its own configuration — bit-identical
+    output either way.
+    """
+    from repro.eval.recordings import RecordingStore
+
+    if unit.record_dir is None:
+        raise ReproError("replay unit needs a record_dir")
+    store = RecordingStore(unit.record_dir)
+    rec = _try_replay(unit, store, _code_version())
+    if rec is None:
+        return _compute_record(unit)
+    return rec
+
+
+def _code_version() -> str:
+    # lazy: runner imports units at module load; this avoids the cycle
+    from repro.eval.runner import code_version
+
+    return code_version()
 
 
 #: unit-kind dispatch table; extensible (tests register fault-injection kinds)
 UNIT_KINDS: Dict[str, Callable[[WorkUnit], Optional[SweepRecord]]] = {
-    "spmv": _compute_spmv,
-    "spma": _compute_spma,
-    "spmm": _compute_spmm,
+    "spmv": _compute_direct,
+    "spma": _compute_direct,
+    "spmm": _compute_direct,
+    "record": _compute_record,
+    "replay": _compute_replay,
 }
 
 
@@ -241,6 +460,45 @@ def spmm_units(
     ]
 
 
+def record_units(units: Iterable[WorkUnit], *, record_dir: str) -> List[WorkUnit]:
+    """Turn direct units into ``record`` units targeting an artifact store."""
+    return [
+        dataclasses.replace(
+            u,
+            kind="record",
+            kernel=u.kernel or u.kind,
+            record_dir=record_dir,
+        )
+        for u in units
+    ]
+
+
+def replay_units(
+    units: Iterable[WorkUnit],
+    *,
+    record_dir: str,
+    machine: Optional[MachineConfig] = None,
+    via_config: Optional[ViaConfig] = None,
+) -> List[WorkUnit]:
+    """Turn direct units into ``replay`` units re-priced under a target.
+
+    ``machine``/``via_config`` default to each unit's own configuration;
+    pass a different (stream-shape compatible) pair to sweep pricing knobs
+    against one set of recordings.
+    """
+    return [
+        dataclasses.replace(
+            u,
+            kind="replay",
+            kernel=u.kernel or u.kind,
+            record_dir=record_dir,
+            machine=machine if machine is not None else u.machine,
+            via_config=via_config if via_config is not None else u.via_config,
+        )
+        for u in units
+    ]
+
+
 # ----------------------------------------------------------------------
 # content-addressed cache keys
 
@@ -250,11 +508,14 @@ def unit_cache_key(unit: WorkUnit, code_version: str) -> str:
 
     Two units hash equal iff they would produce the same
     :class:`SweepRecord` under the same code: the matrix spec, the kernel
-    kind and its parameters, both hardware configurations, and the code
-    fingerprint all feed the key.
+    kind and its parameters, both hardware configurations, the code
+    fingerprint, and the op-stream IR schema version all feed the key.
+    ``record_dir`` deliberately does not: a unit's record is invariant to
+    where (or whether) its op-stream artifact is stored.
     """
     payload = {
         "kind": unit.kind,
+        "kernel": unit.kernel,
         "spec": {
             "name": unit.spec.name,
             "domain": unit.spec.domain,
@@ -267,6 +528,7 @@ def unit_cache_key(unit: WorkUnit, code_version: str) -> str:
         "machine": dataclasses.asdict(unit.machine),
         "via": dataclasses.asdict(unit.via_config),
         "code": code_version,
+        "ops_schema": OPS_SCHEMA_VERSION,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

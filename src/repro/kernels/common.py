@@ -18,8 +18,10 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.sim import Core, MachineConfig
+from repro.sim.backends import Backend
 from repro.sim.config import DEFAULT_MACHINE
 from repro.via import DEFAULT_VIA, ViaConfig, ViaDevice
 
@@ -28,22 +30,26 @@ VALUE_BYTES = 8  # f64 values
 INDEX_BYTES = 4  # i32 indices, as compressed formats store them
 
 
-def make_core(machine: Optional[MachineConfig] = None) -> Core:
+def make_core(
+    machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
+) -> Core:
     """A fresh baseline core (no VIA hardware)."""
-    return Core(machine or DEFAULT_MACHINE)
+    return Core(machine or DEFAULT_MACHINE, backend=backend)
 
 
 def make_via_core(
     machine: Optional[MachineConfig] = None,
     via_config: Optional[ViaConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> Tuple[Core, ViaDevice]:
     """A fresh core with a VIA device fitted."""
     device = ViaDevice(via_config or DEFAULT_VIA)
-    core = Core(machine or DEFAULT_MACHINE, via=device)
+    core = Core(machine or DEFAULT_MACHINE, via=device, backend=backend)
     return core, device
 
 
-def chunk_instr_count(lengths: np.ndarray, vl: int) -> int:
+def chunk_instr_count(lengths: npt.ArrayLike, vl: int) -> int:
     """Vector instructions needed to cover runs of the given lengths.
 
     A run of ``k`` elements needs ``ceil(k / VL)`` instructions; runs do
@@ -55,6 +61,6 @@ def chunk_instr_count(lengths: np.ndarray, vl: int) -> int:
     return int(np.sum((lengths + vl - 1) // vl))
 
 
-def row_fragmented_elements(lengths: np.ndarray, vl: int) -> int:
+def row_fragmented_elements(lengths: npt.ArrayLike, vl: int) -> int:
     """Total vector lanes occupied when runs are padded up to VL."""
     return chunk_instr_count(lengths, vl) * vl

@@ -32,6 +32,7 @@ from repro.kernels.common import (
     make_core,
     make_via_core,
 )
+from repro.sim.backends import Backend
 from repro.sim import KernelResult, MachineConfig, calibration as cal
 from repro.via import Dest, Opcode, ViaConfig
 
@@ -44,11 +45,12 @@ def _check_x(matrix, x) -> np.ndarray:
 
 
 def spmv_csr5_baseline(
-    m: CSR5Matrix, x, machine: Optional[MachineConfig] = None
+    m: CSR5Matrix, x, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Segmented-sum CSR5 SpMV on a conventional vector machine."""
     x = _check_x(m, x)
-    core = make_core(machine)
+    core = make_core(machine, backend)
     vl = core.machine.vl
     a_ci = core.alloc("col_idx", max(m.nnz, 1), INDEX_BYTES)
     a_dt = core.alloc("data", max(m.nnz, 1), VALUE_BYTES)
@@ -96,6 +98,7 @@ def spmv_csr5_via(
     x,
     machine: Optional[MachineConfig] = None,
     via_config: Optional[ViaConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """CSR5 SpMV with VIA output accumulation.
 
@@ -105,7 +108,7 @@ def spmv_csr5_via(
     ``y`` drains once at the end.
     """
     x = _check_x(m, x)
-    core, dev = make_via_core(machine, via_config)
+    core, dev = make_via_core(machine, via_config, backend)
     a_ci = core.alloc("col_idx", max(m.nnz, 1), INDEX_BYTES)
     a_dt = core.alloc("data", max(m.nnz, 1), VALUE_BYTES)
     a_desc = core.alloc("descriptors", max(3 * m.num_tiles, 1), INDEX_BYTES)

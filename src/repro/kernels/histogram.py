@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.kernels import reference
 from repro.kernels.common import INDEX_BYTES, VALUE_BYTES, make_core, make_via_core
+from repro.sim.backends import Backend
 from repro.sim import KernelResult, MachineConfig, calibration as cal
 from repro.via import Dest, Opcode, ViaConfig
 
@@ -52,11 +53,12 @@ def _collision_count(keys: np.ndarray, window: int) -> int:
 
 
 def histogram_scalar_baseline(
-    keys, num_bins: int, machine: Optional[MachineConfig] = None
+    keys, num_bins: int, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Scalar read-modify-write histogram."""
     keys = _check_keys(keys, num_bins)
-    core = make_core(machine)
+    core = make_core(machine, backend)
     a_keys = core.alloc("keys", max(keys.size, 1), INDEX_BYTES)
     a_bins = core.alloc("bins", num_bins, VALUE_BYTES)
 
@@ -79,11 +81,12 @@ def histogram_scalar_baseline(
 
 
 def histogram_vector_baseline(
-    keys, num_bins: int, machine: Optional[MachineConfig] = None
+    keys, num_bins: int, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """AVX512CD-style vectorized histogram (conflict detect + gather/scatter)."""
     keys = _check_keys(keys, num_bins)
-    core = make_core(machine)
+    core = make_core(machine, backend)
     vl = core.machine.vl32  # 32-bit keys and counts
     a_keys = core.alloc("keys", max(keys.size, 1), INDEX_BYTES)
     a_bins = core.alloc("bins", num_bins, VALUE_BYTES)
@@ -109,6 +112,7 @@ def histogram_via(
     via_config: Optional[ViaConfig] = None,
     *,
     functional: Optional[bool] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Histogram on VIA (Algorithm 5).
 
@@ -122,7 +126,7 @@ def histogram_via(
     with a numpy result (identical timing, used for large sweeps).
     """
     keys = _check_keys(keys, num_bins)
-    core, dev = make_via_core(machine, via_config)
+    core, dev = make_via_core(machine, via_config, backend)
     vl = core.machine.vl32  # 32-bit keys and counts
     dev.vl_override = vl  # SSPM blocks are 4 bytes: 8 lanes per VIA op
     a_keys = core.alloc("keys", max(keys.size, 1), INDEX_BYTES)

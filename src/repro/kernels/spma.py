@@ -24,6 +24,7 @@ from repro.kernels.common import (
     make_core,
     make_via_core,
 )
+from repro.sim.backends import Backend
 from repro.sim import KernelResult, MachineConfig, calibration as cal
 from repro.via import Dest, Mode, ViaConfig
 
@@ -34,7 +35,8 @@ def _check_pair(a: CSRMatrix, b: CSRMatrix) -> None:
 
 
 def spma_csr_baseline(
-    a: CSRMatrix, b: CSRMatrix, machine: Optional[MachineConfig] = None
+    a: CSRMatrix, b: CSRMatrix, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Merge-based CSR SpMA (Algorithm 2, Eigen-style).
 
@@ -44,7 +46,7 @@ def spma_csr_baseline(
     fixed fraction of the branches mispredict (see calibration).
     """
     _check_pair(a, b)
-    core = make_core(machine)
+    core = make_core(machine, backend)
     rows = a.rows
     a_arr = core.alloc("a_entries", a.nnz, INDEX_BYTES + VALUE_BYTES)
     b_arr = core.alloc("b_entries", b.nnz, INDEX_BYTES + VALUE_BYTES)
@@ -77,6 +79,7 @@ def spma_via(
     b: CSRMatrix,
     machine: Optional[MachineConfig] = None,
     via_config: Optional[ViaConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """SpMA on VIA: CAM-mode index matching (Section III-B2).
 
@@ -96,7 +99,7 @@ def spma_via(
     assembled from the scratchpad drains.
     """
     _check_pair(a, b)
-    core, dev = make_via_core(machine, via_config)
+    core, dev = make_via_core(machine, via_config, backend)
     rows, cols = a.shape
     a_arr = core.alloc("a_entries", a.nnz, INDEX_BYTES + VALUE_BYTES)
     b_arr = core.alloc("b_entries", b.nnz, INDEX_BYTES + VALUE_BYTES)

@@ -37,6 +37,7 @@ from repro.kernels.common import (
     make_core,
     make_via_core,
 )
+from repro.sim.backends import Backend
 from repro.sim import KernelResult, MachineConfig, calibration as cal
 from repro.via import Mode, Opcode, ViaConfig
 
@@ -47,7 +48,8 @@ def _check_pair(a: CSRMatrix, b: CSCMatrix) -> None:
 
 
 def spmm_csr_baseline(
-    a: CSRMatrix, b: CSCMatrix, machine: Optional[MachineConfig] = None
+    a: CSRMatrix, b: CSCMatrix, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Inner-product SpMM with software index matching (Algorithm 3).
 
@@ -58,7 +60,7 @@ def spmm_csr_baseline(
     (served from whatever cache level holds it).
     """
     _check_pair(a, b)
-    core = make_core(machine)
+    core = make_core(machine, backend)
     rows = a.rows
     a_arr = core.alloc("a_entries", a.nnz, INDEX_BYTES + VALUE_BYTES)
     a_rp = core.alloc("a_row_ptr", rows + 1, INDEX_BYTES)
@@ -93,6 +95,7 @@ def spmm_via(
     b: CSCMatrix,
     machine: Optional[MachineConfig] = None,
     via_config: Optional[ViaConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """SpMM on VIA: hardware index matching in the CAM-mode SSPM (Fig. 4).
 
@@ -104,7 +107,7 @@ def spmm_via(
     index table are tiled, multiplying the number of ``B`` passes.
     """
     _check_pair(a, b)
-    core, dev = make_via_core(machine, via_config)
+    core, dev = make_via_core(machine, via_config, backend)
     rows = a.rows
     a_arr = core.alloc("a_entries", a.nnz, INDEX_BYTES + VALUE_BYTES)
     a_rp = core.alloc("a_row_ptr", rows + 1, INDEX_BYTES)

@@ -36,6 +36,7 @@ from repro.kernels.common import (
     make_core,
     make_via_core,
 )
+from repro.sim.backends import Backend
 from repro.sim import KernelResult, MachineConfig, calibration as cal
 from repro.via import Dest, Opcode, ViaConfig
 
@@ -51,7 +52,8 @@ def _check_x(matrix, x) -> np.ndarray:
 # CSR
 # ---------------------------------------------------------------------------
 def spmv_csr_baseline(
-    csr: CSRMatrix, x, machine: Optional[MachineConfig] = None
+    csr: CSRMatrix, x, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Vectorized CSR SpMV (Algorithm 1 flow, Eigen-style).
 
@@ -60,7 +62,7 @@ def spmv_csr_baseline(
     row.  The reduction tail is a true dependence chain, partially exposed.
     """
     x = _check_x(csr, x)
-    core = make_core(machine)
+    core = make_core(machine, backend)
     rows = csr.rows
     a_rp = core.alloc("row_ptr", rows + 1, INDEX_BYTES)
     a_ci = core.alloc("col_idx", csr.nnz, INDEX_BYTES)
@@ -97,6 +99,7 @@ def spmv_csr_via(
     x,
     machine: Optional[MachineConfig] = None,
     via_config: Optional[ViaConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """CSR SpMV with VIA as output accumulator (Section VII-A).
 
@@ -109,7 +112,7 @@ def spmv_csr_via(
     read back out of the scratchpad model.
     """
     x = _check_x(csr, x)
-    core, dev = make_via_core(machine, via_config)
+    core, dev = make_via_core(machine, via_config, backend)
     rows = csr.rows
     a_rp = core.alloc("row_ptr", rows + 1, INDEX_BYTES)
     a_ci = core.alloc("col_idx", csr.nnz, INDEX_BYTES)
@@ -150,7 +153,8 @@ def spmv_csr_via(
 # CSB
 # ---------------------------------------------------------------------------
 def spmv_csb_baseline(
-    csb: CSBMatrix, x, machine: Optional[MachineConfig] = None
+    csb: CSBMatrix, x, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Vectorized software CSB SpMV on a conventional machine.
 
@@ -163,7 +167,7 @@ def spmv_csb_baseline(
     largest for CSB.
     """
     x = _check_x(csb, x)
-    core = make_core(machine)
+    core = make_core(machine, backend)
     a_hdr = core.alloc("block_hdr", 3 * max(csb.num_blocks, 1), INDEX_BYTES)
     a_ix = core.alloc("idx", csb.nnz, INDEX_BYTES)
     a_dt = core.alloc("data", csb.nnz, VALUE_BYTES)
@@ -200,6 +204,7 @@ def spmv_csb_via(
     x,
     machine: Optional[MachineConfig] = None,
     via_config: Optional[ViaConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """CSB SpMV on VIA — the paper's Algorithm 4, executed functionally.
 
@@ -211,7 +216,7 @@ def spmv_csb_via(
     chunk is drained to memory and its bitmap segment flash-cleared.
     """
     x = _check_x(csb, x)
-    core, dev = make_via_core(machine, via_config)
+    core, dev = make_via_core(machine, via_config, backend)
     beta = csb.block_size
     if 2 * beta > dev.config.sram_entries:
         raise ShapeError(
@@ -272,7 +277,8 @@ def spmv_csb_via(
 # SPC5
 # ---------------------------------------------------------------------------
 def spmv_spc5_baseline(
-    spc5: SPC5Matrix, x, machine: Optional[MachineConfig] = None
+    spc5: SPC5Matrix, x, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """SPC5 (1rVc) SpMV: mask-expanded blocks, no gathers.
 
@@ -282,7 +288,7 @@ def spmv_spc5_baseline(
     gathers but keeps the per-row reduction tail.
     """
     x = _check_x(spc5, x)
-    core = make_core(machine)
+    core = make_core(machine, backend)
     nb = max(spc5.num_blocks, 1)
     a_hdr = core.alloc("hdr", 3 * nb, INDEX_BYTES)
     a_dt = core.alloc("data", spc5.nnz, VALUE_BYTES)
@@ -312,6 +318,7 @@ def spmv_spc5_via(
     x,
     machine: Optional[MachineConfig] = None,
     via_config: Optional[ViaConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """SPC5 SpMV with VIA output accumulation.
 
@@ -322,7 +329,7 @@ def spmv_spc5_via(
     semantics are exercised end-to-end by the CSR/CSB VIA flows.)
     """
     x = _check_x(spc5, x)
-    core, dev = make_via_core(machine, via_config)
+    core, dev = make_via_core(machine, via_config, backend)
     nb = max(spc5.num_blocks, 1)
     a_hdr = core.alloc("hdr", 3 * nb, INDEX_BYTES)
     a_dt = core.alloc("data", spc5.nnz, VALUE_BYTES)
@@ -354,7 +361,8 @@ def spmv_spc5_via(
 # Sell-C-sigma
 # ---------------------------------------------------------------------------
 def spmv_sellcs_baseline(
-    m: SellCSigmaMatrix, x, machine: Optional[MachineConfig] = None
+    m: SellCSigmaMatrix, x, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Sell-C-sigma SpMV: chunk-column gathers, permuted scatter stores.
 
@@ -365,7 +373,7 @@ def spmv_sellcs_baseline(
     documented inefficiency (Section II-C).
     """
     x = _check_x(m, x)
-    core = make_core(machine)
+    core = make_core(machine, backend)
     padded = max(m.padded_entries, 1)
     a_ci = core.alloc("col_idx", padded, INDEX_BYTES)
     a_dt = core.alloc("data", padded, VALUE_BYTES)
@@ -392,6 +400,7 @@ def spmv_sellcs_via(
     x,
     machine: Optional[MachineConfig] = None,
     via_config: Optional[ViaConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Sell-C-sigma SpMV with VIA output accumulation.
 
@@ -400,7 +409,7 @@ def spmv_sellcs_via(
     original row index, drained sequentially at the end.
     """
     x = _check_x(m, x)
-    core, dev = make_via_core(machine, via_config)
+    core, dev = make_via_core(machine, via_config, backend)
     padded = max(m.padded_entries, 1)
     a_ci = core.alloc("col_idx", padded, INDEX_BYTES)
     a_dt = core.alloc("data", padded, VALUE_BYTES)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.kernels import reference
 from repro.kernels.common import make_core, make_via_core
+from repro.sim.backends import Backend
 from repro.sim import KernelResult, MachineConfig, calibration as cal
 from repro.via import Dest, Opcode, ViaConfig
 
@@ -48,7 +49,8 @@ def _check(image, kernel):
 
 
 def stencil_vector_baseline(
-    image, kernel=None, machine: Optional[MachineConfig] = None
+    image, kernel=None, machine: Optional[MachineConfig] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Gather-based vectorized convolution (VIA-oblivious Algorithm 6).
 
@@ -60,7 +62,7 @@ def stencil_vector_baseline(
     image, kernel = _check(
         image, kernel if kernel is not None else reference.gaussian_kernel_4x4()
     )
-    core = make_core(machine)
+    core = make_core(machine, backend)
     h, w = image.shape
     kh, kw = kernel.shape
     oh, ow = h - kh + 1, w - kw + 1
@@ -96,6 +98,7 @@ def stencil_via(
     via_config: Optional[ViaConfig] = None,
     *,
     functional: Optional[bool] = None,
+    backend: Optional[Backend] = None,
 ) -> KernelResult:
     """Stencil on VIA (Algorithm 6).
 
@@ -113,7 +116,7 @@ def stencil_via(
     image, kernel = _check(
         image, kernel if kernel is not None else reference.gaussian_kernel_4x4()
     )
-    core, dev = make_via_core(machine, via_config)
+    core, dev = make_via_core(machine, via_config, backend)
     h, w = image.shape
     kh, kw = kernel.shape
     oh, ow = h - kh + 1, w - kw + 1

@@ -6,6 +6,13 @@ gather/scatter serialization, cache/DRAM traffic, MSHR-limited memory-level
 parallelism, and VIA commit-time execution.
 """
 
+from repro.sim.backends import (
+    Backend,
+    DirectBackend,
+    RecorderBackend,
+    TraceBackend,
+    replay_recording,
+)
 from repro.sim.cache import Cache, CacheStats, compress_lines, stream_lines
 from repro.sim.config import (
     DEFAULT_MACHINE,
@@ -16,6 +23,14 @@ from repro.sim.config import (
 from repro.sim.core import AddressSpace, Array, Core
 from repro.sim.dram import DRAMModel, DRAMStats
 from repro.sim.hierarchy import AccessResult, MemoryHierarchy
+from repro.sim.ops import (
+    OPS_SCHEMA_VERSION,
+    Op,
+    Recording,
+    load_recordings,
+    save_recordings,
+    stream_shape_key,
+)
 from repro.sim.stats import (
     CycleBreakdown,
     KernelResult,
@@ -24,6 +39,17 @@ from repro.sim.stats import (
 )
 
 __all__ = [
+    "Backend",
+    "DirectBackend",
+    "RecorderBackend",
+    "TraceBackend",
+    "replay_recording",
+    "OPS_SCHEMA_VERSION",
+    "Op",
+    "Recording",
+    "load_recordings",
+    "save_recordings",
+    "stream_shape_key",
     "Cache",
     "CacheStats",
     "compress_lines",

@@ -1,0 +1,204 @@
+"""Pricing backends for the op-stream IR.
+
+Every narration call a kernel makes reaches :meth:`repro.sim.core.Core._emit`
+as an :class:`~repro.sim.ops.Op`, and the core's backend decides what happens
+to it:
+
+* :class:`DirectBackend` — price immediately (the historical behavior, and
+  the default: zero overhead, zero regression);
+* :class:`RecorderBackend` — append the op to a stream *and* price it, so a
+  recording run produces both the artifact and the baseline result in one
+  pass;
+* :class:`TraceBackend` — log a :class:`~repro.sim.trace.TraceEvent` and
+  delegate to an inner backend (this is what :class:`~repro.sim.trace.TracedCore`
+  installs).
+
+Replay is not a backend but a driver: :func:`replay_recording` feeds a
+recorded stream through :meth:`Op.apply` on a *fresh* core configured with
+the target machine/VIA pair.  Because direct execution prices ops through
+the very same ``apply`` path, replayed results are bit-identical by
+construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim.config import MachineConfig
+from repro.sim.ops import (
+    Op,
+    PricedState,
+    Recording,
+    ReplayMismatchError,
+    ViaOpRecord,
+    stream_shape_key,
+    via_totals,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Core
+    from repro.sim.stats import KernelResult
+    from repro.sim.trace import Trace
+    from repro.via.config import ViaConfig
+
+
+class Backend:
+    """Base backend: price each op as it is narrated."""
+
+    def handle(self, op: Op, core: "Core") -> None:
+        op.apply(core)
+
+    def on_finalize(self, core: "Core", name: str, output: object) -> None:
+        """Called by :meth:`Core.finalize` before the result is built."""
+
+
+class DirectBackend(Backend):
+    """Today's behavior: ops are priced immediately and not retained."""
+
+
+class RecorderBackend(Backend):
+    """Capture the op stream while pricing it.
+
+    After the kernel calls ``finalize``, :attr:`recording` holds the
+    complete :class:`~repro.sim.ops.Recording` (stream + configurations +
+    functional output), ready for :func:`~repro.sim.ops.save_recordings`.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[Op] = []
+        self.recording: Optional[Recording] = None
+
+    def handle(self, op: Op, core: "Core") -> None:
+        self.ops.append(op)
+        op.apply(core)
+
+    def on_finalize(self, core: "Core", name: str, output: object) -> None:
+        via_cfg = core.via.config if core.via is not None else None
+        self.recording = Recording(
+            name=name,
+            machine=core.machine,
+            via_config=via_cfg,
+            ops=list(self.ops),
+            output=output,
+            priced=PricedState(
+                counters=dataclasses.replace(core.counters),
+                dram_occupancy_cycles=core.memory.dram.occupancy_cycles(),
+                dram_traffic_bytes=core.memory.dram.traffic_bytes,
+                dram_lines=core.memory.dram.stats.lines,
+                cache_stats=core.memory.level_stats(),
+            ),
+        )
+
+
+class TraceBackend(Backend):
+    """Log every op to a :class:`~repro.sim.trace.Trace`, then delegate."""
+
+    def __init__(self, trace: "Trace", inner: Optional[Backend] = None) -> None:
+        self.trace = trace
+        self.inner = inner if inner is not None else DirectBackend()
+
+    def handle(self, op: Op, core: "Core") -> None:
+        self.trace.add(op.kind, op.describe(), op.trace_count)
+        self.inner.handle(op, core)
+
+    def on_finalize(self, core: "Core", name: str, output: object) -> None:
+        self.inner.on_finalize(core, name, output)
+
+
+def replay_recording(
+    recording: Recording,
+    *,
+    machine: Optional[MachineConfig] = None,
+    via_config: Optional["ViaConfig"] = None,
+) -> "KernelResult":
+    """Re-price a recorded op stream under a target configuration.
+
+    No functional numpy runs: a fresh core (cold caches, same bump-allocated
+    address space) prices the recorded ops in order, and the recorded
+    functional output is attached to the result.  The target must be
+    stream-shape compatible with the recording (same vector lanes, L1
+    latency, and SSPM capacity — see :func:`~repro.sim.ops.stream_shape_key`);
+    anything else, notably SSPM *port* counts and all pure-pricing machine
+    knobs, may differ freely.
+
+    Raises :class:`~repro.sim.ops.ReplayMismatchError` if the target would
+    have produced a different op stream.
+
+    Two cost tiers, both bit-identical to direct execution:
+
+    * **same machine** (the Fig. 9 port sweep): the record run's stored
+      :class:`~repro.sim.ops.PricedState` already holds every counter the
+      ports cannot touch, so only the VIA ops are re-priced — pure
+      arithmetic, no cache simulation;
+    * **different machine**: the machine-dependent ops replay through the
+      detailed model on a fresh core (memoized per target machine on the
+      recording), and the VIA-op totals are added on top — VIA ops never
+      touch the memory hierarchy, so the split is exact.
+    """
+    from repro.sim.core import Core, build_result
+
+    if machine is None:
+        machine = recording.machine
+    if via_config is None:
+        via_config = recording.via_config
+    target_key = stream_shape_key(machine, via_config)
+    if target_key != recording.shape_key:
+        raise ReplayMismatchError(
+            f"cannot replay {recording.name!r}: recorded stream shape "
+            f"{recording.shape_key} != target {target_key}"
+        )
+    name = recording.name
+    if (
+        recording.via_config is not None
+        and via_config is not None
+        and via_config.name != recording.via_config.name
+    ):
+        # kernel names embed the config they ran under; retarget the label
+        name = name.replace(recording.via_config.name, via_config.name)
+    if via_config is not None:
+        from repro.via import area
+
+        via_leak = area.leakage_mw(via_config)
+    else:
+        via_leak = 0.0
+    via_side = via_totals(recording.ops, via_config)
+    if recording.priced is not None and machine == recording.machine:
+        p = recording.priced
+        counters = dataclasses.replace(p.counters)
+        counters.sspm_busy_cycles = via_side.sspm_busy_cycles
+        return build_result(
+            name=name,
+            machine=machine,
+            counters=counters,
+            dram_occupancy_cycles=p.dram_occupancy_cycles,
+            dram_traffic_bytes=p.dram_traffic_bytes,
+            dram_lines=p.dram_lines,
+            cache_stats={k: dict(v) for k, v in p.cache_stats.items()},
+            via_leakage_mw=via_leak,
+            output=recording.output,
+        )
+    core = recording._machine_memo.get(machine)
+    if core is None:
+        core = Core(machine)
+        for op in recording.ops:
+            if not isinstance(op, ViaOpRecord):
+                op.apply(core)
+        recording._machine_memo[machine] = core
+    counters = dataclasses.replace(core.counters)
+    counters.via_instructions += via_side.via_instructions
+    counters.vector_uops += via_side.vector_uops
+    counters.sspm_accesses += via_side.sspm_accesses
+    counters.cam_searches += via_side.cam_searches
+    counters.sspm_busy_cycles += via_side.sspm_busy_cycles
+    return build_result(
+        name=name,
+        machine=machine,
+        counters=counters,
+        dram_occupancy_cycles=core.memory.dram.occupancy_cycles(),
+        dram_traffic_bytes=core.memory.dram.traffic_bytes,
+        dram_lines=core.memory.dram.stats.lines,
+        cache_stats=core.memory.level_stats(),
+        via_leakage_mw=via_leak,
+        output=recording.output,
+    )

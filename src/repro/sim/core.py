@@ -3,9 +3,14 @@
 Kernels do not run real machine code; they *narrate* their execution to a
 :class:`Core` as a stream of coarse operations (one call per VL-wide vector
 instruction or scalar bookkeeping group) while computing their functional
-results in numpy.  The core prices each operation against the machine
-configuration and the live cache hierarchy, then :meth:`Core.finalize`
-combines the counters into cycles with an interval-style overlap model:
+results in numpy.  Each narration call builds an immutable
+:class:`~repro.sim.ops.Op` record and routes it through the core's backend
+(:mod:`repro.sim.backends`): the default direct backend prices it
+immediately, a recorder also captures it for later replay, a trace backend
+logs it.  Pricing itself always happens in :meth:`Op.apply` against the
+machine configuration and the live cache hierarchy, then
+:meth:`Core.finalize` combines the counters into cycles with an
+interval-style overlap model:
 
 ``cycles = max(resource bounds) + exposed miss latency``
 
@@ -33,11 +38,103 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim import calibration as cal
+from repro.sim.backends import Backend, DirectBackend
 from repro.sim.config import DEFAULT_MACHINE, MachineConfig
 from repro.sim.hierarchy import AccessResult, MemoryHierarchy
+from repro.sim.ops import (
+    AllocOp,
+    BranchesOp,
+    BulkStreamOp,
+    DependencyStallOp,
+    GatherOp,
+    GatherSerialOp,
+    LoadStreamOp,
+    LoadWindowsOp,
+    Op,
+    ScalarLoadOp,
+    ScalarOpsOp,
+    ScalarStoreOp,
+    ScatterOp,
+    ScatterSerialOp,
+    StoreStreamOp,
+    VectorOpOp,
+    ViaOpRecord,
+)
 from repro.sim.stats import CycleBreakdown, KernelResult, OpCounters
 
 _LINE = cal.CACHE_LINE_BYTES
+
+
+def build_result(
+    *,
+    name: str,
+    machine: MachineConfig,
+    counters: OpCounters,
+    dram_occupancy_cycles: float,
+    dram_traffic_bytes: int,
+    dram_lines: int,
+    cache_stats: Dict[str, dict],
+    via_leakage_mw: float,
+    output=None,
+) -> KernelResult:
+    """Combine priced counters into a :class:`KernelResult`.
+
+    This is the single cycles/energy formula, shared by
+    :meth:`Core.finalize` and by replay (which reconstructs results from a
+    recording's stored pricing state without a live core) — keeping them on
+    one code path is what makes replayed results bit-identical.
+    """
+    m, c = machine, counters
+    breakdown = CycleBreakdown(
+        issue_cycles=(c.scalar_uops + c.vector_uops) / m.issue_width,
+        vfu_cycles=c.vector_uops / cal.VFU_THROUGHPUT_PER_CYCLE,
+        gather_serial_cycles=(
+            c.gathers * m.gather_base_latency
+            + c.scatters * m.scatter_base_latency
+        ),
+        dram_occupancy_cycles=dram_occupancy_cycles,
+        sspm_cycles=c.sspm_busy_cycles,
+        commit_serial_cycles=c.via_instructions * cal.COMMIT_ISSUE_OVERHEAD,
+        exposed_stream_latency=c.stream_miss_latency / m.mlp_stream,
+        exposed_dependent_latency=c.dependent_miss_latency / m.mlp_dependent,
+        branch_penalty_cycles=c.branch_mispredicts * cal.BRANCH_MISS_PENALTY,
+        dependency_stall_cycles=c.dependency_stall_cycles,
+    )
+    cycles = breakdown.total_cycles
+    seconds = m.cycles_to_seconds(cycles)
+    bandwidth = dram_traffic_bytes / seconds / 1e9 if seconds else 0.0
+    energy = _energy_pj(c, dram_lines, via_leakage_mw, seconds)
+    return KernelResult(
+        name=name,
+        cycles=cycles,
+        seconds=seconds,
+        breakdown=breakdown,
+        counters=c,
+        dram_traffic_bytes=dram_traffic_bytes,
+        energy_pj=energy,
+        memory_bandwidth_gbs=bandwidth,
+        cache_stats=cache_stats,
+        output=output,
+    )
+
+
+def _energy_pj(
+    c: OpCounters, dram_lines: int, via_leak_mw: float, seconds: float
+) -> float:
+    e = cal.ENERGY_PJ
+    dynamic = (
+        c.scalar_uops * e["scalar_op"]
+        + c.vector_uops * e["vector_op"]
+        + c.mem_line_accesses * e["l1_access"]
+        + (c.mem_line_accesses - c.l1_hits) * e["l2_access"]
+        + (c.mem_line_accesses - c.l1_hits - c.l2_hits) * e["l3_access"]
+        + dram_lines * e["dram_line"]
+        + c.sspm_accesses * e["sspm_access"]
+        + c.cam_searches * e["cam_search"]
+        + (c.gathers + c.scatters) * e["gather_overhead"]
+    )
+    leakage = (cal.CORE_LEAKAGE_MW + via_leak_mw) * 1e-3 * seconds * 1e12
+    return dynamic + leakage
 
 
 @dataclass(frozen=True)
@@ -68,7 +165,12 @@ class Array:
 
 
 class AddressSpace:
-    """Bump allocator handing out line-aligned simulated arrays."""
+    """Bump allocator handing out line-aligned simulated arrays.
+
+    Allocation order fully determines base addresses, which is why
+    replaying a recorded op stream (allocations included) reproduces the
+    exact address trace the original run generated.
+    """
 
     def __init__(self, base: int = 0x1000_0000):
         self._next = base
@@ -101,30 +203,44 @@ class Core:
         Optional VIA device (:class:`repro.via.engine.ViaDevice`).  When
         present, VIA instructions report their SSPM occupancy here through
         :meth:`record_via_op`.
+    backend:
+        Op-stream backend (defaults to :class:`~repro.sim.backends.DirectBackend`,
+        which prices every op immediately — the historical behavior).
     """
 
-    def __init__(self, machine: MachineConfig = DEFAULT_MACHINE, via=None):
+    def __init__(
+        self,
+        machine: MachineConfig = DEFAULT_MACHINE,
+        via=None,
+        backend: Optional[Backend] = None,
+    ):
         self.machine = machine
         self.memory = MemoryHierarchy(machine)
         self.mem = AddressSpace()
         self.counters = OpCounters()
+        self.backend: Backend = backend if backend is not None else DirectBackend()
         self.via = via
         if via is not None:
             via.attach(self)
+
+    def _emit(self, op: Op) -> None:
+        """Route one narrated op through the backend (the IR seam)."""
+        self.backend.handle(op, self)
 
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
     def alloc(self, name: str, num_elems: int, elem_bytes: int = 8) -> Array:
         """Allocate a simulated array (line-aligned)."""
-        return self.mem.alloc(name, num_elems, elem_bytes)
+        self._emit(AllocOp(name, int(num_elems), int(elem_bytes)))
+        return self.mem[name]
 
     # ------------------------------------------------------------------
     # Scalar / vector compute
     # ------------------------------------------------------------------
     def scalar_ops(self, count: int) -> None:
         """Record ``count`` scalar bookkeeping uops (loop control, etc.)."""
-        self.counters.scalar_uops += int(count)
+        self._emit(ScalarOpsOp(int(count)))
 
     def vector_op(self, kind: str = "alu", count: int = 1) -> None:
         """Record ``count`` VL-wide vector ALU instructions.
@@ -132,19 +248,7 @@ class Core:
         ``kind`` selects the latency/energy class: ``alu``, ``fma``,
         ``reduce``, ``permute``, ``conflict``, ``mask``.
         """
-        c = self.counters
-        count = int(count)
-        c.vector_uops += count
-        if kind == "fma":
-            c.vector_fma += count
-        elif kind == "reduce":
-            c.vector_reduce += count
-        elif kind == "permute":
-            c.vector_permute += count
-        elif kind == "conflict":
-            c.vector_conflict += count
-        elif kind not in ("alu", "mask"):
-            raise SimulationError(f"unknown vector op kind {kind!r}")
+        self._emit(VectorOpOp(kind, int(count)))
 
     def branches(self, count: int, mispredict_rate: float) -> None:
         """Record conditional branches with a given mispredict rate.
@@ -153,14 +257,7 @@ class Core:
         data comparisons the predictor cannot learn; every mispredict costs
         a front-end refill.
         """
-        if not (0.0 <= mispredict_rate <= 1.0):
-            raise SimulationError(
-                f"mispredict_rate must be in [0, 1], got {mispredict_rate}"
-            )
-        c = self.counters
-        c.scalar_uops += int(count)
-        c.branches += int(count)
-        c.branch_mispredicts += count * mispredict_rate
+        self._emit(BranchesOp(int(count), float(mispredict_rate)))
 
     def dependency_stall(self, cycles: float) -> None:
         """Record serialization the OoO window cannot hide.
@@ -169,26 +266,18 @@ class Core:
         feeding the next iteration, or read-modify-write chains on the same
         address (scalar histogram bins).
         """
-        if cycles < 0:
-            raise SimulationError(f"stall cycles must be >= 0, got {cycles}")
-        self.counters.dependency_stall_cycles += float(cycles)
+        self._emit(DependencyStallOp(float(cycles)))
 
     # ------------------------------------------------------------------
     # Memory operations
     # ------------------------------------------------------------------
     def load_stream(self, array: Array, start: int, count: int) -> None:
         """Contiguous load of ``count`` elements starting at ``start``."""
-        base, nbytes = array.addr_range(start, count)
-        res = self.memory.access_stream(base, nbytes, write=False)
-        self._record_mem(res, dependent=False)
-        self._stream_uops(count, array.elem_bytes)
+        self._emit(LoadStreamOp(array.name, int(start), int(count)))
 
     def store_stream(self, array: Array, start: int, count: int) -> None:
         """Contiguous store of ``count`` elements starting at ``start``."""
-        base, nbytes = array.addr_range(start, count)
-        res = self.memory.access_stream(base, nbytes, write=True)
-        self._record_mem(res, dependent=False)
-        self._stream_uops(count, array.elem_bytes)
+        self._emit(StoreStreamOp(array.name, int(start), int(count)))
 
     def gather(self, array: Array, indices, *, n_instr: Optional[int] = None) -> None:
         """Vector gather ``array[indices]`` (paper Challenge 1).
@@ -207,12 +296,7 @@ class Core:
         vl = self.machine.vl
         if n_instr is None:
             n_instr = (idx.size + vl - 1) // vl
-        n_instr = int(n_instr)
-        self.counters.gathers += n_instr
-        self.counters.gather_elements += int(idx.size)
-        self.counters.vector_uops += n_instr
-        res = self.memory.access_addresses(array.addr(idx), write=False)
-        self._record_mem(res, dependent=True)
+        self._emit(GatherOp(array.name, idx, int(n_instr)))
 
     def scatter(self, array: Array, indices, *, n_instr: Optional[int] = None) -> None:
         """Vector scatter to ``array[indices]`` (store-load forwarding
@@ -223,12 +307,7 @@ class Core:
         vl = self.machine.vl
         if n_instr is None:
             n_instr = (idx.size + vl - 1) // vl
-        n_instr = int(n_instr)
-        self.counters.scatters += n_instr
-        self.counters.scatter_elements += int(idx.size)
-        self.counters.vector_uops += n_instr
-        res = self.memory.access_addresses(array.addr(idx), write=True)
-        self._record_mem(res, dependent=True)
+        self._emit(ScatterOp(array.name, idx, int(n_instr)))
 
     def gather_serial(self, n_instr: int, elements_per_instr: int) -> None:
         """Account gather instructions whose memory side is billed elsewhere.
@@ -242,18 +321,14 @@ class Core:
         n_instr = int(n_instr)
         if n_instr <= 0:
             return
-        self.counters.gathers += n_instr
-        self.counters.gather_elements += n_instr * int(elements_per_instr)
-        self.counters.vector_uops += n_instr
+        self._emit(GatherSerialOp(n_instr, int(elements_per_instr)))
 
     def scatter_serial(self, n_instr: int, elements_per_instr: int) -> None:
         """Scatter counterpart of :meth:`gather_serial`."""
         n_instr = int(n_instr)
         if n_instr <= 0:
             return
-        self.counters.scatters += n_instr
-        self.counters.scatter_elements += n_instr * int(elements_per_instr)
-        self.counters.vector_uops += n_instr
+        self._emit(ScatterSerialOp(n_instr, int(elements_per_instr)))
 
     def load_windows(self, array: Array, starts, width: int) -> None:
         """Vector loads of ``width`` contiguous elements at computed starts.
@@ -267,30 +342,21 @@ class Core:
         starts = np.asarray(starts, dtype=np.int64)
         if starts.size == 0 or width <= 0:
             return
-        self.counters.vector_uops += int(starts.size)
-        offsets = np.arange(width, dtype=np.int64)
-        addrs = (starts[:, None] + offsets[None, :]).ravel() * array.elem_bytes
-        addrs += array.base
-        res = self.memory.access_addresses(addrs, write=False)
-        self._record_mem(res, dependent=True)
+        self._emit(LoadWindowsOp(array.name, starts, int(width)))
 
     def scalar_load(self, array: Array, indices, *, dependent: bool = False) -> None:
         """Scalar loads of individual elements."""
         idx = np.asarray(indices, dtype=np.int64)
         if idx.size == 0:
             return
-        self.counters.scalar_uops += int(idx.size)
-        res = self.memory.access_addresses(array.addr(idx), write=False)
-        self._record_mem(res, dependent=dependent)
+        self._emit(ScalarLoadOp(array.name, idx, bool(dependent)))
 
     def scalar_store(self, array: Array, indices, *, dependent: bool = False) -> None:
         """Scalar stores of individual elements."""
         idx = np.asarray(indices, dtype=np.int64)
         if idx.size == 0:
             return
-        self.counters.scalar_uops += int(idx.size)
-        res = self.memory.access_addresses(array.addr(idx), write=True)
-        self._record_mem(res, dependent=dependent)
+        self._emit(ScalarStoreOp(array.name, idx, bool(dependent)))
 
     def bulk_stream(self, array: Array, *, passes: int, write: bool = False) -> None:
         """Aggregate accounting for re-streaming an array ``passes`` times.
@@ -303,108 +369,72 @@ class Core:
         """
         if passes <= 0:
             return
-        if write:
-            self.store_stream(array, 0, array.num_elems)
-        else:
-            self.load_stream(array, 0, array.num_elems)
-        extra = int(passes) - 1
-        if extra <= 0:
-            return
-        m = self.machine
-        lines = -(-array.nbytes // _LINE)
-        c = self.counters
-        # residency level: smallest cache whose capacity holds the array
-        if array.nbytes <= m.l1.size_kb * 1024:
-            level_latency, level = 0.0, "l1"
-        elif array.nbytes <= m.l2.size_kb * 1024:
-            level_latency, level = float(m.l2.latency), "l2"
-        elif array.nbytes <= m.l3.size_kb * 1024:
-            level_latency, level = float(m.l2.latency + m.l3.latency), "l3"
-        else:
-            level_latency, level = (
-                float(m.l2.latency + m.l3.latency + m.dram_latency),
-                "dram",
-            )
-        c.mem_line_accesses += extra * lines
-        if level == "l1":
-            c.l1_hits += extra * lines
-        elif level == "l2":
-            c.l2_hits += extra * lines
-        elif level == "l3":
-            c.l3_hits += extra * lines
-        else:
-            c.dram_fills += extra * lines
-            self.memory.dram.read_lines(extra * lines)
-        c.stream_miss_latency += extra * lines * level_latency
-        self._stream_uops(array.num_elems * extra, array.elem_bytes)
+        self._emit(BulkStreamOp(array.name, int(passes), bool(write)))
 
     # ------------------------------------------------------------------
     # VIA hook
     # ------------------------------------------------------------------
-    def record_via_op(self, *, sspm_elements: int, cam_searches: int,
-                      port_cycles: float, count: int = 1) -> None:
+    def record_via_op(
+        self,
+        *,
+        sspm_elements: int,
+        cam_searches: int,
+        port_cycles: Optional[float] = None,
+        port_passes: Optional[int] = None,
+        count: int = 1,
+    ) -> None:
         """Account VIA instructions' SSPM work (called by the engine).
 
-        ``port_cycles`` comes from the FIVU timing model: a VIA op touching
+        The engine passes ``port_passes`` — the FIVU profile's pass count —
+        and the port-cycle cost is derived at pricing time from the VIA
+        configuration of whichever core prices the op: a VIA op touching
         ``k`` SSPM elements per pass needs ``ceil(k / ports)`` scratchpad
         cycles per pass (Section IV-B, preprocessing-1 nested pipeline).
-        The commit handshake adds a fixed overhead and VIA instructions
-        serialize at commit (Section IV-E).  ``count`` bulk-records that
-        many identical instructions (per-instruction operand values do not
-        change the timing, only the element counts do).
+        A pre-computed ``port_cycles`` is also accepted and pins the cost
+        (legacy callers / cores without a VIA device).  The commit
+        handshake adds a fixed overhead and VIA instructions serialize at
+        commit (Section IV-E).  ``count`` bulk-records that many identical
+        instructions (per-instruction operand values do not change the
+        timing, only the element counts do).
         """
-        c = self.counters
-        count = int(count)
-        c.via_instructions += count
-        c.vector_uops += count
-        c.sspm_accesses += int(sspm_elements) * count
-        c.cam_searches += int(cam_searches) * count
-        c.sspm_busy_cycles += (
-            float(port_cycles) + cal.COMMIT_ISSUE_OVERHEAD
-        ) * count
+        self._emit(
+            ViaOpRecord(
+                sspm_elements=int(sspm_elements),
+                cam_searches=int(cam_searches),
+                count=int(count),
+                port_passes=None if port_passes is None else int(port_passes),
+                port_cycles=None if port_cycles is None else float(port_cycles),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Finalization
     # ------------------------------------------------------------------
     def finalize(self, name: str, *, output=None) -> KernelResult:
         """Combine the accumulated counters into a :class:`KernelResult`."""
-        m, c = self.machine, self.counters
-        breakdown = CycleBreakdown(
-            issue_cycles=(c.scalar_uops + c.vector_uops) / m.issue_width,
-            vfu_cycles=c.vector_uops / cal.VFU_THROUGHPUT_PER_CYCLE,
-            gather_serial_cycles=(
-                c.gathers * m.gather_base_latency
-                + c.scatters * m.scatter_base_latency
-            ),
-            dram_occupancy_cycles=self.memory.dram.occupancy_cycles(),
-            sspm_cycles=c.sspm_busy_cycles,
-            commit_serial_cycles=c.via_instructions * cal.COMMIT_ISSUE_OVERHEAD,
-            exposed_stream_latency=c.stream_miss_latency / m.mlp_stream,
-            exposed_dependent_latency=c.dependent_miss_latency / m.mlp_dependent,
-            branch_penalty_cycles=c.branch_mispredicts * cal.BRANCH_MISS_PENALTY,
-            dependency_stall_cycles=c.dependency_stall_cycles,
-        )
-        cycles = breakdown.total_cycles
-        seconds = m.cycles_to_seconds(cycles)
-        traffic = self.memory.dram.traffic_bytes
-        bandwidth = traffic / seconds / 1e9 if seconds else 0.0
-        energy = self._energy_pj(seconds)
-        return KernelResult(
+        self.backend.on_finalize(self, name, output)
+        return build_result(
             name=name,
-            cycles=cycles,
-            seconds=seconds,
-            breakdown=breakdown,
-            counters=c,
-            dram_traffic_bytes=traffic,
-            energy_pj=energy,
-            memory_bandwidth_gbs=bandwidth,
+            machine=self.machine,
+            counters=self.counters,
+            dram_occupancy_cycles=self.memory.dram.occupancy_cycles(),
+            dram_traffic_bytes=self.memory.dram.traffic_bytes,
+            dram_lines=self.memory.dram.stats.lines,
             cache_stats=self.memory.level_stats(),
+            via_leakage_mw=self.via.leakage_mw if self.via is not None else 0.0,
             output=output,
         )
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals (shared by Op.apply implementations)
     # ------------------------------------------------------------------
+    def _price_stream(self, array: Array, start: int, count: int, *, write: bool) -> None:
+        """Detailed-model cost of one contiguous stream access."""
+        base, nbytes = array.addr_range(start, count)
+        res = self.memory.access_stream(base, nbytes, write=write)
+        self._record_mem(res, dependent=False)
+        self._stream_uops(count, array.elem_bytes)
+
     def _stream_uops(self, count: int, elem_bytes: int) -> None:
         """Issue cost of a contiguous vector access (VL elements per uop)."""
         per_uop = max(1, (self.machine.vl * 8) // max(elem_bytes, 1))
@@ -424,21 +454,3 @@ class Core:
             c.dependent_miss_latency += miss_latency
         else:
             c.stream_miss_latency += miss_latency
-
-    def _energy_pj(self, seconds: float) -> float:
-        c = self.counters
-        e = cal.ENERGY_PJ
-        dynamic = (
-            c.scalar_uops * e["scalar_op"]
-            + c.vector_uops * e["vector_op"]
-            + c.mem_line_accesses * e["l1_access"]
-            + (c.mem_line_accesses - c.l1_hits) * e["l2_access"]
-            + (c.mem_line_accesses - c.l1_hits - c.l2_hits) * e["l3_access"]
-            + (self.memory.dram.stats.lines) * e["dram_line"]
-            + c.sspm_accesses * e["sspm_access"]
-            + c.cam_searches * e["cam_search"]
-            + (c.gathers + c.scatters) * e["gather_overhead"]
-        )
-        via_leak_mw = self.via.leakage_mw if self.via is not None else 0.0
-        leakage = (cal.CORE_LEAKAGE_MW + via_leak_mw) * 1e-3 * seconds * 1e12
-        return dynamic + leakage

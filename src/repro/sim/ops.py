@@ -1,0 +1,926 @@
+"""The typed operation-stream IR — the narration channel of the simulator.
+
+Kernels narrate their execution as coarse events (streaming loads, gathers,
+vector ALU groups, VIA instructions...).  Historically each narration call
+mutated :class:`~repro.sim.core.Core` counters directly; this module turns
+every event into an immutable :class:`Op` record so the *same* stream can be
+
+* priced immediately (the direct backend — today's behavior),
+* captured to a compact on-disk artifact (the recorder backend), and
+* re-priced later under a different machine/VIA configuration without
+  re-executing any functional numpy (replay).
+
+This is the trace-driven separation standard in vector-architecture
+simulators: the op stream is the functional/timing seam, and every backend
+prices ops through the single :meth:`Op.apply` path, which is what makes
+replayed timing bit-identical to direct execution by construction.
+
+Stream shape
+------------
+
+An op stream is not universal: kernels *shape* their narration using a few
+configuration values (vector length for chunking, SSPM capacity for strip
+and batch sizes, the L1 latency baked into one histogram stall).  Two
+configurations with the same :func:`stream_shape_key` produce identical
+streams and may share recordings; everything else (cache geometry, DRAM,
+MLP, SSPM *ports*) only affects pricing and can be swept at replay time.
+
+Serialization
+-------------
+
+:func:`save_recordings` / :func:`load_recordings` persist a dict of
+:class:`Recording` objects into one ``np.savez_compressed`` artifact: a JSON
+meta blob (schema version, configs, per-op scalar fields, checksum), a
+shared int64 index pool for all address-bearing ops, and the functional
+outputs as native npz arrays.  Any truncation, tampering, or schema
+mismatch raises :class:`RecordingError` — callers treat that as a cache
+miss and re-record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import zipfile
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RecordingError, ReplayMismatchError, SimulationError
+from repro.sim import calibration as cal
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.stats import OpCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports ops)
+    from repro.sim.core import Core
+    from repro.via.config import ViaConfig
+
+#: bump whenever Op field layouts or the artifact format change; folded into
+#: recording cache keys so stale artifacts invalidate cleanly
+OPS_SCHEMA_VERSION = 1
+
+_LINE = cal.CACHE_LINE_BYTES
+
+#: vector-op kinds the cycle model understands (see OpCounters)
+VECTOR_OP_KINDS = ("alu", "mask", "fma", "reduce", "permute", "conflict")
+
+
+__all__ = [
+    "OPS_SCHEMA_VERSION",
+    "Op",
+    "OP_CLASSES",
+    "PricedState",
+    "Recording",
+    "RecordingError",
+    "ReplayMismatchError",
+    "load_recordings",
+    "machine_shape_key",
+    "save_recordings",
+    "stream_shape_key",
+    "via_totals",
+]
+
+
+# ---------------------------------------------------------------------------
+# Stream shape keys
+# ---------------------------------------------------------------------------
+def machine_shape_key(machine: MachineConfig) -> Dict[str, Any]:
+    """The machine parameters that shape narration (not just pricing).
+
+    ``vector_lanes`` sets every chunk count kernels compute; ``l1.latency``
+    is read by the scalar-histogram narration when sizing its RMW stall.
+    All other machine knobs are consumed at pricing time.
+    """
+    return {
+        "vector_lanes": machine.vector_lanes,
+        "l1_latency": machine.l1.latency,
+    }
+
+
+def stream_shape_key(
+    machine: MachineConfig, via_config: Optional["ViaConfig"]
+) -> Dict[str, Any]:
+    """Everything that determines the *shape* of a narrated op stream.
+
+    VIA kernels read ``sram_entries`` / ``cam_entries`` / ``csb_block_size``
+    (all derived from ``sram_kb``) for strip, batch, and tile loops; the
+    port count never reaches narration — it is applied when a
+    :class:`ViaOpRecord` is priced.  Hence the Fig. 9 DSE's four
+    configurations collapse into two shape groups (4 KB and 16 KB), each
+    recorded once and replayed per port variant.
+    """
+    key = machine_shape_key(machine)
+    key["via_sram_kb"] = via_config.sram_kb if via_config is not None else None
+    return key
+
+
+# ---------------------------------------------------------------------------
+# Op records
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Op:
+    """One narrated event.  Subclasses carry the event's parameters and
+    implement :meth:`apply`, the single pricing path every backend uses."""
+
+    #: registry key and trace-event kind (matches the Core method name)
+    kind: ClassVar[str] = ""
+    #: scalar payload fields, serialized verbatim into the meta JSON
+    _scalars: ClassVar[Tuple[str, ...]] = ()
+    #: int64-ndarray payload fields, serialized through the index pool
+    _arrays: ClassVar[Tuple[str, ...]] = ()
+
+    def apply(self, core: "Core") -> None:
+        raise NotImplementedError
+
+    @property
+    def trace_count(self) -> int:
+        """Event multiplicity reported to the execution trace."""
+        return 1
+
+    def describe(self) -> str:
+        """Short human-readable operand summary for trace rendering."""
+        parts = []
+        for name in self._scalars:
+            parts.append(f"{name}={getattr(self, name)!r}")
+        for name in self._arrays:
+            parts.append(f"{name}=<{getattr(self, name).size} elems>")
+        return ", ".join(parts)
+
+    # -- serialization -------------------------------------------------
+    def to_payload(self, pool: "_IndexPool") -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"k": self.kind}
+        for name in self._scalars:
+            payload[name] = getattr(self, name)
+        for name in self._arrays:
+            payload[name] = pool.put(getattr(self, name))
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any], pool_data: np.ndarray) -> "Op":
+        kwargs: Dict[str, Any] = {}
+        for name in cls._scalars:
+            kwargs[name] = payload[name]
+        for name in cls._arrays:
+            offset, size = payload[name]
+            kwargs[name] = pool_data[offset : offset + size]
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class AllocOp(Op):
+    """Allocate a named array in the simulated address space.
+
+    Replaying allocations in recorded order reproduces the exact base
+    addresses the direct run used, so the cache model sees identical
+    address streams.
+    """
+
+    name: str
+    num_elems: int
+    elem_bytes: int
+
+    kind: ClassVar[str] = "alloc"
+    _scalars: ClassVar[Tuple[str, ...]] = ("name", "num_elems", "elem_bytes")
+
+    def apply(self, core: "Core") -> None:
+        core.mem.alloc(self.name, self.num_elems, self.elem_bytes)
+
+    @property
+    def trace_count(self) -> int:
+        return max(self.num_elems, 1)
+
+
+@dataclass(frozen=True)
+class ScalarOpsOp(Op):
+    """``count`` scalar bookkeeping uops (loop control, etc.)."""
+
+    count: int
+
+    kind: ClassVar[str] = "scalar_ops"
+    _scalars: ClassVar[Tuple[str, ...]] = ("count",)
+
+    def apply(self, core: "Core") -> None:
+        core.counters.scalar_uops += self.count
+
+    @property
+    def trace_count(self) -> int:
+        return max(self.count, 1)
+
+
+@dataclass(frozen=True)
+class VectorOpOp(Op):
+    """``count`` VL-wide vector ALU instructions of one latency class."""
+
+    op_kind: str
+    count: int
+
+    kind: ClassVar[str] = "vector_op"
+    _scalars: ClassVar[Tuple[str, ...]] = ("op_kind", "count")
+
+    def __post_init__(self):
+        if self.op_kind not in VECTOR_OP_KINDS:
+            raise SimulationError(f"unknown vector op kind {self.op_kind!r}")
+
+    def apply(self, core: "Core") -> None:
+        c = core.counters
+        c.vector_uops += self.count
+        if self.op_kind == "fma":
+            c.vector_fma += self.count
+        elif self.op_kind == "reduce":
+            c.vector_reduce += self.count
+        elif self.op_kind == "permute":
+            c.vector_permute += self.count
+        elif self.op_kind == "conflict":
+            c.vector_conflict += self.count
+
+    @property
+    def trace_count(self) -> int:
+        return max(self.count, 1)
+
+
+@dataclass(frozen=True)
+class BranchesOp(Op):
+    """Conditional branches with a given mispredict rate."""
+
+    count: int
+    mispredict_rate: float
+
+    kind: ClassVar[str] = "branches"
+    _scalars: ClassVar[Tuple[str, ...]] = ("count", "mispredict_rate")
+
+    def __post_init__(self):
+        if not (0.0 <= self.mispredict_rate <= 1.0):
+            raise SimulationError(
+                f"mispredict_rate must be in [0, 1], got {self.mispredict_rate}"
+            )
+
+    def apply(self, core: "Core") -> None:
+        c = core.counters
+        c.scalar_uops += self.count
+        c.branches += self.count
+        c.branch_mispredicts += self.count * self.mispredict_rate
+
+    @property
+    def trace_count(self) -> int:
+        return max(self.count, 1)
+
+
+@dataclass(frozen=True)
+class DependencyStallOp(Op):
+    """Serialization the OoO window cannot hide (true dependence chains)."""
+
+    cycles: float
+
+    kind: ClassVar[str] = "dependency_stall"
+    _scalars: ClassVar[Tuple[str, ...]] = ("cycles",)
+
+    def __post_init__(self):
+        if self.cycles < 0:
+            raise SimulationError(
+                f"stall cycles must be >= 0, got {self.cycles}"
+            )
+
+    def apply(self, core: "Core") -> None:
+        core.counters.dependency_stall_cycles += self.cycles
+
+
+@dataclass(frozen=True)
+class _StreamOp(Op):
+    """Common body for contiguous load/store streams."""
+
+    array: str
+    start: int
+    count: int
+
+    _scalars: ClassVar[Tuple[str, ...]] = ("array", "start", "count")
+    _write: ClassVar[bool] = False
+
+    def apply(self, core: "Core") -> None:
+        core._price_stream(
+            core.mem[self.array], self.start, self.count, write=self._write
+        )
+
+    @property
+    def trace_count(self) -> int:
+        return max(self.count, 1)
+
+
+@dataclass(frozen=True)
+class LoadStreamOp(_StreamOp):
+    """Contiguous load of ``count`` elements starting at ``start``."""
+
+    kind: ClassVar[str] = "load_stream"
+    _write: ClassVar[bool] = False
+
+
+@dataclass(frozen=True)
+class StoreStreamOp(_StreamOp):
+    """Contiguous store of ``count`` elements starting at ``start``."""
+
+    kind: ClassVar[str] = "store_stream"
+    _write: ClassVar[bool] = True
+
+
+@dataclass(frozen=True)
+class _IndexedVectorOp(Op):
+    """Common body for vector gather/scatter with explicit addresses."""
+
+    array: str
+    indices: np.ndarray
+    n_instr: int
+
+    _scalars: ClassVar[Tuple[str, ...]] = ("array", "n_instr")
+    _arrays: ClassVar[Tuple[str, ...]] = ("indices",)
+    _write: ClassVar[bool] = False
+
+    def apply(self, core: "Core") -> None:
+        c = core.counters
+        if self._write:
+            c.scatters += self.n_instr
+            c.scatter_elements += int(self.indices.size)
+        else:
+            c.gathers += self.n_instr
+            c.gather_elements += int(self.indices.size)
+        c.vector_uops += self.n_instr
+        arr = core.mem[self.array]
+        res = core.memory.access_addresses(arr.addr(self.indices), write=self._write)
+        core._record_mem(res, dependent=True)
+
+    @property
+    def trace_count(self) -> int:
+        return max(int(self.indices.size), 1)
+
+
+@dataclass(frozen=True)
+class GatherOp(_IndexedVectorOp):
+    """Vector gather ``array[indices]`` (paper Challenge 1)."""
+
+    kind: ClassVar[str] = "gather"
+    _write: ClassVar[bool] = False
+
+
+@dataclass(frozen=True)
+class ScatterOp(_IndexedVectorOp):
+    """Vector scatter to ``array[indices]``."""
+
+    kind: ClassVar[str] = "scatter"
+    _write: ClassVar[bool] = True
+
+
+@dataclass(frozen=True)
+class _SerialIndexedOp(Op):
+    """Gather/scatter instructions whose memory side is billed elsewhere."""
+
+    n_instr: int
+    elements_per_instr: int
+
+    _scalars: ClassVar[Tuple[str, ...]] = ("n_instr", "elements_per_instr")
+    _write: ClassVar[bool] = False
+
+    def apply(self, core: "Core") -> None:
+        c = core.counters
+        if self._write:
+            c.scatters += self.n_instr
+            c.scatter_elements += self.n_instr * self.elements_per_instr
+        else:
+            c.gathers += self.n_instr
+            c.gather_elements += self.n_instr * self.elements_per_instr
+        c.vector_uops += self.n_instr
+
+    @property
+    def trace_count(self) -> int:
+        return max(self.n_instr, 1)
+
+
+@dataclass(frozen=True)
+class GatherSerialOp(_SerialIndexedOp):
+    kind: ClassVar[str] = "gather_serial"
+    _write: ClassVar[bool] = False
+
+
+@dataclass(frozen=True)
+class ScatterSerialOp(_SerialIndexedOp):
+    kind: ClassVar[str] = "scatter_serial"
+    _write: ClassVar[bool] = True
+
+
+@dataclass(frozen=True)
+class LoadWindowsOp(Op):
+    """Vector loads of ``width`` contiguous elements at computed starts."""
+
+    array: str
+    starts: np.ndarray
+    width: int
+
+    kind: ClassVar[str] = "load_windows"
+    _scalars: ClassVar[Tuple[str, ...]] = ("array", "width")
+    _arrays: ClassVar[Tuple[str, ...]] = ("starts",)
+
+    def apply(self, core: "Core") -> None:
+        arr = core.mem[self.array]
+        core.counters.vector_uops += int(self.starts.size)
+        offsets = np.arange(self.width, dtype=np.int64)
+        addrs = (self.starts[:, None] + offsets[None, :]).ravel() * arr.elem_bytes
+        addrs += arr.base
+        res = core.memory.access_addresses(addrs, write=False)
+        core._record_mem(res, dependent=True)
+
+    @property
+    def trace_count(self) -> int:
+        return max(int(self.starts.size), 1)
+
+
+@dataclass(frozen=True)
+class _ScalarIndexedOp(Op):
+    """Scalar loads/stores of individual elements."""
+
+    array: str
+    indices: np.ndarray
+    dependent: bool
+
+    _scalars: ClassVar[Tuple[str, ...]] = ("array", "dependent")
+    _arrays: ClassVar[Tuple[str, ...]] = ("indices",)
+    _write: ClassVar[bool] = False
+
+    def apply(self, core: "Core") -> None:
+        core.counters.scalar_uops += int(self.indices.size)
+        arr = core.mem[self.array]
+        res = core.memory.access_addresses(arr.addr(self.indices), write=self._write)
+        core._record_mem(res, dependent=self.dependent)
+
+    @property
+    def trace_count(self) -> int:
+        return max(int(self.indices.size), 1)
+
+
+@dataclass(frozen=True)
+class ScalarLoadOp(_ScalarIndexedOp):
+    kind: ClassVar[str] = "scalar_load"
+    _write: ClassVar[bool] = False
+
+
+@dataclass(frozen=True)
+class ScalarStoreOp(_ScalarIndexedOp):
+    kind: ClassVar[str] = "scalar_store"
+    _write: ClassVar[bool] = True
+
+
+@dataclass(frozen=True)
+class BulkStreamOp(Op):
+    """Re-stream an array ``passes`` times (analytic repeat-pass residency).
+
+    The op stores *intent* (array + pass count), not addresses: the first
+    pass runs through the detailed model, and the analytic residency level
+    for repeat passes is derived from the machine the op is priced on —
+    so replaying onto a machine with different cache capacities re-derives
+    the residency correctly.
+    """
+
+    array: str
+    passes: int
+    write: bool
+
+    kind: ClassVar[str] = "bulk_stream"
+    _scalars: ClassVar[Tuple[str, ...]] = ("array", "passes", "write")
+
+    def apply(self, core: "Core") -> None:
+        arr = core.mem[self.array]
+        core._price_stream(arr, 0, arr.num_elems, write=self.write)
+        extra = self.passes - 1
+        if extra <= 0:
+            return
+        m = core.machine
+        lines = -(-arr.nbytes // _LINE)
+        c = core.counters
+        # residency level: smallest cache whose capacity holds the array
+        if arr.nbytes <= m.l1.size_kb * 1024:
+            level_latency, level = 0.0, "l1"
+        elif arr.nbytes <= m.l2.size_kb * 1024:
+            level_latency, level = float(m.l2.latency), "l2"
+        elif arr.nbytes <= m.l3.size_kb * 1024:
+            level_latency, level = float(m.l2.latency + m.l3.latency), "l3"
+        else:
+            level_latency, level = (
+                float(m.l2.latency + m.l3.latency + m.dram_latency),
+                "dram",
+            )
+        c.mem_line_accesses += extra * lines
+        if level == "l1":
+            c.l1_hits += extra * lines
+        elif level == "l2":
+            c.l2_hits += extra * lines
+        elif level == "l3":
+            c.l3_hits += extra * lines
+        else:
+            c.dram_fills += extra * lines
+            core.memory.dram.read_lines(extra * lines)
+        c.stream_miss_latency += extra * lines * level_latency
+        core._stream_uops(arr.num_elems * extra, arr.elem_bytes)
+
+    @property
+    def trace_count(self) -> int:
+        return max(self.passes, 1)
+
+
+@dataclass(frozen=True)
+class ViaOpRecord(Op):
+    """SSPM work of ``count`` identical VIA instructions.
+
+    The preferred payload is the FIVU *profile* (``sspm_elements``,
+    ``cam_searches``, ``port_passes``) — the port-cycle cost is then derived
+    from the VIA configuration of the core pricing the op, which is what
+    lets a recorded stream re-price under a different port count.  A
+    pre-computed ``port_cycles`` is accepted for backward compatibility
+    (and pins the cost to the recorded configuration).
+    """
+
+    sspm_elements: int
+    cam_searches: int
+    count: int = 1
+    port_passes: Optional[int] = None
+    port_cycles: Optional[float] = None
+
+    kind: ClassVar[str] = "record_via_op"
+    _scalars: ClassVar[Tuple[str, ...]] = (
+        "sspm_elements",
+        "cam_searches",
+        "count",
+        "port_passes",
+        "port_cycles",
+    )
+
+    def __post_init__(self):
+        if self.port_passes is None and self.port_cycles is None:
+            raise SimulationError(
+                "record_via_op needs port_passes (FIVU profile) or "
+                "port_cycles (pre-computed cost)"
+            )
+
+    def apply(self, core: "Core") -> None:
+        port_cycles = self.port_cycles
+        if port_cycles is None:
+            if core.via is None:
+                raise SimulationError(
+                    "cannot price a VIA op on a core without a VIA device"
+                )
+            from repro.via.fivu import FivuTiming
+
+            port_cycles = FivuTiming(
+                sspm_elements=self.sspm_elements,
+                cam_searches=self.cam_searches,
+                port_passes=self.port_passes,
+            ).port_cycles(core.via.config)
+        c = core.counters
+        c.via_instructions += self.count
+        c.vector_uops += self.count
+        c.sspm_accesses += self.sspm_elements * self.count
+        c.cam_searches += self.cam_searches * self.count
+        c.sspm_busy_cycles += (
+            float(port_cycles) + cal.COMMIT_ISSUE_OVERHEAD
+        ) * self.count
+
+    @property
+    def trace_count(self) -> int:
+        return max(self.count, 1)
+
+
+#: kind -> Op class, for deserialization
+OP_CLASSES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        AllocOp,
+        ScalarOpsOp,
+        VectorOpOp,
+        BranchesOp,
+        DependencyStallOp,
+        LoadStreamOp,
+        StoreStreamOp,
+        GatherOp,
+        ScatterOp,
+        GatherSerialOp,
+        ScatterSerialOp,
+        LoadWindowsOp,
+        ScalarLoadOp,
+        ScalarStoreOp,
+        BulkStreamOp,
+        ViaOpRecord,
+    )
+}
+
+
+def via_totals(ops: List[Op], via_config: Optional["ViaConfig"]) -> OpCounters:
+    """Counter contributions of a stream's VIA ops under a port configuration.
+
+    Accumulates exactly what each :class:`ViaOpRecord` would add to a live
+    core's counters, in stream order, starting from zero — so the sums are
+    bit-identical to direct execution's (``sspm_busy_cycles`` receives
+    contributions from VIA ops only, and integer counters commute exactly).
+    This is the whole port-dependent side of pricing: replaying a recording
+    under a sibling port variant only needs this pass.
+    """
+    totals = OpCounters()
+    for op in ops:
+        if not isinstance(op, ViaOpRecord):
+            continue
+        port_cycles = op.port_cycles
+        if port_cycles is None:
+            if via_config is None:
+                raise SimulationError(
+                    "cannot price a VIA op without a VIA configuration"
+                )
+            from repro.via.fivu import FivuTiming
+
+            port_cycles = FivuTiming(
+                sspm_elements=op.sspm_elements,
+                cam_searches=op.cam_searches,
+                port_passes=op.port_passes,
+            ).port_cycles(via_config)
+        totals.via_instructions += op.count
+        totals.vector_uops += op.count
+        totals.sspm_accesses += op.sspm_elements * op.count
+        totals.cam_searches += op.cam_searches * op.count
+        totals.sspm_busy_cycles += (
+            float(port_cycles) + cal.COMMIT_ISSUE_OVERHEAD
+        ) * op.count
+    return totals
+
+
+# ---------------------------------------------------------------------------
+# Recordings
+# ---------------------------------------------------------------------------
+@dataclass
+class PricedState:
+    """Priced totals captured when a recording's run finalized.
+
+    Everything :func:`repro.sim.core.build_result` needs, frozen at record
+    time.  SSPM port counts touch exactly one of these numbers
+    (``counters.sspm_busy_cycles``, recomputed per target by
+    :func:`via_totals`), so a same-machine replay is pure arithmetic over
+    this state — no cache re-simulation at all.
+    """
+
+    counters: OpCounters
+    dram_occupancy_cycles: float
+    dram_traffic_bytes: int
+    dram_lines: int
+    cache_stats: Dict[str, dict]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": self.counters.as_dict(),
+            "dram_occupancy_cycles": self.dram_occupancy_cycles,
+            "dram_traffic_bytes": self.dram_traffic_bytes,
+            "dram_lines": self.dram_lines,
+            "cache_stats": self.cache_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PricedState":
+        return cls(
+            counters=OpCounters(**data["counters"]),
+            dram_occupancy_cycles=data["dram_occupancy_cycles"],
+            dram_traffic_bytes=data["dram_traffic_bytes"],
+            dram_lines=data["dram_lines"],
+            cache_stats=data["cache_stats"],
+        )
+
+
+@dataclass
+class Recording:
+    """One kernel execution captured as an op stream plus its output.
+
+    ``machine`` / ``via_config`` are the configurations the stream was
+    narrated under; :func:`repro.sim.backends.replay_recording` re-prices
+    the stream under any shape-compatible pair.  ``priced`` is the record
+    run's pricing state (same-machine replays reuse it instead of
+    re-simulating memory); ``_machine_memo`` caches the one memory pass a
+    cross-machine replay needs, keyed by target machine.
+    """
+
+    name: str
+    machine: MachineConfig
+    via_config: Optional["ViaConfig"]
+    ops: List[Op] = field(default_factory=list)
+    output: Any = None
+    priced: Optional[PricedState] = None
+    _machine_memo: Dict[MachineConfig, Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def shape_key(self) -> Dict[str, Any]:
+        return stream_shape_key(self.machine, self.via_config)
+
+    def replay(self, machine=None, via_config=None):
+        """Re-price this stream; see :func:`repro.sim.backends.replay_recording`."""
+        from repro.sim.backends import replay_recording
+
+        return replay_recording(self, machine=machine, via_config=via_config)
+
+
+class _IndexPool:
+    """Accumulates int64 arrays into one shared buffer; ops hold
+    ``(offset, size)`` references into it."""
+
+    def __init__(self):
+        self._chunks: List[np.ndarray] = []
+        self._size = 0
+
+    def put(self, arr: np.ndarray) -> Tuple[int, int]:
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        ref = (self._size, int(arr.size))
+        self._chunks.append(arr)
+        self._size += int(arr.size)
+        return ref
+
+    def data(self) -> np.ndarray:
+        if not self._chunks:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(self._chunks)
+
+
+# -- config (de)serialization ------------------------------------------------
+def _machine_to_dict(machine: MachineConfig) -> Dict[str, Any]:
+    return dataclasses.asdict(machine)
+
+
+def _machine_from_dict(data: Dict[str, Any]) -> MachineConfig:
+    kwargs = dict(data)
+    for level in ("l1", "l2", "l3"):
+        kwargs[level] = CacheConfig(**kwargs[level])
+    return MachineConfig(**kwargs)
+
+
+def _via_to_dict(cfg: Optional["ViaConfig"]) -> Optional[Dict[str, Any]]:
+    return None if cfg is None else dataclasses.asdict(cfg)
+
+
+def _via_from_dict(data: Optional[Dict[str, Any]]):
+    if data is None:
+        return None
+    from repro.via.config import ViaConfig
+
+    return ViaConfig(**data)
+
+
+# -- output (de)serialization ------------------------------------------------
+def _encode_output(output: Any, arrays: Dict[str, np.ndarray], prefix: str):
+    """Encode a kernel output into a JSON spec + named npz arrays.
+
+    Handles the output types kernels actually return: ``None``, python/numpy
+    scalars, ndarrays, and the COO/CSR sparse matrices.
+    """
+    from repro.formats.coo import COOMatrix
+    from repro.formats.csr import CSRMatrix
+
+    def stash(suffix: str, arr: np.ndarray) -> str:
+        key = f"{prefix}{suffix}"
+        arrays[key] = np.asarray(arr)
+        return key
+
+    if output is None:
+        return {"type": "none"}
+    if isinstance(output, (bool, int, float, np.integer, np.floating)):
+        return {"type": "scalar", "value": float(output)}
+    if isinstance(output, np.ndarray):
+        return {"type": "ndarray", "key": stash("nd", output)}
+    if isinstance(output, CSRMatrix):
+        return {
+            "type": "csr",
+            "shape": [int(output.rows), int(output.cols)],
+            "row_ptr": stash("rp", output.row_ptr),
+            "col_idx": stash("ci", output.col_idx),
+            "data": stash("dt", output.data),
+        }
+    if isinstance(output, COOMatrix):
+        return {
+            "type": "coo",
+            "shape": [int(output.rows), int(output.cols)],
+            "row": stash("r", output.row),
+            "col": stash("c", output.col),
+            "data": stash("d", output.data),
+        }
+    raise RecordingError(
+        f"cannot serialize kernel output of type {type(output).__name__}"
+    )
+
+
+def _decode_output(spec: Dict[str, Any], arrays) -> Any:
+    from repro.formats.coo import COOMatrix
+    from repro.formats.csr import CSRMatrix
+
+    kind = spec["type"]
+    if kind == "none":
+        return None
+    if kind == "scalar":
+        return spec["value"]
+    if kind == "ndarray":
+        return arrays[spec["key"]]
+    if kind == "csr":
+        return CSRMatrix(
+            tuple(spec["shape"]),
+            arrays[spec["row_ptr"]],
+            arrays[spec["col_idx"]],
+            arrays[spec["data"]],
+        )
+    if kind == "coo":
+        return COOMatrix(
+            tuple(spec["shape"]),
+            arrays[spec["row"]],
+            arrays[spec["col"]],
+            arrays[spec["data"]],
+        )
+    raise RecordingError(f"unknown output spec type {kind!r}")
+
+
+def _checksum(meta_blob: bytes, pool: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    digest.update(meta_blob)
+    digest.update(np.ascontiguousarray(pool, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def save_recordings(
+    path,
+    recordings: Dict[str, Recording],
+    *,
+    extra_meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Persist named recordings into one compressed ``.npz`` artifact."""
+    pool = _IndexPool()
+    arrays: Dict[str, np.ndarray] = {}
+    entries: Dict[str, Any] = {}
+    for i, (label, rec) in enumerate(recordings.items()):
+        entries[label] = {
+            "name": rec.name,
+            "machine": _machine_to_dict(rec.machine),
+            "via": _via_to_dict(rec.via_config),
+            "ops": [op.to_payload(pool) for op in rec.ops],
+            "output": _encode_output(rec.output, arrays, prefix=f"out{i}_"),
+            "priced": None if rec.priced is None else rec.priced.to_dict(),
+        }
+    pool_data = pool.data()
+    meta = {
+        "schema": OPS_SCHEMA_VERSION,
+        "entries": entries,
+        "extra": extra_meta or {},
+    }
+    meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    meta["checksum"] = _checksum(meta_blob, pool_data)
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+        pool=pool_data,
+        **arrays,
+    )
+
+
+def load_recordings(path) -> Tuple[Dict[str, Recording], Dict[str, Any]]:
+    """Load an artifact; returns ``(recordings, extra_meta)``.
+
+    Raises :class:`RecordingError` on any integrity or schema failure —
+    truncated zip, garbled JSON, checksum mismatch, or a schema version
+    this code does not understand.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            meta = json.loads(bytes(npz["meta"].tobytes()).decode("utf-8"))
+            pool_data = np.ascontiguousarray(npz["pool"], dtype=np.int64)
+            arrays = {k: npz[k] for k in npz.files if k not in ("meta", "pool")}
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+            json.JSONDecodeError, io.UnsupportedOperation) as exc:
+        raise RecordingError(f"unreadable recording artifact {path}: {exc}") from exc
+    try:
+        if meta.get("schema") != OPS_SCHEMA_VERSION:
+            raise RecordingError(
+                f"recording schema {meta.get('schema')!r} != {OPS_SCHEMA_VERSION}"
+            )
+        stored = meta.pop("checksum", None)
+        meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+        if stored != _checksum(meta_blob, pool_data):
+            raise RecordingError(f"recording checksum mismatch in {path}")
+        recordings: Dict[str, Recording] = {}
+        for label, entry in meta["entries"].items():
+            ops = [
+                OP_CLASSES[p["k"]].from_payload(p, pool_data)
+                for p in entry["ops"]
+            ]
+            priced = entry.get("priced")
+            recordings[label] = Recording(
+                name=entry["name"],
+                machine=_machine_from_dict(entry["machine"]),
+                via_config=_via_from_dict(entry["via"]),
+                ops=ops,
+                output=_decode_output(entry["output"], arrays),
+                priced=None if priced is None else PricedState.from_dict(priced),
+            )
+        return recordings, meta.get("extra", {})
+    except RecordingError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise RecordingError(f"malformed recording artifact {path}: {exc}") from exc

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 
 @dataclass
@@ -81,7 +81,7 @@ class CycleBreakdown:
             "sspm": self.sspm_cycles,
             "commit": self.commit_serial_cycles,
         }
-        return max(candidates, key=candidates.get)
+        return max(candidates, key=lambda name: candidates[name])
 
     @property
     def total_cycles(self) -> float:
@@ -93,8 +93,10 @@ class CycleBreakdown:
             + self.dependency_stall_cycles
         )
 
-    def as_dict(self) -> Dict[str, float]:
-        d = {k: getattr(self, k) for k in self.__dataclass_fields__}
+    def as_dict(self) -> Dict[str, Union[float, str]]:
+        d: Dict[str, Union[float, str]] = {
+            k: getattr(self, k) for k in self.__dataclass_fields__
+        }
         d["bound_cycles"] = self.bound_cycles
         d["total_cycles"] = self.total_cycles
         d["bottleneck"] = self.bottleneck
@@ -157,7 +159,7 @@ class KernelResult:
     dram_traffic_bytes: int
     energy_pj: float
     memory_bandwidth_gbs: float
-    cache_stats: Dict[str, dict] = field(default_factory=dict)
+    cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     output: Optional[object] = None
 
     def speedup_over(self, baseline: "KernelResult") -> float:

@@ -9,15 +9,19 @@ and powers the instruction-mix reports in tests and examples::
     ... run a kernel against `core` ...
     print(core.trace.mix())
 
+Tracing rides the op-stream IR seam: the proxy installs a
+:class:`~repro.sim.backends.TraceBackend` around the core's existing
+backend, so every :class:`~repro.sim.ops.Op` the core emits is logged
+before being priced (or recorded) exactly as it would have been untraced.
 Tracing is opt-in (kernels accept a plain ``Core``) so sweeps pay nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-import numpy as np
+from repro.sim.backends import TraceBackend
 
 
 @dataclass(frozen=True)
@@ -63,71 +67,17 @@ class Trace:
 class TracedCore:
     """Transparent tracing proxy around a :class:`~repro.sim.core.Core`.
 
-    Forwards every attribute to the wrapped core, intercepting the
-    narration entry points to record events.  Because kernels only ever
-    call public ``Core`` methods, the proxy is a drop-in replacement.
+    Installs a :class:`~repro.sim.backends.TraceBackend` wrapping the
+    core's current backend and forwards every attribute to the wrapped
+    core.  Because kernels only ever call public ``Core`` methods — all of
+    which emit through the backend seam — the proxy is a drop-in
+    replacement, and VIA-device calls into the core are traced too.
     """
 
-    _INTERCEPTS = {
-        "scalar_ops",
-        "vector_op",
-        "branches",
-        "dependency_stall",
-        "load_stream",
-        "store_stream",
-        "gather",
-        "scatter",
-        "gather_serial",
-        "scatter_serial",
-        "load_windows",
-        "scalar_load",
-        "scalar_store",
-        "bulk_stream",
-        "record_via_op",
-    }
-
-    def __init__(self, core):
+    def __init__(self, core: Any):
         self._core = core
         self.trace = Trace()
-        # re-attach the VIA device so its record_via_op calls route here
-        if core.via is not None:
-            core.via.attach(self)
+        core.backend = TraceBackend(self.trace, inner=core.backend)
 
-    def __getattr__(self, name):
-        attr = getattr(self._core, name)
-        if name not in self._INTERCEPTS or not callable(attr):
-            return attr
-
-        def wrapper(*args, **kwargs):
-            self.trace.add(name, _describe(name, args, kwargs), _count(args, kwargs))
-            return attr(*args, **kwargs)
-
-        return wrapper
-
-
-def _count(args, kwargs) -> int:
-    for value in list(args) + list(kwargs.values()):
-        if isinstance(value, (int, np.integer)) and value > 0:
-            return int(value)
-        if isinstance(value, np.ndarray):
-            return max(int(value.size), 1)
-    return 1
-
-
-def _describe(name: str, args, kwargs) -> str:
-    parts = []
-    for a in args:
-        if isinstance(a, np.ndarray):
-            parts.append(f"<{a.size} elems>")
-        elif hasattr(a, "name") and hasattr(a, "base"):
-            parts.append(a.name)
-        else:
-            parts.append(repr(a))
-    parts += [f"{k}={_short(v)}" for k, v in kwargs.items()]
-    return ", ".join(parts)
-
-
-def _short(v) -> str:
-    if isinstance(v, np.ndarray):
-        return f"<{v.size} elems>"
-    return repr(v)
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._core, name)

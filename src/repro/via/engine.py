@@ -90,10 +90,12 @@ class ViaDevice:
         timing = fivu_timing(instr)
         self.instructions_executed += 1
         if self._core is not None:
+            # pass the FIVU profile, not pre-computed port cycles: the op is
+            # priced against the VIA config of whichever core replays it
             self._core.record_via_op(
                 sspm_elements=timing.sspm_elements,
                 cam_searches=timing.cam_searches,
-                port_cycles=timing.port_cycles(self.config),
+                port_passes=timing.port_passes,
             )
         return result
 
@@ -245,7 +247,7 @@ class ViaDevice:
             self._core.record_via_op(
                 sspm_elements=timing.sspm_elements,
                 cam_searches=timing.cam_searches,
-                port_cycles=timing.port_cycles(self.config),
+                port_passes=timing.port_passes,
                 count=n_instr,
             )
 

@@ -89,7 +89,7 @@ class TestTracedCore:
 
 class TestReportCli:
     def test_build_report_small(self):
-        from repro.eval.report import build_report
+        from repro.eval.report_cli import build_report
 
         text = build_report(matrices=3, max_n=256, include_dse=False,
                             log=lambda *_: None)
@@ -97,8 +97,24 @@ class TestReportCli:
             assert marker in text
         assert "Figure 10" in text
 
+    def test_old_module_name_still_imports_with_a_warning(self):
+        import importlib
+        import warnings
+
+        import repro.eval.report as shim
+        import repro.eval.report_cli as cli
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.reload(shim)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert shim.build_report is cli.build_report
+        assert shim.main is cli.main
+
     def test_cli_main_writes_file(self, tmp_path, capsys):
-        from repro.eval.report import main
+        from repro.eval.report_cli import main
 
         out = tmp_path / "report.txt"
         rc = main(
