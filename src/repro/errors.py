@@ -50,8 +50,48 @@ class ISAError(ReproError):
     """Malformed VIA instruction: bad opcode, operand count or operand kind."""
 
 
+class SweepError(ReproError):
+    """The sweep-execution layer failed.
+
+    Covers runner misconfiguration (bad worker/timeout/retry values), an
+    unwritable run journal, an unreadable resume journal, and — in strict
+    ``capture_errors=False`` mode — the first work-unit failure.
+    """
+
+
+class SweepInterrupted(SweepError):
+    """A sweep was stopped by SIGINT/SIGTERM before finishing.
+
+    The runner flushes every completed unit to the journal *before* raising
+    this, so a subsequent ``resume=`` run skips the finished work.  The
+    partial :class:`~repro.eval.runner.SweepResult` is attached as
+    ``result`` (``None`` only if interruption hit before any bookkeeping
+    existed) together with the delivering ``signum``.
+    """
+
+    def __init__(self, message: str, *, result=None, signum=None):
+        super().__init__(message)
+        self.result = result
+        self.signum = signum
+
+
 class SimulationError(ReproError):
     """The machine model was driven into an inconsistent state."""
+
+
+class InvariantError(SimulationError):
+    """A runtime invariant of the cycle model was violated.
+
+    Raised by :class:`~repro.sim.backends.InvariantBackend` when pricing an
+    op breaks one of the model's conservation laws (cache hit/miss totals,
+    monotone non-negative counters, SSPM occupancy bounds, finite cycle
+    components).  The op that exposed the corruption is attached as
+    ``op`` (``None`` for finalize-time violations).
+    """
+
+    def __init__(self, message: str, *, op=None):
+        super().__init__(message)
+        self.op = op
 
 
 class RecordingError(SimulationError):

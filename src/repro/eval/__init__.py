@@ -28,6 +28,7 @@ from repro.eval.runner import (
     code_version,
     run_units,
 )
+from repro.eval.supervisor import UnitOutcome, run_supervised
 from repro.eval.recordings import RecordingStore, recording_key
 from repro.eval.units import (
     UNIT_KINDS,
@@ -71,8 +72,10 @@ __all__ = [
     "RunnerConfig",
     "SweepResult",
     "UnitFailure",
+    "UnitOutcome",
     "code_version",
     "run_units",
+    "run_supervised",
     "RecordingStore",
     "recording_key",
     "UNIT_KINDS",

@@ -1,4 +1,6 @@
-"""``python -m repro.eval`` — the sweep-runner CLI (see runner.main)."""
+"""``python -m repro.eval`` — the supervised sweep-runner CLI (see
+runner.main): demo sweeps with caching, journals, per-unit timeouts,
+retry, ``--resume`` and ``--validate``."""
 
 from repro.eval.runner import main
 

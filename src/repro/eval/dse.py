@@ -57,6 +57,7 @@ def _dse_unit_lists(
     limit: Optional[int],
     spmm_collection: Optional[MatrixCollection],
     spmm_max_n: int,
+    validate: bool = False,
 ):
     """The work-unit list and metric format for one kernel×config cell."""
     from repro.eval.units import spma_units, spmm_units, spmv_units
@@ -68,11 +69,13 @@ def _dse_unit_lists(
             machine=machine,
             via_config=cfg,
             limit=limit,
+            validate=validate,
         )
         return units, "csb"
     if kernel == "spma":
         units = spma_units(
-            collection, machine=machine, via_config=cfg, limit=limit
+            collection, machine=machine, via_config=cfg, limit=limit,
+            validate=validate,
         )
         return units, "csr"
     units = spmm_units(
@@ -81,6 +84,7 @@ def _dse_unit_lists(
         via_config=cfg,
         limit=limit,
         max_n=spmm_max_n,
+        validate=validate,
     )
     return units, "csr"
 
@@ -95,6 +99,7 @@ def run_dse(
     spmm_max_n: int = 1024,
     runner: Optional["RunnerConfig"] = None,
     record_dir: Optional[str] = None,
+    validate: bool = False,
 ) -> DseResult:
     """Sweep every configuration over the three kernels (Figure 9).
 
@@ -112,6 +117,10 @@ def run_dse(
     into that directory, and every configuration is priced by replaying
     them (bit-identical to the direct sweep, see
     ``tests/test_ops_replay_differential.py``).
+
+    ``validate`` routes every op (direct, record, and replay) through the
+    runtime invariant checker
+    (:class:`~repro.sim.backends.InvariantBackend`).
     """
     configs = list(configs) if configs is not None else dse_configs()
     if record_dir is not None:
@@ -124,6 +133,7 @@ def run_dse(
             spmm_max_n=spmm_max_n,
             runner=runner,
             record_dir=record_dir,
+            validate=validate,
         )
     cycles: Dict[str, Dict[str, float]] = {k: {} for k in DSE_KERNELS}
     for cfg in configs:
@@ -134,13 +144,14 @@ def run_dse(
             via_config=cfg,
             limit=limit,
             runner=runner,
+            validate=validate,
         )
         cycles["spmv"][cfg.name] = geomean(
             r.via_cycles["csb"] for r in spmv_recs
         )
         spma_recs = sweep_spma(
             collection, machine=machine, via_config=cfg, limit=limit,
-            runner=runner,
+            runner=runner, validate=validate,
         )
         cycles["spma"][cfg.name] = geomean(
             r.via_cycles["csr"] for r in spma_recs
@@ -152,6 +163,7 @@ def run_dse(
             limit=limit,
             max_n=spmm_max_n,
             runner=runner,
+            validate=validate,
         )
         cycles["spmm"][cfg.name] = geomean(
             r.via_cycles["csr"] for r in spmm_recs
@@ -169,6 +181,7 @@ def _run_dse_replay(
     spmm_max_n: int,
     runner: Optional["RunnerConfig"],
     record_dir: str,
+    validate: bool = False,
 ) -> DseResult:
     """Record once per stream-shape group, replay once per configuration."""
     from repro.eval.harness import _run
@@ -183,7 +196,7 @@ def _run_dse_replay(
         for kernel in DSE_KERNELS:
             units, _ = _dse_unit_lists(
                 kernel, collection, rep, machine, limit,
-                spmm_collection, spmm_max_n,
+                spmm_collection, spmm_max_n, validate,
             )
             _run(record_units(units, record_dir=record_dir), runner, None)
     cycles: Dict[str, Dict[str, float]] = {k: {} for k in DSE_KERNELS}
@@ -191,7 +204,7 @@ def _run_dse_replay(
         for kernel in DSE_KERNELS:
             units, fmt = _dse_unit_lists(
                 kernel, collection, cfg, machine, limit,
-                spmm_collection, spmm_max_n,
+                spmm_collection, spmm_max_n, validate,
             )
             recs = _run(replay_units(units, record_dir=record_dir), runner, None)
             cycles[kernel][cfg.name] = geomean(

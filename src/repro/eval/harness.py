@@ -137,11 +137,14 @@ def sweep_spmv(
     limit: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     runner: Optional["RunnerConfig"] = None,
+    validate: bool = False,
 ) -> List[SweepRecord]:
     """Run baseline + VIA SpMV for every matrix and format (Fig. 10 data).
 
     The per-record ``metric`` is the matrix's median non-zeros per CSB
     block at the configured block size — the x-axis of Figure 10.
+    ``validate=True`` routes every op through the runtime invariant
+    checker (:class:`~repro.sim.backends.InvariantBackend`).
     """
     from repro.eval.units import spmv_units
 
@@ -150,6 +153,7 @@ def sweep_spmv(
         formats=formats,
         **_hw(machine, via_config),
         limit=limit,
+        validate=validate,
     )
     return _run(units, runner, progress)
 
@@ -162,6 +166,7 @@ def sweep_spma(
     limit: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     runner: Optional["RunnerConfig"] = None,
+    validate: bool = False,
 ) -> List[SweepRecord]:
     """Run baseline + VIA SpMA per matrix (Fig. 11 data).
 
@@ -171,7 +176,10 @@ def sweep_spma(
     """
     from repro.eval.units import spma_units
 
-    units = spma_units(collection, **_hw(machine, via_config), limit=limit)
+    units = spma_units(
+        collection, **_hw(machine, via_config), limit=limit,
+        validate=validate,
+    )
     return _run(units, runner, progress)
 
 
@@ -184,6 +192,7 @@ def sweep_spmm(
     max_n: int = 1024,
     progress: Optional[Callable[[str], None]] = None,
     runner: Optional["RunnerConfig"] = None,
+    validate: bool = False,
 ) -> List[SweepRecord]:
     """Run baseline + VIA SpMM per matrix (Section VII-C data).
 
@@ -195,7 +204,8 @@ def sweep_spmm(
     from repro.eval.units import spmm_units
 
     units = spmm_units(
-        collection, **_hw(machine, via_config), limit=limit, max_n=max_n
+        collection, **_hw(machine, via_config), limit=limit, max_n=max_n,
+        validate=validate,
     )
     return _run(units, runner, progress)
 

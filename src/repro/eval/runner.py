@@ -1,36 +1,46 @@
-"""Parallel, cached sweep-execution engine with structured run telemetry.
+"""Parallel, cached, supervised sweep-execution engine with run telemetry.
 
 The paper's evaluation (Section VII) sweeps 1,024 matrices across kernels
 and formats; replaying that loop sequentially repays the full simulation
-cost on every figure regeneration.  This module turns a list of
-:class:`~repro.eval.units.WorkUnit` into :class:`SweepRecord` results three
-ways faster:
+cost on every figure regeneration — and at that scale a single hung
+kernel, OOM-killed worker, or Ctrl-C must not lose the run.  This module
+turns a list of :class:`~repro.eval.units.WorkUnit` into
+:class:`SweepRecord` results with four defenses:
 
-* **parallelism** — units fan out over a ``multiprocessing`` pool with a
-  configurable worker count and ``chunksize``; results keep unit order, so
-  a parallel sweep is bit-identical to a sequential one;
-* **caching** — a content-addressed on-disk cache keyed by
-  :func:`repro.eval.units.unit_cache_key` (matrix spec, kernel, formats,
-  :class:`MachineConfig`, :class:`ViaConfig`, and a code fingerprint) makes
-  re-runs and partial sweeps near-free; entries carry checksums so a
-  corrupted or truncated file is recomputed, never served;
-* **telemetry** — a JSONL run journal records per-unit wall time, cycles,
-  cache status and worker id, and aggregate
-  :class:`repro.sim.stats.SweepCounters` summarize the run; a unit that
-  raises becomes a recorded :class:`UnitFailure` instead of killing the
-  sweep (when ``capture_errors`` is on).
+* **parallelism** — units fan out over a watchdog-supervised worker pool
+  (:mod:`repro.eval.supervisor`); results keep unit order, so a parallel
+  sweep is bit-identical to a sequential one;
+* **supervision** — a per-unit wall-clock ``timeout_s`` kills hung
+  kernels, dead workers (crash, OOM kill) are detected and replenished,
+  and transient failures retry with bounded exponential backoff
+  (``retries`` / ``backoff_s``); SIGINT/SIGTERM flush every completed
+  unit to the journal before raising
+  :class:`~repro.errors.SweepInterrupted`;
+* **caching + resume** — a content-addressed on-disk cache keyed by
+  :func:`repro.eval.units.unit_cache_key` makes re-runs near-free, and
+  ``resume=`` replays a prior run's JSONL journal so only units that
+  failed (or never ran) are recomputed — bit-identically, because the
+  journal stores each completed unit's full record;
+* **telemetry** — the journal records per-unit wall time, cycles, cache
+  status (including ``corrupt``), worker id and retry history, and
+  aggregate :class:`repro.sim.stats.SweepCounters` summarize the run; a
+  unit that raises becomes a recorded :class:`UnitFailure` instead of
+  killing the sweep (when ``capture_errors`` is on).
 
 Environment knobs (read by :meth:`RunnerConfig.from_env`):
 
 * ``REPRO_SWEEP_WORKERS`` — pool size (default 1 = inline execution);
 * ``REPRO_SWEEP_CACHE`` — cache directory (unset = caching off);
 * ``REPRO_SWEEP_NO_CACHE=1`` — escape hatch: ignore any cache directory;
-* ``REPRO_SWEEP_JOURNAL`` — JSONL journal path (unset = no journal).
+* ``REPRO_SWEEP_JOURNAL`` — JSONL journal path (unset = no journal);
+* ``REPRO_SWEEP_TIMEOUT`` — per-unit wall-clock timeout in seconds;
+* ``REPRO_SWEEP_RETRIES`` — extra attempts for transient failures.
 
 A CLI is included for demo sweeps::
 
     python -m repro.eval --kernel spmv --count 8 --workers 2 \
-        --cache-dir /tmp/via-cache --journal /tmp/via-run.jsonl
+        --cache-dir /tmp/via-cache --journal /tmp/via-run.jsonl \
+        --timeout 60 --retries 2
 """
 
 from __future__ import annotations
@@ -39,19 +49,25 @@ import hashlib
 import json
 import multiprocessing
 import os
+import signal as signal_mod
+import threading
 import time
-import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro
+from repro.errors import SweepError, SweepInterrupted
 from repro.eval.harness import SweepRecord, geomean
-from repro.eval.units import WorkUnit, compute_unit, unit_cache_key
+from repro.eval.supervisor import UnitOutcome, execute_unit, run_supervised
+from repro.eval.units import WorkUnit, unit_cache_key
 from repro.sim.stats import SweepCounters
 
 #: bump when the cache entry layout (not the results) changes
 CACHE_FORMAT = 1
+
+#: journal statuses a resumed run may serve without recomputation
+_RESUMABLE_STATUSES = ("ok", "cached", "resumed", "skipped")
 
 _code_version_cache: Optional[str] = None
 
@@ -76,7 +92,17 @@ def code_version() -> str:
 
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Execution policy for one sweep run."""
+    """Execution policy for one sweep run.
+
+    ``timeout_s`` / ``retries`` / ``backoff_s`` drive the supervised
+    dispatch loop; setting either of the first two (or ``workers > 1``)
+    routes execution through :mod:`repro.eval.supervisor`.  ``resume``
+    names a prior run's journal: units whose completed records it holds
+    are served from it bit-identically instead of recomputed.
+    ``chunksize`` is retained for backward compatibility but ignored —
+    supervised dispatch hands out one unit at a time so every timeout or
+    worker death is attributable to a single unit.
+    """
 
     workers: int = 1
     chunksize: Optional[int] = None
@@ -84,25 +110,47 @@ class RunnerConfig:
     use_cache: bool = True
     journal_path: Optional[str] = None
     capture_errors: bool = True
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.1
+    resume: Optional[str] = None
 
     def __post_init__(self):
         if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+            raise SweepError(f"workers must be >= 1, got {self.workers}")
         if self.chunksize is not None and self.chunksize < 1:
-            raise ValueError(f"chunksize must be >= 1, got {self.chunksize}")
+            raise SweepError(f"chunksize must be >= 1, got {self.chunksize}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise SweepError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.retries < 0:
+            raise SweepError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0:
+            raise SweepError(f"backoff_s must be >= 0, got {self.backoff_s}")
 
     @property
     def caching(self) -> bool:
         return self.use_cache and self.cache_dir is not None
 
+    @property
+    def supervised(self) -> bool:
+        """Whether execution needs the watchdog-supervised worker pool."""
+        return (
+            self.workers > 1
+            or self.timeout_s is not None
+            or self.retries > 0
+        )
+
     @classmethod
     def from_env(cls, **overrides) -> "RunnerConfig":
         """Build a config from the ``REPRO_SWEEP_*`` environment knobs."""
+        timeout = os.environ.get("REPRO_SWEEP_TIMEOUT")
         values = {
             "workers": int(os.environ.get("REPRO_SWEEP_WORKERS", "1")),
             "cache_dir": os.environ.get("REPRO_SWEEP_CACHE") or None,
             "use_cache": os.environ.get("REPRO_SWEEP_NO_CACHE") != "1",
             "journal_path": os.environ.get("REPRO_SWEEP_JOURNAL") or None,
+            "timeout_s": float(timeout) if timeout else None,
+            "retries": int(os.environ.get("REPRO_SWEEP_RETRIES", "0")),
         }
         values.update(overrides)
         return cls(**values)
@@ -110,13 +158,22 @@ class RunnerConfig:
 
 @dataclass
 class UnitFailure:
-    """A work unit that raised; the sweep records it and moves on."""
+    """A work unit that failed for good; the sweep records it and moves on.
+
+    ``transient`` marks failures that *might* succeed on retry (worker
+    death, timeout) as opposed to deterministic kernel exceptions;
+    ``attempts`` counts how many times the unit ran and ``history`` holds
+    one line per failed attempt (the retry history).
+    """
 
     index: int
     kind: str
     name: str
     error: str
     traceback: str = ""
+    transient: bool = False
+    attempts: int = 1
+    history: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -201,27 +258,6 @@ class ResultCache:
         return sum(1 for _ in self.root.rglob("*.json")) if self.root.exists() else 0
 
 
-# ----------------------------------------------------------------------
-# worker-side execution
-
-
-def _execute(task: Tuple[int, WorkUnit]):
-    """Run one unit in the current process; never raises.
-
-    Returns ``(index, status, payload, wall_s, worker_pid)`` where status
-    is ``ok`` (payload = SweepRecord or None for self-filtered units) or
-    ``failed`` (payload = (error, traceback) strings).
-    """
-    index, unit = task
-    start = time.perf_counter()
-    try:
-        record = compute_unit(unit)
-        return index, "ok", record, time.perf_counter() - start, os.getpid()
-    except Exception as exc:  # per-unit fault isolation
-        tb = traceback.format_exc()
-        return index, "failed", (repr(exc), tb), time.perf_counter() - start, os.getpid()
-
-
 def _pool_context():
     """Fork keeps registered UNIT_KINDS visible to workers; fall back
     to the platform default elsewhere."""
@@ -232,25 +268,46 @@ def _pool_context():
 
 
 class _Journal:
-    """Append-only JSONL writer; one line per work unit."""
+    """Append-only JSONL writer; one line per work-unit outcome.
+
+    Opened in append mode so resumed runs may keep extending one journal
+    file.  Every line is flushed as soon as it is written — the journal is
+    the crash-recovery record, so a line must hit the OS before the unit
+    is considered durable.  An unwritable path (missing permissions, a
+    parent that is a file, a directory target) raises
+    :class:`~repro.errors.SweepError` immediately rather than losing
+    telemetry silently.
+    """
 
     def __init__(self, path: Optional[str]):
         self.path = path
         self._fh = None
         if path is not None:
-            Path(path).parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(path, "a", encoding="utf-8")
+            try:
+                Path(path).parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(path, "a", encoding="utf-8")
+            except OSError as exc:
+                raise SweepError(
+                    f"run journal {path!r} is not writable: {exc}"
+                ) from exc
 
     def write(self, **fields) -> None:
         if self._fh is None:
             return
-        self._fh.write(json.dumps(fields, sort_keys=True) + "\n")
-        self._fh.flush()
+        try:
+            self._fh.write(json.dumps(fields, sort_keys=True) + "\n")
+            self._fh.flush()
+        except (OSError, ValueError) as exc:
+            raise SweepError(
+                f"run journal {self.path!r} failed mid-run: {exc}"
+            ) from exc
 
     def close(self) -> None:
         if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
 
 
 def _journal_cycles(record: Optional[SweepRecord]) -> dict:
@@ -260,6 +317,191 @@ def _journal_cycles(record: Optional[SweepRecord]) -> dict:
         "baseline_cycles": dict(record.baseline_cycles),
         "via_cycles": dict(record.via_cycles),
     }
+
+
+def _load_resume_map(path: str) -> Dict[str, dict]:
+    """Completed-unit journal lines from a prior run, keyed by unit key.
+
+    Only lines that carry a unit ``key`` and a completed status are
+    usable; failures are deliberately excluded (they must recompute) and
+    torn lines — the expected tail of a crashed run's journal — are
+    skipped.  A later line for the same key wins, so a journal extended
+    across several resumed runs serves its freshest outcome.
+    """
+    journal = Path(path)
+    if not journal.exists():
+        raise SweepError(f"resume journal {path!r} does not exist")
+    entries: Dict[str, dict] = {}
+    try:
+        text = journal.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SweepError(f"resume journal {path!r} is unreadable: {exc}") from exc
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail of a crashed run
+        if not isinstance(entry, dict):
+            continue
+        key = entry.get("key")
+        if key and entry.get("status") in _RESUMABLE_STATUSES:
+            entries[key] = entry
+    return entries
+
+
+class _SweepState:
+    """Mutable bookkeeping for one :func:`run_units` invocation.
+
+    Outcomes arrive in completion order (cache scan, inline loop, or
+    supervised pool); :meth:`finish` journals and counts each one the
+    moment it lands, so an interrupt can flush a faithful partial state.
+    Deterministic ordering is restored at the end: records are assembled
+    from ``slots`` in unit order, bit-identical no matter who computed
+    what when.
+    """
+
+    def __init__(self, units, config: RunnerConfig, journal, cache, progress):
+        self.units = units
+        self.config = config
+        self.journal = journal
+        self.cache = cache
+        self.progress = progress
+        self.counters = SweepCounters(
+            units_total=len(units), workers=config.workers
+        )
+        self.result = SweepResult(
+            counters=self.counters, journal_path=config.journal_path
+        )
+        self.slots: List[Optional[Tuple[str, object]]] = [None] * len(units)
+        self.keys: List[Optional[str]] = [None] * len(units)
+        self.cache_status: List[str] = ["off"] * len(units)
+
+    def finish(self, outcome: UnitOutcome) -> None:
+        """Score one unit's final outcome: counters, cache, journal."""
+        i = outcome.index
+        unit = self.units[i]
+        status = outcome.status
+        entry = {
+            "unit": i,
+            "kind": unit.kind,
+            "name": unit.spec.name,
+            "wall_s": round(outcome.wall_s, 6),
+            "worker": outcome.worker,
+            "cache": self.cache_status[i],
+        }
+        if self.keys[i] is not None:
+            entry["key"] = self.keys[i]
+        if outcome.attempts > 1 or outcome.history:
+            entry["attempts"] = outcome.attempts
+            entry["retry_history"] = list(outcome.history)
+        if outcome.attempts > 1:
+            self.counters.units_retried += 1
+        if status == "failed":
+            error, tb = outcome.payload
+            self.counters.units_failed += 1
+            if outcome.timed_out:
+                self.counters.units_timeout += 1
+            self.slots[i] = ("failed", None)
+            self.result.failures.append(
+                UnitFailure(
+                    i,
+                    unit.kind,
+                    unit.spec.name,
+                    error,
+                    tb,
+                    transient=outcome.transient,
+                    attempts=outcome.attempts,
+                    history=list(outcome.history),
+                )
+            )
+            self.journal.write(status="failed", error=error, **entry)
+            if not self.config.capture_errors:
+                raise SweepError(
+                    f"work unit {i} ({unit.kind}/{unit.spec.name}) "
+                    f"failed: {error}\n{tb}"
+                )
+        elif status in ("hit", "resumed"):
+            record = outcome.payload
+            if status == "hit":
+                self.counters.units_cached += 1
+            else:
+                self.counters.units_resumed += 1
+            if record is None:
+                self.counters.units_skipped += 1
+            self.slots[i] = ("done", record)
+            self.journal.write(
+                status="cached" if status == "hit" else "resumed",
+                record=record.to_dict() if record is not None else None,
+                **_journal_cycles(record),
+                **entry,
+            )
+        else:  # computed
+            record = outcome.payload
+            if self.cache is not None:
+                self.cache.put(
+                    self.keys[i], record.to_dict() if record is not None else None
+                )
+            self.slots[i] = ("done", record)
+            if record is None:
+                self.counters.units_skipped += 1
+                self.journal.write(status="skipped", **entry)
+            else:
+                self.counters.units_ok += 1
+                self.journal.write(
+                    status="ok",
+                    record=record.to_dict(),
+                    **_journal_cycles(record),
+                    **entry,
+                )
+        if self.progress is not None:
+            self.progress(unit.spec.name)
+
+    def assemble(self) -> SweepResult:
+        """Collect records in unit order from whatever slots completed."""
+        self.result.records = [
+            slot[1]
+            for slot in self.slots
+            if slot is not None and slot[0] == "done" and slot[1] is not None
+        ]
+        return self.result
+
+
+class _SignalFlag:
+    """Latches the first SIGINT/SIGTERM so the dispatch loop can stop
+    cleanly; restores the previous handlers on exit.  Outside the main
+    thread (where handlers cannot be installed) it degrades to a no-op
+    flag."""
+
+    def __init__(self):
+        self.signum: Optional[int] = None
+        self._previous: Dict[int, object] = {}
+
+    def __enter__(self) -> "_SignalFlag":
+        if threading.current_thread() is threading.main_thread():
+            for sig in (signal_mod.SIGINT, signal_mod.SIGTERM):
+                try:
+                    self._previous[sig] = signal_mod.signal(sig, self._handle)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for sig, handler in self._previous.items():
+            try:
+                signal_mod.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._previous = {}
+
+    def _handle(self, signum, frame) -> None:
+        self.signum = signum
+
+    @property
+    def set(self) -> bool:
+        return self.signum is not None
 
 
 def run_units(
@@ -273,107 +515,134 @@ def run_units(
     Records come back in unit order no matter how many workers computed
     them, so ``workers=N`` is bit-identical to ``workers=1``.  With a cache
     configured, known-good entries are served without recomputation; with
-    ``capture_errors`` on, a raising unit becomes a :class:`UnitFailure`
-    and the sweep completes.
+    ``resume=`` set, units already completed in the named journal are
+    served from it; with ``capture_errors`` on, a failing unit becomes a
+    :class:`UnitFailure` and the sweep completes.  A unit that exceeds
+    ``timeout_s`` or loses its worker is retried up to ``retries`` times
+    with exponential backoff before being scored a *transient* failure.
+
+    SIGINT/SIGTERM do not lose the run: every completed unit is already
+    flushed to the journal, and :class:`~repro.errors.SweepInterrupted`
+    carries the partial :class:`SweepResult`.
     """
     config = config or RunnerConfig()
     units = list(units)
-    counters = SweepCounters(units_total=len(units), workers=config.workers)
-    result = SweepResult(counters=counters, journal_path=config.journal_path)
     journal = _Journal(config.journal_path)
     cache = ResultCache(config.cache_dir) if config.caching else None
-    version = code_version() if cache is not None else ""
+    need_keys = (
+        cache is not None
+        or config.journal_path is not None
+        or config.resume is not None
+    )
+    version = code_version() if need_keys else ""
+    resume_map = (
+        _load_resume_map(config.resume) if config.resume is not None else {}
+    )
+    state = _SweepState(units, config, journal, cache, progress)
+    counters = state.counters
     run_start = time.perf_counter()
     my_pid = os.getpid()
-
-    # per-index outcome slots keep deterministic ordering
-    slots: List[Optional[Tuple[str, object, float, int]]] = [None] * len(units)
-    keys: List[Optional[str]] = [None] * len(units)
     pending: List[Tuple[int, WorkUnit]] = []
 
-    try:
-        for i, unit in enumerate(units):
-            if cache is None:
-                pending.append((i, unit))
-                continue
-            lookup_start = time.perf_counter()
-            keys[i] = unit_cache_key(unit, version)
-            payload, status = cache.get(keys[i])
-            if status == "hit":
-                counters.cache_hits += 1
-                record = SweepRecord.from_dict(payload) if payload is not None else None
-                slots[i] = ("hit", record, time.perf_counter() - lookup_start, my_pid)
-            else:
-                counters.cache_misses += 1
-                if status == "corrupt":
-                    counters.cache_corrupt += 1
-                pending.append((i, unit))
-
-        if config.workers > 1 and len(pending) > 1:
-            chunksize = config.chunksize or max(
-                1, len(pending) // (config.workers * 4)
+    def _local(index: int, status: str, payload, wall_s: float) -> None:
+        state.finish(
+            UnitOutcome(
+                index=index,
+                status=status,
+                payload=payload,
+                wall_s=wall_s,
+                worker=my_pid,
             )
-            ctx = _pool_context()
-            with ctx.Pool(processes=config.workers) as pool:
-                outcomes = pool.imap(_execute, pending, chunksize=chunksize)
-                for index, status, payload, wall_s, pid in outcomes:
-                    slots[index] = (status, payload, wall_s, pid)
-        else:
-            for task in pending:
-                index, status, payload, wall_s, pid = _execute(task)
-                slots[index] = (status, payload, wall_s, pid)
+        )
 
-        for i, unit in enumerate(units):
-            status, payload, wall_s, pid = slots[i]
-            entry = {
-                "unit": i,
-                "kind": unit.kind,
-                "name": unit.spec.name,
-                "wall_s": round(wall_s, 6),
-                "worker": pid,
-                "cache": "hit" if status == "hit" else
-                         ("off" if cache is None else "miss"),
-            }
-            if status == "failed":
-                error, tb = payload
-                if not config.capture_errors:
-                    journal.write(status="failed", error=error, **entry)
-                    raise RuntimeError(
-                        f"work unit {i} ({unit.kind}/{unit.spec.name}) "
-                        f"failed: {error}\n{tb}"
-                    )
-                counters.units_failed += 1
-                result.failures.append(
-                    UnitFailure(i, unit.kind, unit.spec.name, error, tb)
-                )
-                journal.write(status="failed", error=error, **entry)
-            elif status == "hit":
-                counters.units_cached += 1
-                record = payload
-                if record is None:
-                    counters.units_skipped += 1
-                else:
-                    result.records.append(record)
-                journal.write(status="cached", **_journal_cycles(record), **entry)
-            else:  # computed
-                record = payload
+    try:
+        with _SignalFlag() as flag:
+            for i, unit in enumerate(units):
+                lookup_start = time.perf_counter()
+                if need_keys:
+                    state.keys[i] = unit_cache_key(unit, version)
                 if cache is not None:
-                    cache.put(
-                        keys[i], record.to_dict() if record is not None else None
+                    state.cache_status[i] = "miss"
+                if state.keys[i] is not None and state.keys[i] in resume_map:
+                    prior = resume_map[state.keys[i]]
+                    payload = prior.get("record")
+                    record = (
+                        SweepRecord.from_dict(payload)
+                        if payload is not None
+                        else None
                     )
-                if record is None:
-                    counters.units_skipped += 1
-                    journal.write(status="skipped", **entry)
+                    state.cache_status[i] = "resume"
+                    _local(i, "resumed", record,
+                           time.perf_counter() - lookup_start)
+                    continue
+                if cache is None:
+                    pending.append((i, unit))
+                    continue
+                payload, cache_status = cache.get(state.keys[i])
+                if cache_status == "hit":
+                    counters.cache_hits += 1
+                    state.cache_status[i] = "hit"
+                    record = (
+                        SweepRecord.from_dict(payload)
+                        if payload is not None
+                        else None
+                    )
+                    _local(i, "hit", record, time.perf_counter() - lookup_start)
                 else:
-                    counters.units_ok += 1
-                    result.records.append(record)
-                    journal.write(status="ok", **_journal_cycles(record), **entry)
-            if progress is not None:
-                progress(unit.spec.name)
+                    counters.cache_misses += 1
+                    if cache_status == "corrupt":
+                        counters.cache_corrupt += 1
+                        counters.units_corrupt += 1
+                        state.cache_status[i] = "corrupt"
+                    pending.append((i, unit))
+
+            if pending and config.supervised and not flag.set:
+                # return value (stopped-early?) is implied by flag.set below
+                run_supervised(
+                    pending,
+                    _pool_context(),
+                    workers=config.workers,
+                    timeout_s=config.timeout_s,
+                    retries=config.retries,
+                    backoff_s=config.backoff_s,
+                    on_outcome=state.finish,
+                    should_stop=lambda: flag.set,
+                    counters=counters,
+                )
+            else:
+                for index, unit in pending:
+                    if flag.set:
+                        break
+                    outcome = execute_unit((index, unit))
+                    state.finish(
+                        UnitOutcome(
+                            index=outcome[0],
+                            status=outcome[1],
+                            payload=outcome[2],
+                            wall_s=outcome[3],
+                            worker=outcome[4],
+                        )
+                    )
+
+            if flag.set:
+                counters.wall_seconds = time.perf_counter() - run_start
+                journal.close()
+                sig_name = {
+                    signal_mod.SIGINT: "SIGINT",
+                    signal_mod.SIGTERM: "SIGTERM",
+                }.get(flag.signum, str(flag.signum))
+                raise SweepInterrupted(
+                    f"sweep interrupted by {sig_name} after "
+                    f"{counters.units_ok + counters.units_cached + counters.units_resumed}"
+                    f"/{counters.units_total} units; completed work is "
+                    "flushed to the journal — rerun with resume= to continue",
+                    result=state.assemble(),
+                    signum=flag.signum,
+                )
     finally:
         counters.wall_seconds = time.perf_counter() - run_start
         journal.close()
-    return result
+    return state.assemble()
 
 
 # ----------------------------------------------------------------------
@@ -394,8 +663,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
-        description="Run a demo evaluation sweep through the parallel "
-        "cached runner.",
+        description="Run a demo evaluation sweep through the supervised "
+        "parallel cached runner.",
     )
     parser.add_argument("--kernel", choices=("spmv", "spma", "spmm"),
                         default="spmv")
@@ -405,7 +674,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-n", type=int, default=512,
                         help="largest matrix dimension")
     parser.add_argument("--workers", type=positive_int, default=1)
-    parser.add_argument("--chunksize", type=positive_int, default=None)
+    parser.add_argument("--chunksize", type=positive_int, default=None,
+                        help="(legacy, ignored by supervised dispatch)")
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--no-cache", action="store_true",
                         help="escape hatch: ignore --cache-dir")
@@ -413,14 +683,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="wipe the cache directory before running")
     parser.add_argument("--journal", default=None,
                         help="JSONL run-journal path")
+    parser.add_argument("--resume", default=None, metavar="JOURNAL",
+                        help="serve units already completed in this prior "
+                        "run journal; only the rest recompute")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-unit wall-clock timeout in seconds")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts for transient failures "
+                        "(worker death, timeout)")
+    parser.add_argument("--backoff", type=float, default=0.1,
+                        help="base seconds for exponential retry backoff")
+    parser.add_argument("--validate", action="store_true",
+                        help="run the op-stream invariant checks "
+                        "(InvariantBackend) on every unit")
     args = parser.parse_args(argv)
 
+    journal = args.journal
+    if journal is None and args.resume is not None:
+        journal = args.resume  # keep extending the journal we resume from
     config = RunnerConfig(
         workers=args.workers,
         chunksize=args.chunksize,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
-        journal_path=args.journal,
+        journal_path=journal,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        resume=args.resume,
     )
     if args.invalidate_cache and args.cache_dir:
         dropped = ResultCache(args.cache_dir).invalidate()
@@ -430,15 +720,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.count, seed=args.seed, min_n=64, max_n=args.max_n
     )
     builders = {
-        "spmv": lambda: spmv_units(collection, formats=("csr", "csb")),
-        "spma": lambda: spma_units(collection),
-        "spmm": lambda: spmm_units(collection, max_n=args.max_n),
+        "spmv": lambda: spmv_units(collection, formats=("csr", "csb"),
+                                   validate=args.validate),
+        "spma": lambda: spma_units(collection, validate=args.validate),
+        "spmm": lambda: spmm_units(collection, max_n=args.max_n,
+                                   validate=args.validate),
     }
-    result = run_units(builders[args.kernel](), config)
+    try:
+        result = run_units(builders[args.kernel](), config)
+    except SweepInterrupted as exc:
+        print(exc)
+        return 130
 
     print(result.counters.summary())
     for failure in result.failures:
         print(f"  FAILED {failure.kind}/{failure.name}: {failure.error}")
+        for line in failure.history:
+            print(f"    {line}")
     if result.records:
         fmts = sorted(result.records[0].speedup)
         for fmt in fmts:

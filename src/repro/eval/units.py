@@ -36,7 +36,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepError
 from repro.eval.harness import SweepRecord
 from repro.formats.coo import COOMatrix
 from repro.formats.csb import CSBMatrix
@@ -49,7 +49,12 @@ from repro.kernels import spmm as spmm_mod
 from repro.kernels import spmv as spmv_mod
 from repro.matrices.collection import MatrixCollection, MatrixSpec
 from repro.matrices.stats import nnz_per_row_metric
-from repro.sim.backends import Backend, RecorderBackend, replay_recording
+from repro.sim.backends import (
+    Backend,
+    InvariantBackend,
+    RecorderBackend,
+    replay_recording,
+)
 from repro.sim.config import DEFAULT_MACHINE, MachineConfig
 from repro.sim.ops import OPS_SCHEMA_VERSION
 from repro.sim.stats import KernelResult
@@ -68,7 +73,10 @@ class WorkUnit:
     ``replay`` kinds (whose ``kind`` no longer encodes it); direct kinds
     leave it empty.  ``record_dir`` points record/replay units at their
     artifact store; it never enters the result-cache key because a unit's
-    record is invariant to where its artifact lives.
+    record is invariant to where its artifact lives.  ``validate`` routes
+    every op through the :class:`~repro.sim.backends.InvariantBackend`
+    runtime checker; like ``record_dir`` it stays out of the cache key
+    because validation only *checks* results, it never changes them.
     """
 
     kind: str
@@ -79,6 +87,7 @@ class WorkUnit:
     max_n: Optional[int] = None
     kernel: str = ""
     record_dir: Optional[str] = None
+    validate: bool = False
 
 
 def _x_vector(spec: MatrixSpec, cols: int) -> np.ndarray:
@@ -118,7 +127,7 @@ def build_spmv_format(
         return SPC5Matrix.from_coo(coo, vl=machine.vl)
     if fmt == "sellcs":
         return SellCSigmaMatrix.from_coo(coo, c=machine.vl, sigma=16 * machine.vl)
-    raise ValueError(f"unknown SpMV format {fmt!r}")
+    raise SweepError(f"unknown SpMV format {fmt!r}")
 
 
 #: one kernel-pair execution: ``fn(backend) -> KernelResult``
@@ -249,18 +258,28 @@ PLAN_KINDS: Dict[str, Callable[[WorkUnit], Optional[UnitPlan]]] = {
 }
 
 
-def _execute_plan(plan: Optional[UnitPlan]) -> Optional[SweepRecord]:
-    """Direct execution: price every run immediately, fill the record."""
+def _execute_plan(
+    plan: Optional[UnitPlan], *, validate: bool = False
+) -> Optional[SweepRecord]:
+    """Direct execution: price every run immediately, fill the record.
+
+    With ``validate`` on, every op routes through a fresh
+    :class:`InvariantBackend` so a mis-priced op raises
+    :class:`~repro.errors.InvariantError` at the op that broke the model
+    (results are unchanged — the checker wraps the direct pricing path).
+    """
     if plan is None:
         return None
     rec = plan.skeleton
     for fmt, (base_run, via_run) in plan.runs.items():
-        _fill_record(rec, fmt, base_run(None), via_run(None))
+        base = base_run(InvariantBackend() if validate else None)
+        via = via_run(InvariantBackend() if validate else None)
+        _fill_record(rec, fmt, base, via)
     return rec
 
 
 def _compute_direct(unit: WorkUnit) -> Optional[SweepRecord]:
-    return _execute_plan(PLAN_KINDS[unit.kind](unit))
+    return _execute_plan(PLAN_KINDS[unit.kind](unit), validate=unit.validate)
 
 
 def _try_replay(unit: WorkUnit, store, code: str) -> Optional[SweepRecord]:
@@ -277,12 +296,15 @@ def _try_replay(unit: WorkUnit, store, code: str) -> Optional[SweepRecord]:
     try:
         for fmt in extra["formats"]:
             base = replay_recording(
-                base_recs[f"{fmt}/base"], machine=unit.machine
+                base_recs[f"{fmt}/base"],
+                machine=unit.machine,
+                validate=unit.validate,
             )
             via = replay_recording(
                 via_recs[f"{fmt}/via"],
                 machine=unit.machine,
                 via_config=unit.via_config,
+                validate=unit.validate,
             )
             _fill_record(rec, fmt, base, via)
     except KeyError:
@@ -324,23 +346,27 @@ def _compute_record(unit: WorkUnit) -> Optional[SweepRecord]:
             try:
                 for fmt in plan.runs:
                     base_results[fmt] = replay_recording(
-                        base_found[0][f"{fmt}/base"], machine=unit.machine
+                        base_found[0][f"{fmt}/base"],
+                        machine=unit.machine,
+                        validate=unit.validate,
                     )
             except KeyError:
                 base_results = {}
     if not base_results:
         base_recordings = {}
         for fmt, (base_run, _via_run) in plan.runs.items():
-            backend = RecorderBackend()
+            recorder = RecorderBackend()
+            backend = InvariantBackend(recorder) if unit.validate else recorder
             base_results[fmt] = base_run(backend)
-            base_recordings[f"{fmt}/base"] = backend.recording
+            base_recordings[f"{fmt}/base"] = recorder.recording
         if store is not None:
             store.put(recording_key(unit, code, part="base"), base_recordings)
     via_recordings = {}
     for fmt, (_base_run, via_run) in plan.runs.items():
-        backend = RecorderBackend()
+        recorder = RecorderBackend()
+        backend = InvariantBackend(recorder) if unit.validate else recorder
         via = via_run(backend)
-        via_recordings[f"{fmt}/via"] = backend.recording
+        via_recordings[f"{fmt}/via"] = recorder.recording
         _fill_record(rec, fmt, base_results[fmt], via)
     if store is not None:
         store.put(
@@ -425,10 +451,12 @@ def spmv_units(
     machine: MachineConfig = DEFAULT_MACHINE,
     via_config: ViaConfig = DEFAULT_VIA,
     limit: Optional[int] = None,
+    validate: bool = False,
 ) -> List[WorkUnit]:
     fmts = tuple(formats)
     return [
-        WorkUnit("spmv", spec, machine, via_config, formats=fmts)
+        WorkUnit("spmv", spec, machine, via_config, formats=fmts,
+                 validate=validate)
         for spec in _iter_specs(collection, limit)
     ]
 
@@ -439,9 +467,10 @@ def spma_units(
     machine: MachineConfig = DEFAULT_MACHINE,
     via_config: ViaConfig = DEFAULT_VIA,
     limit: Optional[int] = None,
+    validate: bool = False,
 ) -> List[WorkUnit]:
     return [
-        WorkUnit("spma", spec, machine, via_config)
+        WorkUnit("spma", spec, machine, via_config, validate=validate)
         for spec in _iter_specs(collection, limit)
     ]
 
@@ -453,9 +482,11 @@ def spmm_units(
     via_config: ViaConfig = DEFAULT_VIA,
     limit: Optional[int] = None,
     max_n: int = 1024,
+    validate: bool = False,
 ) -> List[WorkUnit]:
     return [
-        WorkUnit("spmm", spec, machine, via_config, max_n=max_n)
+        WorkUnit("spmm", spec, machine, via_config, max_n=max_n,
+                 validate=validate)
         for spec in _iter_specs(collection, limit)
     ]
 
@@ -510,8 +541,9 @@ def unit_cache_key(unit: WorkUnit, code_version: str) -> str:
     :class:`SweepRecord` under the same code: the matrix spec, the kernel
     kind and its parameters, both hardware configurations, the code
     fingerprint, and the op-stream IR schema version all feed the key.
-    ``record_dir`` deliberately does not: a unit's record is invariant to
-    where (or whether) its op-stream artifact is stored.
+    ``record_dir`` and ``validate`` deliberately do not: a unit's record is
+    invariant to where (or whether) its op-stream artifact is stored, and
+    invariant checking only verifies results — it never changes them.
     """
     payload = {
         "kind": unit.kind,

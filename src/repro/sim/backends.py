@@ -11,7 +11,15 @@ to it:
   pass;
 * :class:`TraceBackend` — log a :class:`~repro.sim.trace.TraceEvent` and
   delegate to an inner backend (this is what :class:`~repro.sim.trace.TracedCore`
-  installs).
+  installs);
+* :class:`InvariantBackend` — delegate to an inner backend, then assert the
+  model's conservation laws over the op's counter delta (gem5-style runtime
+  self-checking): monotone non-negative counters, cache hit totals that
+  account for every line access, bounded branch mispredicts, SSPM occupancy
+  within capacity.  A violation raises
+  :class:`~repro.errors.InvariantError` with the offending op attached, so
+  model corruption is caught at the op that caused it instead of surfacing
+  as a silently wrong figure point.
 
 Replay is not a backend but a driver: :func:`replay_recording` feeds a
 recorded stream through :meth:`Op.apply` on a *fresh* core configured with
@@ -25,6 +33,9 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, List, Optional
 
+import math
+
+from repro.errors import InvariantError
 from repro.sim.config import MachineConfig
 from repro.sim.ops import (
     Op,
@@ -35,6 +46,7 @@ from repro.sim.ops import (
     stream_shape_key,
     via_totals,
 )
+from repro.sim.stats import OpCounters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Core
@@ -106,11 +118,149 @@ class TraceBackend(Backend):
         self.inner.on_finalize(core, name, output)
 
 
+#: integer counters that classify where each line access was served; their
+#: deltas must sum to the delta of ``mem_line_accesses`` on every op
+_CACHE_LEVEL_FIELDS = ("l1_hits", "l2_hits", "l3_hits", "dram_fills")
+
+#: slack for float-accumulated counters (mispredicts, latencies)
+_FLOAT_SLACK = 1e-9
+
+
+def _counters_violation(before: OpCounters, after: OpCounters) -> Optional[str]:
+    """First conservation-law violation in a counter delta, or ``None``.
+
+    The laws checked are the ones every op must preserve regardless of its
+    kind — they are how :func:`repro.sim.core.build_result` prices results:
+
+    * every counter is monotone (ops only ever add work) and finite;
+    * cache accounting conserves lines: each new line access is served by
+      exactly one of L1/L2/L3/DRAM;
+    * branch mispredicts cannot exceed the branches that produced them.
+    """
+    for name in before.__dataclass_fields__:
+        b, a = getattr(before, name), getattr(after, name)
+        if not math.isfinite(a):
+            return f"counter {name} became non-finite ({a!r})"
+        if a < b - _FLOAT_SLACK:
+            return f"counter {name} decreased from {b!r} to {a!r}"
+    d_lines = after.mem_line_accesses - before.mem_line_accesses
+    d_served = sum(
+        getattr(after, f) - getattr(before, f) for f in _CACHE_LEVEL_FIELDS
+    )
+    if d_served != d_lines:
+        return (
+            f"cache conservation broken: {d_lines} new line accesses but "
+            f"{d_served} served (l1+l2+l3+dram)"
+        )
+    d_branches = after.branches - before.branches
+    d_mispredicts = after.branch_mispredicts - before.branch_mispredicts
+    if d_mispredicts > d_branches + _FLOAT_SLACK:
+        return (
+            f"{d_mispredicts} new branch mispredicts exceed "
+            f"{d_branches} new branches"
+        )
+    return None
+
+
+def _sspm_violation(core: "Core") -> Optional[str]:
+    """SSPM occupancy bound, when a VIA device is attached."""
+    via = core.via
+    if via is None:
+        return None
+    occupancy = via.sspm.element_count
+    capacity = via.config.cam_entries
+    if not (0 <= occupancy <= capacity):
+        return (
+            f"SSPM occupancy {occupancy} outside [0, {capacity}] "
+            f"({via.config.name})"
+        )
+    return None
+
+
+def check_result_invariants(result: "KernelResult") -> "KernelResult":
+    """Validate a finished :class:`~repro.sim.stats.KernelResult`.
+
+    Used by validating replays (whose fast path is pure arithmetic over a
+    stored :class:`~repro.sim.ops.PricedState`, so there are no per-op
+    deltas to check) and by :meth:`InvariantBackend.on_finalize`: the
+    cycle breakdown's priced components must all be finite and
+    non-negative, and the total must dominate every component — the
+    model's cycle-conservation law.
+    """
+    zero = OpCounters()
+    problem = _counters_violation(zero, result.counters)
+    if problem is not None:
+        raise InvariantError(f"{result.name}: {problem}")
+    breakdown = result.breakdown.as_dict()
+    total = result.breakdown.total_cycles
+    for name, value in breakdown.items():
+        if name == "bottleneck":
+            continue
+        if not math.isfinite(value):
+            raise InvariantError(
+                f"{result.name}: cycle component {name} is non-finite ({value!r})"
+            )
+        if value < 0:
+            raise InvariantError(
+                f"{result.name}: cycle component {name} is negative ({value!r})"
+            )
+        if name not in ("total_cycles",) and value > total + _FLOAT_SLACK * max(
+            1.0, total
+        ):
+            raise InvariantError(
+                f"{result.name}: cycle component {name}={value!r} exceeds "
+                f"total_cycles={total!r}"
+            )
+    if not math.isfinite(result.energy_pj) or result.energy_pj < 0:
+        raise InvariantError(
+            f"{result.name}: energy {result.energy_pj!r} is not a "
+            "finite non-negative number"
+        )
+    return result
+
+
+class InvariantBackend(Backend):
+    """Delegate to ``inner``, then assert the model's conservation laws.
+
+    Stateless between ops: each :meth:`handle` snapshots the counters,
+    prices the op through the inner backend, and checks the delta — so the
+    first op that corrupts the model raises
+    :class:`~repro.errors.InvariantError` with itself attached, not some
+    later observer.  Wrap any backend: ``InvariantBackend()`` validates
+    direct pricing, ``InvariantBackend(RecorderBackend())`` validates while
+    recording.
+    """
+
+    def __init__(self, inner: Optional[Backend] = None) -> None:
+        self.inner = inner if inner is not None else DirectBackend()
+
+    def handle(self, op: Op, core: "Core") -> None:
+        before = dataclasses.replace(core.counters)
+        self.inner.handle(op, core)
+        problem = _counters_violation(before, core.counters)
+        if problem is None:
+            problem = _sspm_violation(core)
+        if problem is not None:
+            raise InvariantError(
+                f"op {op.kind!r} violated a model invariant: {problem}",
+                op=op,
+            )
+
+    def on_finalize(self, core: "Core", name: str, output: object) -> None:
+        self.inner.on_finalize(core, name, output)
+        problem = _counters_violation(OpCounters(), core.counters)
+        if problem is None:
+            problem = _sspm_violation(core)
+        if problem is not None:
+            raise InvariantError(f"finalize({name!r}): {problem}")
+
+
 def replay_recording(
     recording: Recording,
     *,
     machine: Optional[MachineConfig] = None,
     via_config: Optional["ViaConfig"] = None,
+    validate: bool = False,
 ) -> "KernelResult":
     """Re-price a recorded op stream under a target configuration.
 
@@ -135,6 +285,13 @@ def replay_recording(
       detailed model on a fresh core (memoized per target machine on the
       recording), and the VIA-op totals are added on top — VIA ops never
       touch the memory hierarchy, so the split is exact.
+
+    With ``validate=True`` the replay self-checks: a cross-machine memory
+    pass prices ops through an :class:`InvariantBackend`, and every path
+    runs :func:`check_result_invariants` over the finished result — so a
+    corrupt or mis-priced artifact raises
+    :class:`~repro.errors.InvariantError` instead of producing a silently
+    wrong number.  Validation never changes the result.
     """
     from repro.sim.core import Core, build_result
 
@@ -167,7 +324,7 @@ def replay_recording(
         p = recording.priced
         counters = dataclasses.replace(p.counters)
         counters.sspm_busy_cycles = via_side.sspm_busy_cycles
-        return build_result(
+        result = build_result(
             name=name,
             machine=machine,
             counters=counters,
@@ -178,12 +335,14 @@ def replay_recording(
             via_leakage_mw=via_leak,
             output=recording.output,
         )
+        return check_result_invariants(result) if validate else result
     core = recording._machine_memo.get(machine)
     if core is None:
-        core = Core(machine)
+        backend = InvariantBackend() if validate else DirectBackend()
+        core = Core(machine, backend=backend)
         for op in recording.ops:
             if not isinstance(op, ViaOpRecord):
-                op.apply(core)
+                backend.handle(op, core)
         recording._machine_memo[machine] = core
     counters = dataclasses.replace(core.counters)
     counters.via_instructions += via_side.via_instructions
@@ -191,7 +350,7 @@ def replay_recording(
     counters.sspm_accesses += via_side.sspm_accesses
     counters.cam_searches += via_side.cam_searches
     counters.sspm_busy_cycles += via_side.sspm_busy_cycles
-    return build_result(
+    result = build_result(
         name=name,
         machine=machine,
         counters=counters,
@@ -202,3 +361,4 @@ def replay_recording(
         via_leakage_mw=via_leak,
         output=recording.output,
     )
+    return check_result_invariants(result) if validate else result

@@ -49,7 +49,12 @@ from typing import TYPE_CHECKING, Any, ClassVar, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import RecordingError, ReplayMismatchError, SimulationError
+from repro.errors import (
+    InvariantError,
+    RecordingError,
+    ReplayMismatchError,
+    SimulationError,
+)
 from repro.sim import calibration as cal
 from repro.sim.config import CacheConfig, MachineConfig
 from repro.sim.stats import OpCounters
@@ -70,6 +75,7 @@ VECTOR_OP_KINDS = ("alu", "mask", "fma", "reduce", "permute", "conflict")
 
 __all__ = [
     "OPS_SCHEMA_VERSION",
+    "InvariantError",
     "Op",
     "OP_CLASSES",
     "PricedState",
@@ -82,6 +88,22 @@ __all__ = [
     "stream_shape_key",
     "via_totals",
 ]
+
+
+def _require_non_negative(op_kind: str, **fields: float) -> None:
+    """Constructor guard shared by the op classes.
+
+    A negative multiplicity can only come from corrupt narration, a
+    tampered artifact, or an arithmetic bug upstream; rejecting it at op
+    construction pins the failure to the op that carried it instead of
+    letting it silently skew counters (negative counts would *decrease*
+    monotone counters when applied).
+    """
+    for name, value in fields.items():
+        if value is not None and value < 0:
+            raise SimulationError(
+                f"{op_kind}: {name} must be >= 0, got {value!r}"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -185,6 +207,13 @@ class AllocOp(Op):
     kind: ClassVar[str] = "alloc"
     _scalars: ClassVar[Tuple[str, ...]] = ("name", "num_elems", "elem_bytes")
 
+    def __post_init__(self):
+        _require_non_negative(self.kind, num_elems=self.num_elems)
+        if self.elem_bytes <= 0:
+            raise SimulationError(
+                f"{self.kind}: elem_bytes must be > 0, got {self.elem_bytes!r}"
+            )
+
     def apply(self, core: "Core") -> None:
         core.mem.alloc(self.name, self.num_elems, self.elem_bytes)
 
@@ -201,6 +230,9 @@ class ScalarOpsOp(Op):
 
     kind: ClassVar[str] = "scalar_ops"
     _scalars: ClassVar[Tuple[str, ...]] = ("count",)
+
+    def __post_init__(self):
+        _require_non_negative(self.kind, count=self.count)
 
     def apply(self, core: "Core") -> None:
         core.counters.scalar_uops += self.count
@@ -223,6 +255,7 @@ class VectorOpOp(Op):
     def __post_init__(self):
         if self.op_kind not in VECTOR_OP_KINDS:
             raise SimulationError(f"unknown vector op kind {self.op_kind!r}")
+        _require_non_negative(self.kind, count=self.count)
 
     def apply(self, core: "Core") -> None:
         c = core.counters
@@ -256,6 +289,7 @@ class BranchesOp(Op):
             raise SimulationError(
                 f"mispredict_rate must be in [0, 1], got {self.mispredict_rate}"
             )
+        _require_non_negative(self.kind, count=self.count)
 
     def apply(self, core: "Core") -> None:
         c = core.counters
@@ -298,6 +332,9 @@ class _StreamOp(Op):
     _scalars: ClassVar[Tuple[str, ...]] = ("array", "start", "count")
     _write: ClassVar[bool] = False
 
+    def __post_init__(self):
+        _require_non_negative(self.kind, start=self.start, count=self.count)
+
     def apply(self, core: "Core") -> None:
         core._price_stream(
             core.mem[self.array], self.start, self.count, write=self._write
@@ -335,6 +372,9 @@ class _IndexedVectorOp(Op):
     _scalars: ClassVar[Tuple[str, ...]] = ("array", "n_instr")
     _arrays: ClassVar[Tuple[str, ...]] = ("indices",)
     _write: ClassVar[bool] = False
+
+    def __post_init__(self):
+        _require_non_negative(self.kind, n_instr=self.n_instr)
 
     def apply(self, core: "Core") -> None:
         c = core.counters
@@ -380,6 +420,13 @@ class _SerialIndexedOp(Op):
     _scalars: ClassVar[Tuple[str, ...]] = ("n_instr", "elements_per_instr")
     _write: ClassVar[bool] = False
 
+    def __post_init__(self):
+        _require_non_negative(
+            self.kind,
+            n_instr=self.n_instr,
+            elements_per_instr=self.elements_per_instr,
+        )
+
     def apply(self, core: "Core") -> None:
         c = core.counters
         if self._write:
@@ -418,6 +465,9 @@ class LoadWindowsOp(Op):
     kind: ClassVar[str] = "load_windows"
     _scalars: ClassVar[Tuple[str, ...]] = ("array", "width")
     _arrays: ClassVar[Tuple[str, ...]] = ("starts",)
+
+    def __post_init__(self):
+        _require_non_negative(self.kind, width=self.width)
 
     def apply(self, core: "Core") -> None:
         arr = core.mem[self.array]
@@ -485,6 +535,9 @@ class BulkStreamOp(Op):
 
     kind: ClassVar[str] = "bulk_stream"
     _scalars: ClassVar[Tuple[str, ...]] = ("array", "passes", "write")
+
+    def __post_init__(self):
+        _require_non_negative(self.kind, passes=self.passes)
 
     def apply(self, core: "Core") -> None:
         arr = core.mem[self.array]
@@ -558,6 +611,14 @@ class ViaOpRecord(Op):
                 "record_via_op needs port_passes (FIVU profile) or "
                 "port_cycles (pre-computed cost)"
             )
+        _require_non_negative(
+            self.kind,
+            sspm_elements=self.sspm_elements,
+            cam_searches=self.cam_searches,
+            count=self.count,
+            port_passes=self.port_passes,
+            port_cycles=self.port_cycles,
+        )
 
     def apply(self, core: "Core") -> None:
         port_cycles = self.port_cycles

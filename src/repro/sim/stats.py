@@ -108,16 +108,27 @@ class SweepCounters:
     """Aggregate observability counters for one sweep-runner invocation.
 
     Produced by :func:`repro.eval.runner.run_units`; every work unit lands
-    in exactly one of ``units_ok`` / ``units_cached`` / ``units_failed`` /
-    ``units_skipped``.  ``cache_corrupt`` counts entries that failed
-    integrity checks and were recomputed rather than served.
+    in exactly one of ``units_ok`` / ``units_cached`` / ``units_resumed`` /
+    ``units_failed`` / ``units_skipped``.  ``cache_corrupt`` counts cache
+    entries that failed integrity checks; ``units_corrupt`` counts the
+    units those entries belonged to (recomputed, never served).  The
+    supervised-execution counters record watchdog activity:
+    ``units_retried`` units that needed more than one attempt,
+    ``units_timeout`` units whose final attempt exceeded the wall-clock
+    timeout, and ``worker_deaths`` worker processes that died (or were
+    killed by the watchdog) and were replenished.
     """
 
     units_total: int = 0
     units_ok: int = 0
     units_cached: int = 0
+    units_resumed: int = 0
     units_failed: int = 0
     units_skipped: int = 0
+    units_corrupt: int = 0
+    units_retried: int = 0
+    units_timeout: int = 0
+    worker_deaths: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_corrupt: int = 0
@@ -139,9 +150,14 @@ class SweepCounters:
     def summary(self) -> str:
         return (
             f"{self.units_total} units: {self.units_ok} computed, "
-            f"{self.units_cached} cached, {self.units_failed} failed, "
+            f"{self.units_cached} cached, "
+            + (f"{self.units_resumed} resumed, " if self.units_resumed else "")
+            + f"{self.units_failed} failed, "
             f"{self.units_skipped} skipped "
-            f"(cache {self.cache_hits} hit / {self.cache_misses} miss"
+            + (f"[{self.units_retried} retried] " if self.units_retried else "")
+            + (f"[{self.units_timeout} timed out] " if self.units_timeout else "")
+            + (f"[{self.worker_deaths} worker death(s)] " if self.worker_deaths else "")
+            + f"(cache {self.cache_hits} hit / {self.cache_misses} miss"
             + (f" / {self.cache_corrupt} corrupt" if self.cache_corrupt else "")
             + f") in {self.wall_seconds:.2f}s with {self.workers} worker(s)"
         )

@@ -97,10 +97,14 @@ class TestKernelFamilies:
     REC, TGT = VIA_16_2P, VIA_16_4P
 
     def _check(self, make_run):
-        """make_run(cfg) -> callable(backend) -> KernelResult."""
+        """make_run(cfg) -> callable(backend) -> KernelResult.
+
+        Replays run under ``validate=True``: the runtime invariant checks
+        must pass clean on every kernel family and never perturb results.
+        """
         _, recording = _record(make_run(self.REC))
         want = make_run(self.TGT)(None)
-        got = replay_recording(recording, via_config=self.TGT)
+        got = replay_recording(recording, via_config=self.TGT, validate=True)
         assert_result_identical(got, want)
 
     @pytest.mark.parametrize("fmt", sorted(SPMV_VARIANTS))
@@ -182,7 +186,7 @@ class TestDseConfigs:
                 )
             )
             want = SPMV_VARIANTS["csb"][1](csb, x, DEFAULT_MACHINE, cfg)
-            got = replay_recording(recording, via_config=cfg)
+            got = replay_recording(recording, via_config=cfg, validate=True)
             assert_result_identical(got, want)
 
     def test_cross_capacity_replay_refuses(self, coo, x):
@@ -243,7 +247,10 @@ class TestRoundTripAndMachines:
             )
         )
         want = SPMV_VARIANTS["csb"][1](csb, x, target, VIA_16_4P)
-        got = replay_recording(recording, machine=target, via_config=VIA_16_4P)
+        # validate=True exercises InvariantBackend on the memory-pass path
+        got = replay_recording(
+            recording, machine=target, via_config=VIA_16_4P, validate=True
+        )
         assert_result_identical(got, want)
 
     def test_machine_shape_change_refuses(self, coo, x):
@@ -268,9 +275,11 @@ class TestDseEndToEnd:
         coll = small_collection(3, seed=9, max_n=128)
         direct = run_dse(coll)
         with tempfile.TemporaryDirectory() as td:
-            replayed = run_dse(coll, record_dir=td)
+            # validated record/replay: invariant checks ride every op and
+            # must neither trip nor change a single bit of Fig. 9
+            replayed = run_dse(coll, record_dir=td, validate=True)
             # a second, warm-store sweep replays everything and must agree
-            warm = run_dse(coll, record_dir=td)
+            warm = run_dse(coll, record_dir=td, validate=True)
         for kernel, per_config in direct.cycles.items():
             for cfg_name, want in per_config.items():
                 assert _bits(replayed.cycles[kernel][cfg_name]) == _bits(want)

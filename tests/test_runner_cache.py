@@ -15,6 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import SweepError
 from repro.eval import ResultCache, RunnerConfig, WorkUnit, unit_cache_key
 from repro.eval.harness import SweepRecord
 from repro.matrices import MatrixSpec
@@ -205,10 +206,16 @@ def test_invalidate_single_and_all(tmp_path):
 
 
 def test_runner_config_validation():
-    with pytest.raises(ValueError):
+    with pytest.raises(SweepError):
         RunnerConfig(workers=0)
-    with pytest.raises(ValueError):
+    with pytest.raises(SweepError):
         RunnerConfig(chunksize=0)
+    with pytest.raises(SweepError):
+        RunnerConfig(timeout_s=0)
+    with pytest.raises(SweepError):
+        RunnerConfig(retries=-1)
+    with pytest.raises(SweepError):
+        RunnerConfig(backoff_s=-0.1)
 
 
 def test_runner_config_from_env(monkeypatch):
@@ -216,11 +223,23 @@ def test_runner_config_from_env(monkeypatch):
     monkeypatch.setenv("REPRO_SWEEP_CACHE", "/tmp/somewhere")
     monkeypatch.setenv("REPRO_SWEEP_NO_CACHE", "1")
     monkeypatch.setenv("REPRO_SWEEP_JOURNAL", "/tmp/j.jsonl")
+    monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "12.5")
+    monkeypatch.setenv("REPRO_SWEEP_RETRIES", "2")
     config = RunnerConfig.from_env()
     assert config.workers == 3
     assert config.cache_dir == "/tmp/somewhere"
     assert not config.use_cache
     assert not config.caching
     assert config.journal_path == "/tmp/j.jsonl"
+    assert config.timeout_s == 12.5
+    assert config.retries == 2
+    assert config.supervised
     override = RunnerConfig.from_env(workers=1, use_cache=True)
     assert override.workers == 1 and override.caching
+
+
+def test_runner_config_supervised_triggers():
+    assert not RunnerConfig().supervised
+    assert RunnerConfig(workers=2).supervised
+    assert RunnerConfig(timeout_s=5).supervised
+    assert RunnerConfig(retries=1).supervised

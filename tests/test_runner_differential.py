@@ -5,6 +5,11 @@ execution strategy may change the science.  For a seeded matrix sample,
 every combination of (cold cache, warm cache, workers=1, workers=N) must
 produce **bit-identical** :class:`SweepRecord` lists: identical floats,
 identical ordering, identical per-format keys.
+
+Runner-exercised sweeps here run with ``validate=True`` (the op-stream
+runtime invariant checks) against a non-validated sequential reference, so
+the suite also proves the :class:`~repro.sim.backends.InvariantBackend`
+passes clean and never perturbs a single bit.
 """
 
 import numpy as np
@@ -54,20 +59,22 @@ class TestSpmvDifferential:
         self, collection, spmv_sequential
     ):
         records = sweep_spmv(
-            collection, formats=("csr", "csb"), runner=RunnerConfig(workers=1)
+            collection, formats=("csr", "csb"),
+            runner=RunnerConfig(workers=1), validate=True,
         )
         _assert_bit_identical(records, spmv_sequential)
 
     def test_parallel_matches_sequential(self, collection, spmv_sequential):
         records = sweep_spmv(
-            collection, formats=("csr", "csb"), runner=RunnerConfig(workers=3)
+            collection, formats=("csr", "csb"),
+            runner=RunnerConfig(workers=3), validate=True,
         )
         _assert_bit_identical(records, spmv_sequential)
 
     def test_cold_then_warm_cache_matches_sequential(
         self, collection, spmv_sequential, tmp_path
     ):
-        units = spmv_units(collection, formats=("csr", "csb"))
+        units = spmv_units(collection, formats=("csr", "csb"), validate=True)
         cold = run_units(
             units, RunnerConfig(workers=2, cache_dir=str(tmp_path / "c"))
         )
@@ -98,7 +105,7 @@ class TestSpmaSpmmDifferential:
         self, collection, tmp_path
     ):
         sequential = sweep_spma(collection)
-        units = spma_units(collection)
+        units = spma_units(collection, validate=True)
         config = RunnerConfig(workers=2, cache_dir=str(tmp_path / "c"))
         _assert_bit_identical(run_units(units, config).records, sequential)
         _assert_bit_identical(run_units(units, config).records, sequential)

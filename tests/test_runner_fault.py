@@ -15,6 +15,7 @@ import os
 
 import pytest
 
+from repro.errors import SweepError
 from repro.eval import (
     ResultCache,
     RunnerConfig,
@@ -90,7 +91,7 @@ class TestKernelFaults:
         assert second.counters.cache_hits == 3  # the good units hit
 
     def test_strict_mode_raises_like_the_sequential_path(self):
-        with pytest.raises(RuntimeError, match="injected kernel fault"):
+        with pytest.raises(SweepError, match="injected kernel fault"):
             run_units(_mixed_units(), RunnerConfig(capture_errors=False))
 
     def test_unknown_kind_is_a_recorded_failure(self):
