@@ -79,7 +79,34 @@ from repro.via import (
     table2,
 )
 
-__version__ = "1.0.0"
+def _detect_version() -> str:
+    """Single-source the version from package metadata.
+
+    ``pyproject.toml`` owns the version string.  Installed (even with
+    ``pip install -e .``) we read it back through ``importlib.metadata``;
+    on a bare source checkout (``PYTHONPATH=src``) we parse the adjacent
+    ``pyproject.toml`` so the two can never drift.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        pass
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+    except OSError:
+        match = None
+    return match.group(1) if match else "0+unknown"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "ConfigError",

@@ -75,6 +75,45 @@ class SweepInterrupted(SweepError):
         self.signum = signum
 
 
+class ServeError(ReproError):
+    """The serving layer (:mod:`repro.serve`) rejected or failed a request.
+
+    Every serve-layer failure carries a stable machine-readable ``code``
+    (e.g. ``bad_request``, ``queue_full``, ``draining``, ``timeout``,
+    ``cancelled``) and, when the condition is transient, a
+    ``retry_after_s`` hint — the wire protocol serializes both, so a
+    client always receives a structured error payload instead of a
+    dropped connection.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "internal",
+        retry_after_s=None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionError(ServeError):
+    """A request was shed at admission: the queue is full or the service
+    is draining.  Always transient from the client's perspective — the
+    attached ``retry_after_s`` (``None`` while draining: the server is
+    going away) says when to try again.
+    """
+
+
+class JobCancelled(ServeError):
+    """A queued job was cancelled — by an explicit ``cancel`` request or
+    because the service drained before the job was dispatched."""
+
+    def __init__(self, message: str, *, code: str = "cancelled"):
+        super().__init__(message, code=code)
+
+
 class SimulationError(ReproError):
     """The machine model was driven into an inconsistent state."""
 

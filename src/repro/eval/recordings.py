@@ -22,6 +22,7 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
@@ -84,9 +85,11 @@ def recording_key(unit, code_version: str, *, part: str = "via") -> str:
 
 #: process-local artifact cache keyed by (path, mtime_ns, size) — any write
 #: or tamper changes the stat signature, so stale entries can never be
-#: served after the file on disk changes
+#: served after the file on disk changes.  Guarded by a lock because the
+#: serving layer (:mod:`repro.serve`) replays from executor threads.
 _LOAD_MEMO: "OrderedDict[Tuple[str, int, int], Tuple[Dict[str, Recording], Dict[str, Any]]]" = OrderedDict()
 _LOAD_MEMO_MAX = 256
+_LOAD_MEMO_LOCK = threading.Lock()
 
 
 class RecordingStore:
@@ -112,10 +115,11 @@ class RecordingStore:
         except OSError:
             return None
         memo_key = (str(path), st.st_mtime_ns, st.st_size)
-        hit = _LOAD_MEMO.get(memo_key)
-        if hit is not None:
-            _LOAD_MEMO.move_to_end(memo_key)
-            return hit
+        with _LOAD_MEMO_LOCK:
+            hit = _LOAD_MEMO.get(memo_key)
+            if hit is not None:
+                _LOAD_MEMO.move_to_end(memo_key)
+                return hit
         try:
             recordings, extra = load_recordings(path)
             if extra.get("key") != key:
@@ -125,10 +129,20 @@ class RecordingStore:
         except RecordingError:
             path.unlink(missing_ok=True)
             return None
-        _LOAD_MEMO[memo_key] = (recordings, extra)
-        while len(_LOAD_MEMO) > _LOAD_MEMO_MAX:
-            _LOAD_MEMO.popitem(last=False)
+        with _LOAD_MEMO_LOCK:
+            _LOAD_MEMO[memo_key] = (recordings, extra)
+            while len(_LOAD_MEMO) > _LOAD_MEMO_MAX:
+                _LOAD_MEMO.popitem(last=False)
         return recordings, extra
+
+    def has(self, key: str) -> bool:
+        """Whether an artifact file exists for ``key`` (no integrity load).
+
+        A cheap existence probe for observability (the serving layer's
+        replay-hit accounting); the authoritative integrity check still
+        happens in :meth:`get` when the artifact is actually consumed.
+        """
+        return self._path(key).exists()
 
     def put(
         self,
@@ -155,12 +169,13 @@ class RecordingStore:
         # pre-seed the load memo: in-process readers (the replay phase of a
         # record/replay sweep) skip the decompress-and-rebuild round trip
         st = path.stat()
-        _LOAD_MEMO[(str(path), st.st_mtime_ns, st.st_size)] = (
-            dict(recordings),
-            meta,
-        )
-        while len(_LOAD_MEMO) > _LOAD_MEMO_MAX:
-            _LOAD_MEMO.popitem(last=False)
+        with _LOAD_MEMO_LOCK:
+            _LOAD_MEMO[(str(path), st.st_mtime_ns, st.st_size)] = (
+                dict(recordings),
+                meta,
+            )
+            while len(_LOAD_MEMO) > _LOAD_MEMO_MAX:
+                _LOAD_MEMO.popitem(last=False)
 
     def invalidate(self) -> None:
         """Delete every stored artifact."""

@@ -666,6 +666,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Run a demo evaluation sweep through the supervised "
         "parallel cached runner.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {repro.__version__}")
     parser.add_argument("--kernel", choices=("spmv", "spma", "spmm"),
                         default="spmv")
     parser.add_argument("--count", type=positive_int, default=8,

@@ -1,0 +1,182 @@
+"""Blocking client library for the simulation service.
+
+:class:`ServeClient` speaks the JSON-lines protocol of
+:mod:`repro.serve.server` over a plain socket — stdlib only, safe to use
+from scripts, tests, and the load generator.  One client holds one
+connection and issues one request at a time (the server multiplexes
+concurrent clients, not concurrent requests per client object; open more
+clients for parallel load).
+
+Server-side rejections and failures raise :class:`ServeRequestError`
+carrying the structured error triple (``code`` / ``reason`` /
+``retry_after_s``); transport problems raise
+:class:`~repro.errors.ServeError` with code ``transport``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from repro.errors import ServeError
+
+
+class ServeRequestError(ServeError):
+    """The server answered with a structured error payload."""
+
+    def __init__(self, error: Dict[str, Any]):
+        reason = error.get("reason", "unknown server error")
+        super().__init__(
+            reason,
+            code=error.get("code", "internal"),
+            retry_after_s=error.get("retry_after_s"),
+        )
+        self.payload = dict(error)
+
+
+class ServeClient:
+    """One connection to a running :class:`~repro.serve.server.ViaServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7341,
+        *,
+        timeout_s: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot connect to {self.host}:{self.port}: {exc}",
+                    code="transport",
+                ) from exc
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One raw request/response round trip.
+
+        Returns the response dict on ``ok``; raises
+        :class:`ServeRequestError` on a structured server error and
+        :class:`~repro.errors.ServeError` (code ``transport``) when the
+        connection breaks — which only happens outside the protocol,
+        e.g. if the server process is killed uncleanly.
+        """
+        self.connect()
+        assert self._file is not None
+        req = dict(payload)
+        req.setdefault("id", next(self._ids))
+        try:
+            self._file.write((json.dumps(req) + "\n").encode("utf-8"))
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            self.close()
+            raise ServeError(
+                f"connection to {self.host}:{self.port} failed: {exc}",
+                code="transport",
+            ) from exc
+        if not line:
+            self.close()
+            raise ServeError(
+                f"server {self.host}:{self.port} closed the connection",
+                code="transport",
+            )
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok", False):
+            raise ServeRequestError(response.get("error", {}))
+        return response
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"type": "ping"})
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        *,
+        wait: bool = False,
+        wait_timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit a job spec; returns the job payload.
+
+        With ``wait=True`` the job payload is terminal (state ``done``,
+        ``failed``, or ``cancelled``) — one round trip for small jobs.
+        """
+        req: Dict[str, Any] = {"type": "submit", "spec": spec}
+        if wait:
+            req["wait"] = True
+            if wait_timeout_s is not None:
+                req["wait_timeout_s"] = wait_timeout_s
+        return self.request(req)["job"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"type": "status", "job_id": job_id})["job"]
+
+    def result(
+        self, job_id: str, *, timeout_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        req: Dict[str, Any] = {"type": "result", "job_id": job_id}
+        if timeout_s is not None:
+            req["timeout_s"] = timeout_s
+        return self.request(req)["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"type": "cancel", "job_id": job_id})["job"]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request({"type": "metrics"})["metrics"]
+
+    def metrics_text(self) -> str:
+        return self.request({"type": "metrics", "format": "text"})["text"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"type": "stats"})["stats"]
+
+    def drain(self) -> Dict[str, Any]:
+        return self.request({"type": "drain"})
+
+
+def read_ready_file(path: str) -> Dict[str, Any]:
+    """Parse the server's ``--ready-file`` into ``{"host", "port"}``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        host, port = fh.read().split()
+    return {"host": host, "port": int(port)}

@@ -1,0 +1,580 @@
+"""Asyncio job scheduler: admission control, batching, execution.
+
+The scheduler is the service's brain.  Requests flow through four stages:
+
+1. **admission** — a bounded queue.  A submit that would exceed
+   ``max_queue`` is *shed immediately* with a structured ``queue_full``
+   error carrying ``retry_after_s`` (backpressure the client can act on);
+   once the service drains, submits are refused with ``draining``.
+2. **batching** — a short ``batch_window_s`` collects concurrently-arriving
+   jobs, orders them by priority, and groups jobs whose
+   :meth:`~repro.serve.jobs.JobSpec.batch_key` matches.  Replay-family keys
+   exclude SSPM ports, so an entire port sweep lands in one batch and is
+   served by **one** op-stream recording: the first job records (replay
+   units self-heal on a store miss), every later job re-prices the stored
+   streams.
+3. **execution** — each batch runs on a thread pool via the existing
+   :func:`repro.eval.runner.run_units`, inheriting the PR-1 result cache,
+   the PR-2 :class:`~repro.eval.recordings.RecordingStore`, per-unit fault
+   capture, and invariant checking.  Per-job ``timeout_s`` is enforced
+   with :func:`asyncio.wait_for`; a timed-out job is failed (code
+   ``timeout``) and its executor thread abandoned — the late result is
+   discarded, never reported.
+4. **completion** — deadlines are re-checked at dispatch
+   (``deadline_exceeded``), cancellations are honoured for queued jobs,
+   and every terminal transition feeds the metrics registry: queue-wait /
+   service-time histograms, shed/cancel counters, replay and result-cache
+   hit counters, queue-depth and in-flight gauges.
+
+The scheduler owns no sockets — :mod:`repro.serve.server` is one frontend;
+tests drive the scheduler directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import AdmissionError, JobCancelled, ServeError
+from repro.serve.jobs import (
+    Job,
+    JobSpec,
+    JobState,
+    error_payload,
+    expand_sweep,
+)
+from repro.serve.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operating envelope of one scheduler instance.
+
+    ``max_queue`` bounds *queued* (admitted but not dispatched) jobs —
+    the knob that turns overload into fast structured shedding instead of
+    unbounded latency.  ``batch_window_s`` trades a little latency for
+    batching opportunity; ``executor_workers`` bounds concurrent batches.
+    ``cache_dir``/``record_dir`` plug the service into the result cache
+    and recording store (both default to per-instance temp directories).
+    """
+
+    max_queue: int = 64
+    batch_window_s: float = 0.02
+    max_batch: int = 16
+    executor_workers: int = 2
+    default_timeout_s: float = 120.0
+    drain_timeout_s: float = 30.0
+    retry_after_s: float = 0.25
+    cache_dir: Optional[str] = None
+    record_dir: Optional[str] = None
+    validate: bool = False
+
+    def __post_init__(self):
+        if self.max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.executor_workers < 1:
+            raise ServeError(
+                f"executor_workers must be >= 1, got {self.executor_workers}"
+            )
+        if self.batch_window_s < 0:
+            raise ServeError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.default_timeout_s <= 0:
+            raise ServeError(
+                f"default_timeout_s must be > 0, got {self.default_timeout_s}"
+            )
+
+
+class Scheduler:
+    """Admission queue + batcher + executor; see the module docstring."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if self.config.cache_dir is None or self.config.record_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        base = self._tmp.name if self._tmp is not None else ""
+        self.cache_dir = self.config.cache_dir or f"{base}/cache"
+        self.record_dir = self.config.record_dir or f"{base}/recordings"
+        self.jobs: Dict[str, Job] = {}
+        self._queue: List[Tuple[int, int, Job]] = []  # (-priority, seq, job)
+        self._seq = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._done_events: Dict[str, asyncio.Event] = {}
+        self._batcher: Optional[asyncio.Task] = None
+        self._inflight: set = set()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._draining = False
+        self._stopped = False
+        self.started_at = time.monotonic()
+        m = self.metrics
+        self._m_submitted = m.counter("jobs_submitted", "jobs admitted")
+        self._m_shed = m.counter("jobs_shed", "submissions rejected at admission")
+        self._m_done = m.counter("jobs_completed", "jobs finished successfully")
+        self._m_failed = m.counter("jobs_failed", "jobs finished with an error")
+        self._m_cancelled = m.counter("jobs_cancelled", "jobs cancelled before completion")
+        self._m_batches = m.counter("batches_executed", "scheduler batches dispatched")
+        self._m_batched_jobs = m.counter(
+            "jobs_batched", "jobs that shared a batch with at least one other job"
+        )
+        self._m_replay_hits = m.counter(
+            "replay_hits", "replay units served from an existing recording"
+        )
+        self._m_replay_misses = m.counter(
+            "replay_misses", "replay units that had to record first"
+        )
+        self._m_cache_hits = m.counter(
+            "cache_hits", "work units served from the result cache"
+        )
+        self._m_cache_misses = m.counter(
+            "cache_misses", "work units that missed the result cache"
+        )
+        self._m_units = m.counter("units_executed", "work units run to completion")
+        self._m_depth = m.gauge("queue_depth", "jobs admitted and waiting")
+        self._m_inflight = m.gauge("jobs_inflight", "jobs currently executing")
+        self._m_queue_wait = m.histogram(
+            "queue_wait_seconds", "admission-to-dispatch wait"
+        )
+        self._m_service = m.histogram(
+            "service_seconds", "dispatch-to-completion time"
+        )
+        self._m_batch_size = m.histogram("batch_size", "jobs per executed batch")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        """Start the batching stage (must run inside the event loop)."""
+        if self._batcher is not None:
+            return
+        self._wakeup = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._batcher = asyncio.create_task(self._batch_loop(), name="serve-batcher")
+        if self._queue:  # jobs admitted before the batcher existed
+            self._wakeup.set()
+
+    async def stop(self) -> None:
+        """Hard stop: cancel the batcher, release the executor."""
+        self._stopped = True
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def drain(self) -> Dict[str, int]:
+        """Graceful shutdown of the work stages.
+
+        New submissions are already refused (``draining``); every queued
+        job is cancelled with a structured payload, in-flight batches are
+        awaited (bounded by ``drain_timeout_s``), and waiters are
+        released.  Returns a small summary for the server's log line.
+        """
+        self._draining = True
+        cancelled = 0
+        for _, _, job in self._queue:
+            if not job.terminal:
+                self._finish(
+                    job,
+                    JobState.CANCELLED,
+                    error=error_payload(
+                        JobCancelled(
+                            "service drained before the job was dispatched",
+                            code="drained",
+                        )
+                    ),
+                )
+                cancelled += 1
+        self._queue.clear()
+        self._m_depth.set(0)
+        if self._wakeup is not None:
+            self._wakeup.set()
+        waited = list(self._inflight)
+        if waited:
+            done, pending = await asyncio.wait(
+                waited, timeout=self.config.drain_timeout_s
+            )
+            for task in pending:  # pragma: no cover - drain timeout
+                task.cancel()
+        return {"cancelled": cancelled, "completed_inflight": len(waited)}
+
+    # ------------------------------------------------------------------
+    # admission
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job or shed it with a structured admission error."""
+        if self._draining or self._stopped:
+            self._m_shed.inc()
+            raise AdmissionError(
+                "service is draining and no longer admits jobs",
+                code="draining",
+            )
+        if len(self._queue) >= self.config.max_queue:
+            self._m_shed.inc()
+            raise AdmissionError(
+                f"admission queue is full ({self.config.max_queue} jobs); "
+                "retry after the suggested backoff",
+                code="queue_full",
+                retry_after_s=self.config.retry_after_s,
+            )
+        job = Job(spec=spec)
+        self.jobs[job.job_id] = job
+        self._done_events[job.job_id] = asyncio.Event()
+        self._seq += 1
+        self._queue.append((-spec.priority, self._seq, job))
+        self._m_submitted.inc()
+        self._m_depth.set(len(self._queue))
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise ServeError(
+                f"unknown job id {job_id!r}", code="not_found"
+            ) from None
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job; a running job only gets the flag set."""
+        job = self.get(job_id)
+        if job.terminal:
+            return job
+        job.cancel_requested = True
+        if job.state == JobState.PENDING:
+            self._queue = [entry for entry in self._queue if entry[2] is not job]
+            self._m_depth.set(len(self._queue))
+            self._finish(
+                job,
+                JobState.CANCELLED,
+                error=error_payload(JobCancelled("cancelled by client request")),
+            )
+        return job
+
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until a job reaches a terminal state (or raise timeout)."""
+        job = self.get(job_id)
+        event = self._done_events.get(job_id)
+        if job.terminal or event is None:
+            return job
+        await asyncio.wait_for(event.wait(), timeout)
+        return job
+
+    # ------------------------------------------------------------------
+    # batching stage
+
+    async def _batch_loop(self) -> None:
+        assert self._wakeup is not None
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if not self._queue:
+                continue
+            if self.config.batch_window_s > 0:
+                # let concurrently-arriving compatible jobs join the batch
+                await asyncio.sleep(self.config.batch_window_s)
+            batch_entries = sorted(self._queue)  # priority, then arrival
+            self._queue.clear()
+            self._m_depth.set(0)
+            groups: List[Tuple[str, List[Job]]] = []
+            open_group: Dict[str, List[Job]] = {}
+            for _, _, job in batch_entries:
+                if job.terminal:  # cancelled while queued
+                    continue
+                key = job.spec.batch_key()
+                bucket = open_group.get(key)
+                if bucket is None or len(bucket) >= self.config.max_batch:
+                    bucket = []
+                    open_group[key] = bucket
+                    groups.append((key, bucket))
+                bucket.append(job)
+            for key, group in groups:
+                task = asyncio.create_task(
+                    self._run_batch(group), name=f"serve-batch-{key[:8]}"
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+
+    # ------------------------------------------------------------------
+    # execution stage
+
+    async def _run_batch(self, group: List[Job]) -> None:
+        loop = asyncio.get_running_loop()
+        self._m_batches.inc()
+        self._m_batch_size.observe(len(group))
+        if len(group) > 1:
+            self._m_batched_jobs.inc(len(group))
+        for job in group:
+            if job.terminal:
+                continue
+            if job.cancel_requested:
+                self._finish(
+                    job,
+                    JobState.CANCELLED,
+                    error=error_payload(
+                        JobCancelled("cancelled before dispatch")
+                    ),
+                )
+                continue
+            if job.deadline_exceeded():
+                self._finish(
+                    job,
+                    JobState.FAILED,
+                    error=error_payload(
+                        ServeError(
+                            f"deadline of {job.spec.deadline_s}s expired "
+                            "while the job was queued",
+                            code="deadline_exceeded",
+                            retry_after_s=self.config.retry_after_s,
+                        )
+                    ),
+                )
+                continue
+            job.state = JobState.RUNNING
+            job.started_at = time.monotonic()
+            job.batch_size = len(group)
+            self._m_inflight.add(1)
+            self._m_queue_wait.observe(job.queue_wait_s())
+            timeout = (
+                job.spec.timeout_s
+                if job.spec.timeout_s is not None
+                else self.config.default_timeout_s
+            )
+            try:
+                result = await asyncio.wait_for(
+                    loop.run_in_executor(self._executor, self._execute_job, job),
+                    timeout,
+                )
+                if not job.abandoned:
+                    self._finish(job, JobState.DONE, result=result)
+            except asyncio.TimeoutError:
+                job.abandoned = True  # discard the late executor result
+                self._finish(
+                    job,
+                    JobState.FAILED,
+                    error=error_payload(
+                        ServeError(
+                            f"job exceeded its {timeout:.4g}s execution "
+                            "timeout",
+                            code="timeout",
+                            retry_after_s=self.config.retry_after_s,
+                        )
+                    ),
+                )
+            except Exception as exc:  # per-job fault isolation
+                self._finish(job, JobState.FAILED, error=error_payload(exc))
+            finally:
+                self._m_inflight.add(-1)
+
+    # -- executor-thread side ------------------------------------------
+
+    def _execute_job(self, job: Job) -> Dict[str, Any]:
+        """Run one job synchronously (thread pool); returns the payload."""
+        spec = job.spec
+        if spec.kind == "sleep":
+            deadline = time.monotonic() + spec.duration_s
+            while time.monotonic() < deadline:
+                if job.abandoned or job.cancel_requested:
+                    break
+                time.sleep(min(0.01, max(0.0, deadline - time.monotonic())))
+            return {"slept_s": spec.duration_s}
+        if spec.kind == "report":
+            from repro.sim import table1
+            from repro.via import table2
+
+            return {"text": table1() + "\n" + table2()}
+        if spec.kind == "sweep":
+            configs = expand_sweep(spec)
+            per_config: Dict[str, Any] = {}
+            for sub in configs:
+                per_config[f"{sub.sram_kb}_{sub.ports}p"] = self._run_sim(job, sub)
+            return {"configs": per_config}
+        return self._run_sim(job, spec)
+
+    def _run_sim(self, job: Job, spec: JobSpec) -> Dict[str, Any]:
+        """Execute a simulate/replay spec through the sweep runner."""
+        from repro.eval.harness import geomean
+        from repro.eval.runner import RunnerConfig, run_units
+
+        units = self._build_units(spec)
+        if spec.kind == "replay":
+            self._count_replay_hits(units)
+        config = RunnerConfig(
+            workers=1,
+            cache_dir=self.cache_dir,
+            capture_errors=True,
+        )
+        result = run_units(units, config)
+        self._m_units.inc(len(units))
+        self._m_cache_hits.inc(result.counters.cache_hits)
+        self._m_cache_misses.inc(result.counters.cache_misses)
+        if result.failures:
+            first = result.failures[0]
+            raise ServeError(
+                f"{len(result.failures)} of {len(units)} work unit(s) "
+                f"failed; first: {first.kind}/{first.name}: {first.error}",
+                code="unit_failed",
+            )
+        records = [
+            {"name": r.name, "n": r.n, "nnz": r.nnz, "speedup": dict(r.speedup)}
+            for r in result.records
+        ]
+        fmts = sorted(result.records[0].speedup) if result.records else []
+        summary = {
+            fmt: geomean(
+                (r.speedup[fmt] for r in result.records if fmt in r.speedup),
+                warn_label=f"serve geomean {fmt}",
+            )
+            for fmt in fmts
+        }
+        return {
+            "records": records,
+            "geomean_speedup": summary,
+            "counters": {
+                "units_ok": result.counters.units_ok,
+                "units_cached": result.counters.units_cached,
+                "cache_hits": result.counters.cache_hits,
+                "cache_misses": result.counters.cache_misses,
+            },
+        }
+
+    def _build_units(self, spec: JobSpec):
+        from repro.eval.units import (
+            replay_units,
+            spma_units,
+            spmm_units,
+            spmv_units,
+        )
+        from repro.matrices.collection import MatrixCollection
+        from repro.via.config import ViaConfig
+
+        collection = MatrixCollection(
+            spec.count, seed=spec.seed, min_n=spec.min_n, max_n=spec.max_n
+        )
+        via = ViaConfig(spec.sram_kb, spec.ports)
+        if spec.kernel == "spmv":
+            units = spmv_units(
+                collection,
+                formats=spec.formats,
+                via_config=via,
+                validate=self.config.validate,
+            )
+        elif spec.kernel == "spma":
+            units = spma_units(
+                collection, via_config=via, validate=self.config.validate
+            )
+        else:
+            units = spmm_units(
+                collection,
+                via_config=via,
+                max_n=spec.max_n,
+                validate=self.config.validate,
+            )
+        if spec.kind == "replay":
+            units = replay_units(units, record_dir=self.record_dir)
+        return units
+
+    def _count_replay_hits(self, units) -> None:
+        """Score replay units against the store *before* execution.
+
+        A unit whose recording artifact already exists is a replay hit —
+        it will re-price stored streams instead of running the kernel;
+        a miss records first (self-heal).  Counted here because the
+        self-healing replay path hides the distinction downstream.
+        """
+        from repro.eval.recordings import RecordingStore, recording_key
+        from repro.eval.runner import code_version
+
+        store = RecordingStore(self.record_dir)
+        code = code_version()
+        for unit in units:
+            if store.has(recording_key(unit, code, part="via")) and store.has(
+                recording_key(unit, code, part="base")
+            ):
+                self._m_replay_hits.inc()
+            else:
+                self._m_replay_misses.inc()
+
+    # ------------------------------------------------------------------
+    # completion
+
+    def _finish(
+        self,
+        job: Job,
+        state: JobState,
+        *,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if job.terminal:
+            return
+        job.state = state
+        job.finished_at = time.monotonic()
+        job.result = result
+        job.error = error
+        if job.started_at is not None:
+            self._m_service.observe(job.finished_at - job.started_at)
+        if state == JobState.DONE:
+            self._m_done.inc()
+        elif state == JobState.CANCELLED:
+            self._m_cancelled.inc()
+        else:
+            self._m_failed.inc()
+        event = self._done_events.get(job.job_id)
+        if event is not None:
+            event.set()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Cheap point-in-time service stats (the ``stats`` request)."""
+        states: Dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state.value] = states.get(job.state.value, 0) + 1
+        return {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "draining": self._draining,
+            "jobs_by_state": states,
+            "cache_dir": self.cache_dir,
+            "record_dir": self.record_dir,
+        }

@@ -49,8 +49,18 @@ class TestTopLevelExports:
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
-    def test_version(self):
-        assert repro.__version__ == "1.0.0"
+    def test_version_single_sourced_from_pyproject(self):
+        # repro.__version__ derives from package metadata (or, on a bare
+        # source checkout, from pyproject.toml itself) — never a literal
+        # that can drift from the build configuration
+        import re
+        from pathlib import Path
+
+        pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        declared = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        ).group(1)
+        assert repro.__version__ == declared
 
     def test_docstring_quickstart_is_executable(self):
         # the module docstring carries a quickstart; keep it honest

@@ -1,0 +1,82 @@
+"""The ``repro.eval.report`` → ``report_cli`` deprecation shim contract.
+
+The shim must (a) emit ``DeprecationWarning`` exactly once per fresh
+import — not once per use, and not silently — and (b) re-export exactly
+the CLI's public symbols, as the same objects, so old call sites behave
+identically to the new module.
+"""
+
+import importlib
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SHIM = "repro.eval.report"
+
+
+def _fresh_import():
+    """Import the shim as if for the first time in this process."""
+    sys.modules.pop(SHIM, None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module(SHIM)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+        and "report_cli" in str(w.message)
+    ]
+    return module, deprecations
+
+
+class TestDeprecationWarning:
+    def test_fresh_import_warns_exactly_once(self):
+        _, deprecations = _fresh_import()
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "repro.eval.report_cli" in message  # tells users where to go
+
+    def test_reimport_of_cached_module_does_not_warn_again(self):
+        _fresh_import()  # warm sys.modules
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module(SHIM)
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_attribute_access_does_not_rewarn(self):
+        module, _ = _fresh_import()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _ = module.build_report
+            _ = module.main
+        assert not caught
+
+
+class TestReExports:
+    def test_symbols_are_the_same_objects(self):
+        module, _ = _fresh_import()
+        cli = importlib.import_module("repro.eval.report_cli")
+        for name in ("build_report", "dse_timing_report", "main"):
+            assert getattr(module, name) is getattr(cli, name), name
+
+    def test_no_extra_public_surface(self):
+        module, _ = _fresh_import()
+        public = {n for n in vars(module) if not n.startswith("_")}
+        # the shim adds nothing beyond the re-exports and its own imports
+        assert public <= {"build_report", "dse_timing_report", "main",
+                          "sys", "warnings", "annotations"}
+
+    def test_python_dash_m_entrypoint_still_resolves(self):
+        # `python -m repro.eval.report --help` must keep working (and warn)
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning",
+             "-c", "import repro.eval.report"],
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode != 0  # -W error surfaces the warning
+        assert "DeprecationWarning" in proc.stderr
+        assert "report_cli" in proc.stderr

@@ -1,0 +1,291 @@
+"""Scheduler behaviour: admission, shedding, batching, deadlines, drain.
+
+These tests drive :class:`repro.serve.scheduler.Scheduler` directly inside
+``asyncio.run`` — no sockets — so each policy is observable in isolation:
+load shedding returns ``queue_full`` with a retry hint, priorities reorder
+dispatch, compatible replay requests share one batch (and one recording),
+deadlines fail stale queued work, cancellation and drain produce
+structured ``cancelled`` payloads, and per-job timeouts abandon the
+executor thread without wedging the service.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.serve.jobs import JobSpec, JobState
+from repro.serve.scheduler import Scheduler, ServiceConfig
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def sleep_spec(duration=0.05, **kw):
+    return JobSpec.from_payload({"kind": "sleep", "duration_s": duration, **kw})
+
+
+async def _started(config=None, **kw):
+    scheduler = Scheduler(config or ServiceConfig(**kw))
+    await scheduler.start()
+    return scheduler
+
+
+class TestAdmission:
+    def test_submit_executes_and_completes(self):
+        async def case():
+            s = await _started(batch_window_s=0.0)
+            job = s.submit(JobSpec(kind="report"))
+            done = await s.wait(job.job_id, timeout=10)
+            assert done.state is JobState.DONE
+            assert "Table" in done.result["text"] or "SSPM" in done.result["text"]
+            assert s.metrics.snapshot()["jobs_completed"] == 1
+            await s.stop()
+
+        run(case())
+
+    def test_queue_full_sheds_with_retry_hint(self):
+        async def case():
+            s = await _started(
+                max_queue=2, batch_window_s=5.0, retry_after_s=0.5
+            )
+            # the 5s batch window keeps everything queued during the burst
+            s.submit(sleep_spec())
+            s.submit(sleep_spec())
+            with pytest.raises(AdmissionError) as info:
+                s.submit(sleep_spec())
+            assert info.value.code == "queue_full"
+            assert info.value.retry_after_s == 0.5
+            assert s.metrics.snapshot()["jobs_shed"] == 1
+            await s.stop()
+
+        run(case())
+
+    def test_unknown_job_id(self):
+        async def case():
+            s = await _started()
+            from repro.errors import ServeError
+
+            with pytest.raises(ServeError) as info:
+                s.get("job-999999")
+            assert info.value.code == "not_found"
+            await s.stop()
+
+        run(case())
+
+
+class TestPrioritiesAndBatching:
+    def test_higher_priority_dispatches_first(self):
+        async def case():
+            # one executor thread + a long batch window: all three jobs
+            # land in one dispatch cycle, then run strictly sequentially
+            s = await _started(
+                batch_window_s=0.1, executor_workers=1, max_batch=1
+            )
+            low = s.submit(sleep_spec(0.01, priority=0, seed=1))
+            mid = s.submit(sleep_spec(0.01, priority=5, seed=2))
+            high = s.submit(sleep_spec(0.01, priority=9, seed=3))
+            jobs = [low, mid, high]
+            for j in jobs:
+                await s.wait(j.job_id, timeout=10)
+            order = sorted(jobs, key=lambda j: j.started_at)
+            assert [j.job_id for j in order] == [
+                high.job_id, mid.job_id, low.job_id
+            ]
+            await s.stop()
+
+        run(case())
+
+    def test_compatible_replays_share_one_batch_and_recording(self):
+        async def case():
+            s = await _started(batch_window_s=0.1, max_batch=16)
+            specs = [
+                JobSpec(kind="replay", kernel="spma", count=1, seed=42,
+                        max_n=96, ports=p)
+                for p in (1, 2, 4, 8)
+            ]
+            jobs = [s.submit(spec) for spec in specs]
+            for j in jobs:
+                await s.wait(j.job_id, timeout=60)
+            assert all(j.state is JobState.DONE for j in jobs)
+            assert all(j.batch_size == 4 for j in jobs)
+            snap = s.metrics.snapshot()
+            assert snap["batches_executed"] == 1
+            assert snap["jobs_batched"] == 4
+            # first job records; the other three replay the stored streams
+            assert snap["replay_hits"] == 3
+            assert snap["replay_misses"] == 1
+            await s.stop()
+
+        run(case())
+
+    def test_replay_matches_direct_simulation_bit_identically(self):
+        async def case():
+            s = await _started(batch_window_s=0.0)
+            direct = s.submit(
+                JobSpec(kind="simulate", kernel="spma", count=1, seed=9,
+                        max_n=96, ports=4)
+            )
+            replayed = s.submit(
+                JobSpec(kind="replay", kernel="spma", count=1, seed=9,
+                        max_n=96, ports=4)
+            )
+            d = await s.wait(direct.job_id, timeout=60)
+            r = await s.wait(replayed.job_id, timeout=60)
+            assert d.result["records"] == r.result["records"]
+            await s.stop()
+
+        run(case())
+
+    def test_sweep_expands_per_config_on_one_recording(self):
+        async def case():
+            s = await _started(batch_window_s=0.0)
+            job = s.submit(
+                JobSpec(kind="sweep", kernel="spma", count=1, seed=5,
+                        max_n=96, sram_kb=16, port_sweep=(1, 2, 4))
+            )
+            done = await s.wait(job.job_id, timeout=120)
+            assert done.state is JobState.DONE
+            configs = done.result["configs"]
+            assert sorted(configs) == ["16_1p", "16_2p", "16_4p"]
+            for payload in configs.values():
+                assert payload["geomean_speedup"]["csr"] > 0
+            snap = s.metrics.snapshot()
+            assert snap["replay_hits"] >= 2  # configs 2 and 3 reuse config 1's
+            await s.stop()
+
+        run(case())
+
+    def test_incompatible_kinds_do_not_batch(self):
+        async def case():
+            s = await _started(batch_window_s=0.1)
+            a = s.submit(JobSpec(kind="simulate", count=1, seed=3, max_n=96))
+            b = s.submit(JobSpec(kind="report"))
+            await s.wait(a.job_id, timeout=60)
+            await s.wait(b.job_id, timeout=60)
+            assert s.metrics.snapshot()["batches_executed"] == 2
+            await s.stop()
+
+        run(case())
+
+    def test_repeat_requests_hit_the_result_cache(self):
+        async def case():
+            s = await _started(batch_window_s=0.0)
+            spec = JobSpec(kind="simulate", count=1, seed=11, max_n=96)
+            first = s.submit(spec)
+            await s.wait(first.job_id, timeout=60)
+            second = s.submit(spec)
+            done = await s.wait(second.job_id, timeout=60)
+            assert done.result["counters"]["units_cached"] == 1
+            assert s.metrics.snapshot()["cache_hits"] >= 1
+            assert done.result["records"] == first.result["records"]
+            await s.stop()
+
+        run(case())
+
+
+class TestDeadlinesTimeoutsCancellation:
+    def test_deadline_expired_in_queue_fails_structured(self):
+        async def case():
+            s = await _started(batch_window_s=0.3, executor_workers=1)
+            job = s.submit(sleep_spec(0.01, deadline_s=0.05))
+            await asyncio.sleep(0.1)  # deadline passes inside the window
+            done = await s.wait(job.job_id, timeout=10)
+            assert done.state is JobState.FAILED
+            assert done.error["code"] == "deadline_exceeded"
+            assert done.error["retry_after_s"] > 0
+            await s.stop()
+
+        run(case())
+
+    def test_execution_timeout_abandons_and_reports(self):
+        async def case():
+            s = await _started(batch_window_s=0.0)
+            job = s.submit(sleep_spec(5.0, timeout_s=0.1))
+            done = await s.wait(job.job_id, timeout=10)
+            assert done.state is JobState.FAILED
+            assert done.error["code"] == "timeout"
+            assert done.abandoned
+            # the service keeps serving after the abandoned thread
+            ok = s.submit(JobSpec(kind="report"))
+            assert (await s.wait(ok.job_id, timeout=10)).state is JobState.DONE
+            await s.stop()
+
+        run(case())
+
+    def test_cancel_queued_job(self):
+        async def case():
+            s = await _started(batch_window_s=5.0)  # held in the window
+            job = s.submit(sleep_spec(1.0))
+            cancelled = s.cancel(job.job_id)
+            assert cancelled.state is JobState.CANCELLED
+            assert cancelled.error["code"] == "cancelled"
+            done = await s.wait(job.job_id, timeout=1)  # already terminal
+            assert done.state is JobState.CANCELLED
+            assert s.metrics.snapshot()["jobs_cancelled"] == 1
+            await s.stop()
+
+        run(case())
+
+    def test_cancel_terminal_job_is_idempotent(self):
+        async def case():
+            s = await _started(batch_window_s=0.0)
+            job = s.submit(JobSpec(kind="report"))
+            await s.wait(job.job_id, timeout=10)
+            again = s.cancel(job.job_id)
+            assert again.state is JobState.DONE  # unchanged
+            await s.stop()
+
+        run(case())
+
+
+class TestDrain:
+    def test_drain_cancels_queued_completes_inflight(self):
+        async def case():
+            s = await _started(batch_window_s=0.0, executor_workers=1,
+                               max_batch=1)
+            running = s.submit(sleep_spec(0.3))
+            # give the batcher a tick to dispatch the first job
+            await asyncio.sleep(0.1)
+            queued = [s.submit(sleep_spec(0.2)) for _ in range(3)]
+            summary = await s.drain()
+            assert summary["cancelled"] >= 1
+            done = await s.wait(running.job_id, timeout=5)
+            assert done.state is JobState.DONE  # in-flight ran to completion
+            for job in queued:
+                j = await s.wait(job.job_id, timeout=5)
+                if j.state is JobState.CANCELLED:
+                    assert j.error["code"] == "drained"
+                else:  # dispatched before the drain flushed the queue
+                    assert j.state is JobState.DONE
+            await s.stop()
+
+        run(case())
+
+    def test_submissions_after_drain_are_refused(self):
+        async def case():
+            s = await _started()
+            await s.drain()
+            with pytest.raises(AdmissionError) as info:
+                s.submit(JobSpec(kind="report"))
+            assert info.value.code == "draining"
+            await s.stop()
+
+        run(case())
+
+    def test_failing_unit_reports_unit_failed(self):
+        async def case():
+            s = await _started(batch_window_s=0.0)
+            # break the workload by pointing replay at an unwritable
+            # record dir: the first (recording) job must fail structurally
+            s.record_dir = "/proc/definitely-not-writable/recordings"
+            job = s.submit(JobSpec(kind="replay", count=1, seed=2, max_n=96))
+            done = await s.wait(job.job_id, timeout=60)
+            assert done.state is JobState.FAILED
+            assert done.error["code"] in ("unit_failed", "internal",
+                                          "repro_error")
+            assert done.error["reason"]
+            await s.stop()
+
+        run(case())
