@@ -1,0 +1,40 @@
+"""Project-specific static analysis for the VIA reproduction.
+
+The repo's correctness story rests on three hand-maintained invariants
+that no general-purpose linter checks:
+
+* **cache-key hygiene** — every field of a configuration dataclass that
+  feeds a content-addressed key builder must be consumed by the key or
+  explicitly declared ``KEY_EXEMPT`` with a justification
+  (:mod:`repro.analysis.keys`);
+* **determinism** — code that runs inside sweep workers or the replay
+  path must not read clocks, unseeded RNGs, process-unique ids, or
+  unordered set iteration into ordered output
+  (:mod:`repro.analysis.determinism`);
+* **lock discipline** — :mod:`repro.serve` mutates shared state from
+  executor threads; attributes crossing that boundary must be touched
+  under the instance lock (:mod:`repro.analysis.locks`).
+
+:mod:`repro.analysis.core` provides the rule framework (findings,
+suppressions, baselines, JSON/human output); ``python -m repro.analysis``
+is the CLI gate that CI runs next to ruff.
+"""
+
+from repro.analysis.core import (
+    AnalysisReport,
+    Finding,
+    Project,
+    RULES,
+    run_analysis,
+)
+
+# importing the rule modules registers their family checkers
+from repro.analysis import determinism, keys, locks  # noqa: F401  (registration)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Project",
+    "RULES",
+    "run_analysis",
+]

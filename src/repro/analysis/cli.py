@@ -1,0 +1,112 @@
+"""``python -m repro.analysis`` — the checker's command-line gate.
+
+Exit code 0 when no error-severity finding survives suppressions and the
+baseline; 1 otherwise; 2 on usage errors.  ``--write-baseline`` records
+the current findings so a later run can start from a clean slate while
+the debt is paid down — the repo gate itself runs baseline-free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import repro.analysis  # noqa: F401  (registers every rule family)
+from repro.analysis.core import (
+    FAMILY_CHECKERS,
+    RULES,
+    Project,
+    format_findings,
+    load_baseline,
+    run_analysis,
+    save_baseline,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="project-specific static checks: cache-key hygiene, "
+        "determinism hazards, lock discipline",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to scan (default: src tests)",
+    )
+    parser.add_argument(
+        "--rules", action="append", default=None, metavar="RULE|FAMILY",
+        help="restrict to rule ids or families (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline of tolerated finding fingerprints",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="project root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id in sorted(RULES):
+        info = RULES[rule_id]
+        lines.append(f"{rule_id}  [{info.family}/{info.severity}]  {info.summary}")
+    lines.append(f"families: {', '.join(sorted(FAMILY_CHECKERS))}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.rules:
+        select = [tok for chunk in args.rules for tok in chunk.split(",") if tok.strip()]
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    project = Project(args.paths, root=args.root)
+    if not project.files:
+        print("error: no python files found under the given paths", file=sys.stderr)
+        return 2
+    try:
+        report = run_analysis(project, select=select, baseline=baseline)
+    except ValueError as exc:  # unknown rule/family selection
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        save_baseline(args.write_baseline, report.findings)
+        print(
+            f"wrote {len(report.findings)} fingerprint(s) to {args.write_baseline}"
+        )
+        return 0
+
+    print(format_findings(report, args.format))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

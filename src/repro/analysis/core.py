@@ -1,0 +1,438 @@
+"""Rule framework for the project's static checker.
+
+Everything here is rule-agnostic machinery:
+
+* :class:`Finding` — one diagnostic, addressed by rule id, file, and line;
+* :class:`SourceFile` / :class:`Project` — lazily-parsed ASTs over a file
+  set, plus inline ``# via: ignore[RULE]`` suppression parsing;
+* the rule registry (:data:`RULES`, :func:`rule`, :func:`family_checker`)
+  that the rule modules (:mod:`~repro.analysis.keys`,
+  :mod:`~repro.analysis.determinism`, :mod:`~repro.analysis.locks`)
+  populate on import;
+* :func:`run_analysis` — run selected rules, apply suppressions and an
+  optional baseline file, and return an :class:`AnalysisReport`;
+* :func:`format_findings` — the human and JSON renderings the CLI emits.
+
+Suppressions: a finding is silenced by ``# via: ignore[VIA201]`` on the
+finding's line, or on a comment-only line directly above it.  Several ids
+may be listed (``ignore[VIA201, VIA204]``) and ``*`` silences every rule.
+Suppressions are for *justified* exceptions — the comment sits next to the
+code, so the justification is reviewable where the hazard lives.
+
+Baselines: a JSON file of finding fingerprints (rule + path + message,
+line-number independent) that are tolerated without an inline comment.
+New code should never need one — the repo gate runs with zero baseline
+entries for the ``keys`` and ``locks`` families.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+BASELINE_VERSION = 1
+
+_SUPPRESS_RE = re.compile(r"#\s*via:\s*ignore\[([A-Za-z0-9_*\s,]+)\]")
+
+#: directories never scanned, wherever they appear in a path
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".venv",
+    "venv",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".pytest_cache",
+    "build",
+    "dist",
+}
+
+
+# ---------------------------------------------------------------------------
+# findings
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violated at a file/line."""
+
+    rule: str
+    path: str  # posix-style, relative to the project root
+    line: int
+    message: str
+    severity: str = "error"  # "error" | "warning"
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity, for baseline files."""
+        blob = f"{self.rule}|{self.path}|{self.message}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.severity}] {self.message}"
+
+
+def _sort_key(finding: Finding) -> Tuple[str, int, str]:
+    return (finding.path, finding.line, finding.rule)
+
+
+# ---------------------------------------------------------------------------
+# source files and projects
+# ---------------------------------------------------------------------------
+class SourceFile:
+    """One python file: path, text, AST, and suppression map (all lazy)."""
+
+    def __init__(self, path: Path, root: Path):
+        self.path = path
+        try:
+            rel = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = Path(path.name)
+        self.rel = rel.as_posix()
+        self._text: Optional[str] = None
+        self._tree: Optional[ast.Module] = None
+        self._parse_error: Optional[SyntaxError] = None
+        self._suppressions: Optional[Dict[int, Set[str]]] = None
+
+    @property
+    def text(self) -> str:
+        if self._text is None:
+            self._text = self.path.read_text(encoding="utf-8", errors="replace")
+        return self._text
+
+    @property
+    def tree(self) -> Optional[ast.Module]:
+        """The parsed module, or ``None`` if the file does not parse."""
+        if self._tree is None and self._parse_error is None:
+            try:
+                self._tree = ast.parse(self.text, filename=str(self.path))
+            except SyntaxError as exc:
+                self._parse_error = exc
+        return self._tree
+
+    @property
+    def parse_error(self) -> Optional[SyntaxError]:
+        self.tree  # noqa: B018 — property access forces the parse
+        return self._parse_error
+
+    @property
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """line number -> set of rule ids (or ``*``) suppressed there."""
+        if self._suppressions is None:
+            supp: Dict[int, Set[str]] = {}
+            for lineno, line in enumerate(self.text.splitlines(), start=1):
+                match = _SUPPRESS_RE.search(line)
+                if not match:
+                    continue
+                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+                supp.setdefault(lineno, set()).update(rules)
+                before = line[: match.start()]
+                if not before.strip() or before.strip().startswith("#"):
+                    # comment-only line: the suppression covers the next line
+                    supp.setdefault(lineno + 1, set()).update(rules)
+            self._suppressions = supp
+        return self._suppressions
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line, set())
+        return finding.rule in rules or "*" in rules
+
+
+class Project:
+    """The file set one analysis run looks at."""
+
+    def __init__(self, paths: Sequence[object], root: Optional[object] = None):
+        self.root = Path(root) if root is not None else Path.cwd()
+        files: List[SourceFile] = []
+        seen: Set[Path] = set()
+        for raw in paths:
+            p = Path(raw)  # type: ignore[arg-type]
+            for candidate in self._expand(p):
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    files.append(SourceFile(candidate, self.root))
+        self.files = sorted(files, key=lambda f: f.rel)
+        self._by_rel = {f.rel: f for f in self.files}
+
+    @staticmethod
+    def _expand(path: Path) -> Iterable[Path]:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            return
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    yield sub
+
+    def file(self, rel: str) -> Optional[SourceFile]:
+        return self._by_rel.get(rel)
+
+    def module(self, dotted: str) -> Optional[SourceFile]:
+        """Find the file implementing a dotted module name, if scanned."""
+        tail = dotted.replace(".", "/")
+        for suffix in (f"{tail}.py", f"{tail}/__init__.py"):
+            for f in self.files:
+                if f.rel.endswith(suffix):
+                    return f
+        return None
+
+    def iter_files(self, prefixes: Optional[Sequence[str]] = None) -> Iterable[SourceFile]:
+        """Scanned files whose path contains one of ``prefixes`` (all if None)."""
+        for f in self.files:
+            if prefixes is None or any(p in f.rel for p in prefixes):
+                yield f
+
+
+# ---------------------------------------------------------------------------
+# rule registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RuleInfo:
+    rule_id: str
+    family: str
+    summary: str
+    severity: str = "error"
+
+
+#: rule id -> metadata; populated by the rule modules at import time
+RULES: Dict[str, RuleInfo] = {}
+
+#: family name -> checker callable; each checker scans a Project
+FAMILY_CHECKERS: Dict[str, Callable[..., List[Finding]]] = {}
+
+
+def rule(rule_id: str, family: str, summary: str, severity: str = "error") -> str:
+    """Register one rule id; returns the id for use as a constant."""
+    RULES[rule_id] = RuleInfo(rule_id, family, summary, severity)
+    return rule_id
+
+
+def family_checker(family: str) -> Callable[[Callable[..., List[Finding]]], Callable[..., List[Finding]]]:
+    def register(fn: Callable[..., List[Finding]]) -> Callable[..., List[Finding]]:
+        FAMILY_CHECKERS[family] = fn
+        return fn
+
+    return register
+
+
+def make_finding(rule_id: str, path: str, line: int, message: str) -> Finding:
+    info = RULES[rule_id]
+    return Finding(rule_id, path, line, message, severity=info.severity)
+
+
+VIA000 = rule(
+    "VIA000",
+    "core",
+    "file does not parse; no rule can check it",
+)
+
+
+@family_checker("core")
+def _check_parses(project: Project) -> List[Finding]:
+    findings = []
+    for f in project.files:
+        err = f.parse_error
+        if err is not None:
+            findings.append(
+                make_finding(
+                    VIA000, f.rel, err.lineno or 1, f"syntax error: {err.msg}"
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# selection, suppression, baseline
+# ---------------------------------------------------------------------------
+def resolve_selection(tokens: Optional[Iterable[str]]) -> Optional[Set[str]]:
+    """Expand a mix of rule ids and family names into a rule-id set."""
+    if tokens is None:
+        return None
+    selected: Set[str] = set()
+    for raw_token in tokens:
+        token = raw_token.strip()
+        if not token:
+            continue
+        if token in RULES:
+            selected.add(token)
+            continue
+        family_ids = {rid for rid, info in RULES.items() if info.family == token}
+        if not family_ids:
+            raise ValueError(
+                f"unknown rule or family {token!r}; known rules: "
+                f"{sorted(RULES)}, families: {sorted(FAMILY_CHECKERS)}"
+            )
+        selected.update(family_ids)
+    return selected or None
+
+
+def load_baseline(path: object) -> Set[str]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))  # type: ignore[arg-type]
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file {path!r}")
+    return set(data.get("fingerprints", []))
+
+
+def save_baseline(path: object, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({f.fingerprint() for f in findings}),
+    }
+    Path(path).write_text(  # type: ignore[arg-type]
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one :func:`run_analysis` call."""
+
+    findings: List[Finding] = field(default_factory=list)  # active
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def run_analysis(
+    project: Project,
+    *,
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Set[str]] = None,
+) -> AnalysisReport:
+    """Run every (selected) rule family over a project."""
+    selected = resolve_selection(list(select)) if select is not None else None
+    raw: List[Finding] = []
+    for family, checker in FAMILY_CHECKERS.items():
+        if selected is not None and not any(
+            RULES[rid].family == family for rid in selected
+        ):
+            continue
+        raw.extend(checker(project))
+    if selected is not None:
+        raw = [f for f in raw if f.rule in selected]
+    raw.sort(key=_sort_key)
+
+    report = AnalysisReport()
+    for finding in raw:
+        src = project.file(finding.path)
+        if src is not None and src.is_suppressed(finding):
+            report.suppressed.append(finding)
+        elif baseline and finding.fingerprint() in baseline:
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# output
+# ---------------------------------------------------------------------------
+def format_findings(report: AnalysisReport, fmt: str = "human") -> str:
+    if fmt == "json":
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in report.findings],
+                "suppressed": len(report.suppressed),
+                "baselined": len(report.baselined),
+                "errors": len(report.errors),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines = [f.render() for f in report.findings]
+    summary = (
+        f"{len(report.findings)} finding(s) "
+        f"({len(report.errors)} error(s)), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# small AST helpers shared by the rule modules
+# ---------------------------------------------------------------------------
+def attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ``("a", "b", "c")``; None for non-name-rooted chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """local name -> canonical dotted name, from a module's imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name != "*":
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    return aliases
+
+
+def resolve_call_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted name of a call target, resolving import aliases."""
+    chain = attribute_chain(node)
+    if chain is None:
+        return None
+    head = aliases.get(chain[0], chain[0])
+    return ".".join((head, *chain[1:]))
+
+
+def literal_lines(tree: ast.Module) -> Dict[str, int]:
+    """Module-level assignment name -> line number (for anchor lookups)."""
+    lines: Dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    lines[target.id] = node.lineno
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            lines[node.target.id] = node.lineno
+    return lines

@@ -1,0 +1,293 @@
+"""Determinism-hazard rules (family ``determinism``).
+
+The differential suites assert bit-identical results between direct,
+record, and replay execution, and the sweep cache assumes a unit's output
+is a pure function of its cache key.  Both contracts die quietly the
+moment simulator or worker code consults a clock, an unseeded RNG, a
+process-unique ``id()``, an unordered ``set`` walk, or an unsanctioned
+environment variable.
+
+Two scopes, different strictness:
+
+* **pure** code (``repro/sim``, ``repro/kernels``) runs inside the
+  simulated machine: *any* clock read is a hazard, including
+  ``perf_counter`` — simulated time comes from the cost model, never the
+  host;
+* **worker** code (``repro/eval``) runs inside sweep workers whose
+  *results* must be deterministic but whose telemetry may time itself:
+  monotonic/perf-counter clocks are sanctioned, wall-clock reads
+  (``time.time``, ``datetime.now``) are not — they leak into journals and
+  make reruns diff.
+
+Rules:
+
+* ``VIA201`` (error) — clock read (wall clock anywhere in scope; any
+  clock, including sleeps, in pure scope);
+* ``VIA202`` (error) — unseeded randomness: bare ``random.*`` module
+  calls, the legacy ``np.random.*`` global generator,
+  ``default_rng()``/``Random()``/``seed()`` with no arguments,
+  ``os.urandom``, ``uuid.uuid4``, ``secrets.*``;
+* ``VIA203`` (error) — environment read outside the sanctioned
+  ``REPRO_*`` namespace (workers inherit an uncontrolled environment;
+  only ``REPRO_*`` variables are part of the reproducibility contract);
+* ``VIA204`` (warning) — direct iteration over a ``set`` value
+  (``for x in {…}`` / ``set(...)`` / ``frozenset(...)``) — iteration
+  order varies with ``PYTHONHASHSEED``; wrap in ``sorted(...)``;
+* ``VIA205`` (error) — ``id(...)`` used as a dict key or subscript
+  index: ``id()`` values are process-unique and unreproducible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    SourceFile,
+    family_checker,
+    import_aliases,
+    make_finding,
+    resolve_call_name,
+    rule,
+)
+
+VIA201 = rule(
+    "VIA201",
+    "determinism",
+    "clock read in deterministic code",
+)
+VIA202 = rule(
+    "VIA202",
+    "determinism",
+    "unseeded or entropy-backed randomness in deterministic code",
+)
+VIA203 = rule(
+    "VIA203",
+    "determinism",
+    "environment read outside the sanctioned REPRO_* namespace",
+)
+VIA204 = rule(
+    "VIA204",
+    "determinism",
+    "iteration over an unordered set feeding ordered output",
+    severity="warning",
+)
+VIA205 = rule(
+    "VIA205",
+    "determinism",
+    "id()-keyed state is process-unique and unreproducible",
+)
+
+#: path fragments selecting the strict (simulated-machine) scope
+PURE_PREFIXES: Tuple[str, ...] = ("repro/sim/", "repro/kernels/")
+#: path fragments selecting the sweep-worker scope
+WORKER_PREFIXES: Tuple[str, ...] = ("repro/eval/",)
+
+#: nondeterministic in every scope — wall-clock and calendar reads
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: additionally banned in pure scope — the cost model owns simulated time
+_HOST_CLOCKS = {
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.sleep",
+}
+
+#: always-entropy sources (no seed can fix them)
+_ENTROPY = {
+    "os.urandom",
+    "uuid.uuid4",
+    "uuid.uuid1",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.choice",
+}
+
+#: constructors that are fine *with* a seed argument, hazards without
+_SEEDABLE = {
+    "random.Random",
+    "random.seed",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",  # Generator(bit_generator) always has an arg
+}
+
+#: the legacy numpy global generator and the random-module functions —
+#: they draw from shared global state whose seeding this file can't see
+_GLOBAL_RNG_PREFIXES = ("random.", "numpy.random.")
+
+
+def _canonical(name: Optional[str]) -> Optional[str]:
+    """Collapse the ``np.`` convention so one table covers both spellings."""
+    if name is None:
+        return None
+    if name.startswith("np.random."):
+        return "numpy" + name[2:]
+    return name
+
+
+def _check_call(
+    canonical: str, node: ast.Call, src: SourceFile, pure: bool
+) -> Optional[Finding]:
+    if canonical in _WALL_CLOCKS:
+        return make_finding(
+            VIA201, src.rel, node.lineno,
+            f"{canonical}() reads the wall clock; results and journals must "
+            "not depend on when a run happens — use the cost model (sim) or "
+            "time.perf_counter (worker telemetry)",
+        )
+    if pure and canonical in _HOST_CLOCKS:
+        return make_finding(
+            VIA201, src.rel, node.lineno,
+            f"{canonical}() reads host time inside the simulator; simulated "
+            "time comes from the cost model, never the host clock",
+        )
+    if canonical in _ENTROPY:
+        return make_finding(
+            VIA202, src.rel, node.lineno,
+            f"{canonical}() is entropy-backed and cannot be seeded; derive "
+            "randomness from the unit's seed instead",
+        )
+    if canonical in _SEEDABLE:
+        if not node.args and not node.keywords:
+            return make_finding(
+                VIA202, src.rel, node.lineno,
+                f"{canonical}() without a seed falls back to OS entropy; "
+                "pass a seed derived from the unit spec",
+            )
+        return None
+    if canonical.startswith(_GLOBAL_RNG_PREFIXES):
+        return make_finding(
+            VIA202, src.rel, node.lineno,
+            f"{canonical}() draws from the shared global generator; use a "
+            "seeded local Generator (np.random.default_rng(seed)) so "
+            "unrelated code cannot perturb the stream",
+        )
+    if canonical in ("os.getenv", "os.environ.get"):
+        return _check_env_name(node.args[0] if node.args else None, node, src)
+    return None
+
+
+def _check_env_name(
+    key: Optional[ast.expr], node: ast.AST, src: SourceFile
+) -> Optional[Finding]:
+    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+        if key.value.startswith("REPRO_"):
+            return None
+        label = repr(key.value)
+    else:
+        label = "a dynamic name"
+    return make_finding(
+        VIA203, src.rel, node.lineno,
+        f"environment read of {label}; worker behaviour may only depend on "
+        "the REPRO_* namespace — anything else is invisible to cache keys",
+    )
+
+
+def _is_set_expr(node: ast.expr, aliases: Dict[str, str]) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        name = resolve_call_name(node.func, aliases)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _scan_file(src: SourceFile, pure: bool) -> List[Finding]:
+    findings: List[Finding] = []
+    tree = src.tree
+    if tree is None:
+        return findings
+    aliases = import_aliases(tree)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            canonical = _canonical(resolve_call_name(node.func, aliases))
+            if canonical is not None:
+                found = _check_call(canonical, node, src, pure)
+                if found is not None:
+                    findings.append(found)
+            # id(...) as a dict.setdefault / dict-get key
+            for arg in node.args[:1]:
+                if _is_id_call(arg) and isinstance(node.func, ast.Attribute):
+                    if node.func.attr in ("setdefault", "get", "pop"):
+                        findings.append(_id_finding(node, src))
+        elif isinstance(node, ast.Subscript):
+            # os.environ["X"] reads; id(...)-keyed subscripts
+            chain = resolve_call_name(node.value, aliases)
+            if chain == "os.environ" and not isinstance(node.ctx, ast.Store):
+                key = node.slice
+                found = _check_env_name(
+                    key if isinstance(key, ast.expr) else None, node, src
+                )
+                if found is not None:
+                    findings.append(found)
+            if _is_id_call(node.slice):
+                findings.append(_id_finding(node, src))
+        elif isinstance(node, ast.Dict):
+            if any(k is not None and _is_id_call(k) for k in node.keys):
+                findings.append(_id_finding(node, src))
+        elif isinstance(node, ast.For):
+            if _is_set_expr(node.iter, aliases):
+                findings.append(_set_finding(node.iter, src))
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, aliases):
+                    findings.append(_set_finding(gen.iter, src))
+    return findings
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+def _id_finding(node: ast.AST, src: SourceFile) -> Finding:
+    return make_finding(
+        VIA205, src.rel, getattr(node, "lineno", 1),
+        "id() values are process-unique; keying state on them makes replay "
+        "output depend on allocator behaviour — key on stable identity "
+        "(names, indices, frozen dataclasses) instead",
+    )
+
+
+def _set_finding(node: ast.AST, src: SourceFile) -> Finding:
+    return make_finding(
+        VIA204, src.rel, getattr(node, "lineno", 1),
+        "iterating a set directly; order varies with PYTHONHASHSEED and "
+        "leaks into anything ordered downstream — iterate sorted(...)",
+    )
+
+
+@family_checker("determinism")
+def check_determinism(
+    project: Project,
+    pure_prefixes: Sequence[str] = PURE_PREFIXES,
+    worker_prefixes: Sequence[str] = WORKER_PREFIXES,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for src in project.iter_files(list(pure_prefixes) + list(worker_prefixes)):
+        pure = any(p in src.rel for p in pure_prefixes)
+        findings.extend(_scan_file(src, pure))
+    return findings

@@ -1,0 +1,447 @@
+"""Cache-key hygiene rules (family ``keys``).
+
+The repo has three content-addressed key builders whose coverage *is* the
+cache-correctness contract:
+
+* :func:`repro.eval.units.unit_cache_key` — the PR-1 result cache;
+* :func:`repro.eval.recordings.recording_key` (delegating the machine side
+  to :func:`repro.sim.ops.machine_shape_key`) — the PR-2 recording store;
+* :meth:`repro.serve.jobs.JobSpec.batch_key` — the PR-4 scheduler batcher.
+
+A new field added to ``MachineConfig``/``ViaConfig``/``WorkUnit``/``JobSpec``
+that changes results but never reaches its key builder silently poisons a
+cache: two different configurations hash equal and one serves the other's
+results.  These rules turn that bug class into a lint error.
+
+For every :class:`KeyBinding` (a dataclass × key-builder pair) the checker
+cross-references the dataclass's fields against the attribute accesses in
+the key builder's body.  A field is *consumed* when the builder reads it
+(``unit.max_n``), passes the whole object to ``dataclasses.asdict`` (full
+coverage), or forwards the sub-object to another function
+(``machine_shape_key(unit.machine)`` consumes ``machine`` — the delegate
+gets its own binding).  Anything else must appear in the key module's
+``KEY_EXEMPT`` declaration with a one-line justification:
+
+.. code-block:: python
+
+    KEY_EXEMPT = {"WorkUnit": {"record_dir": "never changes the record"}}
+
+Rules:
+
+* ``VIA101`` (error) — field neither consumed by the key nor exempt;
+* ``VIA102`` (error) — ``KEY_EXEMPT`` names a field the dataclass no
+  longer has (a stale declaration hides nothing, it *is* drift);
+* ``VIA103`` (warning) — a field is both consumed and exempt (the
+  declaration contradicts the code);
+* ``VIA100`` (error) — a binding no longer resolves (module, class, or
+  function renamed without updating the checker).
+
+:func:`assert_key_hygiene` is the runtime twin used by the sweep runner's
+``validate=`` dogfood hook: it checks the *live* dataclasses (via
+``dataclasses.fields``) against the installed key-builder sources, so an
+editable-install user with a drifted config class fails fast at sweep
+startup with a pointer to the rule id instead of consuming a poisoned
+cache.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Project,
+    SourceFile,
+    family_checker,
+    literal_lines,
+    make_finding,
+    rule,
+)
+
+VIA100 = rule(
+    "VIA100",
+    "keys",
+    "a key-hygiene binding no longer resolves to real code",
+)
+VIA101 = rule(
+    "VIA101",
+    "keys",
+    "dataclass field is neither consumed by its key builder nor KEY_EXEMPT",
+)
+VIA102 = rule(
+    "VIA102",
+    "keys",
+    "KEY_EXEMPT names a field the dataclass does not have",
+)
+VIA103 = rule(
+    "VIA103",
+    "keys",
+    "KEY_EXEMPT lists a field the key builder actually consumes",
+    severity="warning",
+)
+
+
+@dataclass(frozen=True)
+class KeyBinding:
+    """One (dataclass, key builder) pair the checker cross-references.
+
+    ``attr_path`` locates the dataclass instance relative to the builder's
+    ``root`` parameter: ``root="unit", attr_path=("machine",)`` means the
+    builder sees the instance as ``unit.machine``.
+    """
+
+    dataclass_module: str
+    dataclass_name: str
+    key_module: str
+    key_qualname: str  # "func" or "Class.method"
+    root: str
+    attr_path: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"{self.dataclass_module}.{self.dataclass_name} vs "
+            f"{self.key_module}.{self.key_qualname}"
+        )
+
+
+#: the repo's key-coverage contract; tests inject their own bindings
+DEFAULT_BINDINGS: Tuple[KeyBinding, ...] = (
+    # result cache (repro.eval.runner via unit_cache_key)
+    KeyBinding("repro.eval.units", "WorkUnit",
+               "repro.eval.units", "unit_cache_key", "unit"),
+    KeyBinding("repro.matrices.collection", "MatrixSpec",
+               "repro.eval.units", "unit_cache_key", "unit", ("spec",)),
+    KeyBinding("repro.sim.config", "MachineConfig",
+               "repro.eval.units", "unit_cache_key", "unit", ("machine",)),
+    KeyBinding("repro.via.config", "ViaConfig",
+               "repro.eval.units", "unit_cache_key", "unit", ("via_config",)),
+    # recording store
+    KeyBinding("repro.eval.units", "WorkUnit",
+               "repro.eval.recordings", "recording_key", "unit"),
+    KeyBinding("repro.matrices.collection", "MatrixSpec",
+               "repro.eval.recordings", "recording_key", "unit", ("spec",)),
+    KeyBinding("repro.via.config", "ViaConfig",
+               "repro.eval.recordings", "recording_key", "unit", ("via_config",)),
+    # the machine side of recording_key delegates to machine_shape_key
+    KeyBinding("repro.sim.config", "MachineConfig",
+               "repro.sim.ops", "machine_shape_key", "machine"),
+    KeyBinding("repro.sim.config", "CacheConfig",
+               "repro.sim.ops", "machine_shape_key", "machine", ("l1",)),
+    # scheduler batching
+    KeyBinding("repro.serve.jobs", "JobSpec",
+               "repro.serve.jobs", "JobSpec.batch_key", "self"),
+)
+
+
+# ---------------------------------------------------------------------------
+# static extraction
+# ---------------------------------------------------------------------------
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def dataclass_fields(node: ast.ClassDef) -> Dict[str, int]:
+    """field name -> line, skipping ClassVars and private fields."""
+    fields: Dict[str, int] = {}
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields[name] = stmt.lineno
+    return fields
+
+
+def _find_function(
+    tree: ast.Module, qualname: str
+) -> Optional[ast.FunctionDef]:
+    parts = qualname.split(".")
+    scope: Sequence[ast.stmt] = tree.body
+    for i, part in enumerate(parts):
+        found = None
+        for node in scope:
+            if isinstance(node, ast.ClassDef) and node.name == part:
+                found = node
+                break
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == part
+                and i == len(parts) - 1
+            ):
+                return node if isinstance(node, ast.FunctionDef) else None
+        if found is None:
+            return None
+        scope = found.body
+    return None
+
+
+class _ALL:
+    """Sentinel: the builder consumes every field (dataclasses.asdict)."""
+
+
+def consumed_fields(
+    func: ast.FunctionDef, root: str, attr_path: Tuple[str, ...]
+) -> object:
+    """Fields of ``root.<attr_path>`` the function reads, or :class:`_ALL`.
+
+    An attribute chain ``root.a.b`` consumes field ``a`` of the object at
+    ``attr_path=()`` and field ``b`` of the object at ``attr_path=("a",)``.
+    Passing ``root.<attr_path>`` (or a prefix of it) to ``asdict`` consumes
+    everything — the serializer walks all fields, recursively.
+    """
+    depth = len(attr_path)
+    consumed: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            target = node.func
+            is_asdict = (
+                isinstance(target, ast.Name) and target.id == "asdict"
+            ) or (isinstance(target, ast.Attribute) and target.attr == "asdict")
+            if is_asdict:
+                for arg in node.args:
+                    chain = _rooted_chain(arg, root)
+                    if chain is not None and (
+                        chain == attr_path or attr_path[: len(chain)] == chain
+                    ):
+                        return _ALL
+        chain = _rooted_chain(node, root)
+        if chain is not None and len(chain) > depth and chain[:depth] == attr_path:
+            consumed.add(chain[depth])
+    return consumed
+
+
+def _rooted_chain(node: ast.AST, root: str) -> Optional[Tuple[str, ...]]:
+    """Attribute chain below ``root`` (``unit.spec.n`` -> ``("spec", "n")``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == root:
+        return tuple(reversed(parts))
+    return None
+
+
+def parse_key_exempt(tree: ast.Module) -> Dict[str, Dict[str, str]]:
+    """The module-level ``KEY_EXEMPT`` literal, or an empty mapping."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "KEY_EXEMPT":
+                try:
+                    literal = ast.literal_eval(value)  # type: ignore[arg-type]
+                except (ValueError, TypeError):
+                    return {}
+                if isinstance(literal, dict):
+                    return {
+                        str(k): dict(v)
+                        for k, v in literal.items()
+                        if isinstance(v, dict)
+                    }
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# the checker
+# ---------------------------------------------------------------------------
+def _check_binding(
+    binding: KeyBinding,
+    dc_file: SourceFile,
+    key_file: SourceFile,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    dc_tree, key_tree = dc_file.tree, key_file.tree
+    if dc_tree is None or key_tree is None:
+        return findings  # VIA000 already reported the parse failure
+
+    cls = _find_class(dc_tree, binding.dataclass_name)
+    if cls is None or not _is_dataclass(cls):
+        findings.append(
+            make_finding(
+                VIA100, dc_file.rel, 1,
+                f"binding {binding.describe()}: dataclass "
+                f"{binding.dataclass_name!r} not found in {dc_file.rel}",
+            )
+        )
+        return findings
+    func = _find_function(key_tree, binding.key_qualname)
+    if func is None:
+        findings.append(
+            make_finding(
+                VIA100, key_file.rel, 1,
+                f"binding {binding.describe()}: key builder "
+                f"{binding.key_qualname!r} not found in {key_file.rel}",
+            )
+        )
+        return findings
+
+    fields = dataclass_fields(cls)
+    consumed = consumed_fields(func, binding.root, binding.attr_path)
+    exempt = parse_key_exempt(key_tree).get(binding.dataclass_name, {})
+    exempt_line = literal_lines(key_tree).get("KEY_EXEMPT", 1)
+
+    for name, line in fields.items():
+        if consumed is _ALL or name in consumed:  # type: ignore[operator]
+            if name in exempt:
+                findings.append(
+                    make_finding(
+                        VIA103, key_file.rel, exempt_line,
+                        f"{binding.dataclass_name}.{name} is KEY_EXEMPT in "
+                        f"{key_file.rel} but {binding.key_qualname} consumes "
+                        "it — drop the stale exemption",
+                    )
+                )
+            continue
+        if name in exempt:
+            continue
+        findings.append(
+            make_finding(
+                VIA101, dc_file.rel, line,
+                f"{binding.dataclass_name}.{name} is not consumed by "
+                f"{binding.key_module}.{binding.key_qualname} and is not "
+                f"KEY_EXEMPT there; a config knob outside the key silently "
+                "poisons that cache — key it or declare it exempt with a "
+                "justification",
+            )
+        )
+    for name in exempt:
+        if name not in fields:
+            findings.append(
+                make_finding(
+                    VIA102, key_file.rel, exempt_line,
+                    f"KEY_EXEMPT entry {binding.dataclass_name}.{name} in "
+                    f"{key_file.rel} names a field the dataclass does not "
+                    "have — remove the stale declaration",
+                )
+            )
+    return findings
+
+
+@family_checker("keys")
+def check_keys(
+    project: Project,
+    bindings: Sequence[KeyBinding] = DEFAULT_BINDINGS,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, str, int, str]] = set()
+    for binding in bindings:
+        dc_file = project.module(binding.dataclass_module)
+        key_file = project.module(binding.key_module)
+        if dc_file is None or key_file is None:
+            # the binding's modules are outside this run's file set (e.g.
+            # the CLI was pointed at a single unrelated directory)
+            continue
+        for f in _check_binding(binding, dc_file, key_file):
+            # two bindings over the same dataclass produce distinct
+            # messages, but identical (rule, path, line, message) repeats
+            # from overlapping path arguments are collapsed
+            key = (f.rule, f.path, f.line, f.message)
+            if key not in seen:
+                seen.add(key)
+                findings.append(f)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# runtime twin (the run_units validate= dogfood hook)
+# ---------------------------------------------------------------------------
+_hygiene_checked = False
+
+
+def assert_key_hygiene(bindings: Sequence[KeyBinding] = DEFAULT_BINDINGS) -> None:
+    """Check the *live* dataclasses against the installed key builders.
+
+    Raises :class:`repro.errors.ConfigError` naming rule VIA101/VIA102 on
+    the first violation.  Memoized per process: sweeps call this on every
+    validated run, and the answer cannot change under a running
+    interpreter.
+    """
+    global _hygiene_checked
+    if _hygiene_checked and bindings is DEFAULT_BINDINGS:
+        return
+
+    import dataclasses
+    import importlib
+    from pathlib import Path
+
+    from repro.errors import ConfigError
+
+    trees: Dict[str, ast.Module] = {}
+    problems: List[str] = []
+    for binding in bindings:
+        dc_mod = importlib.import_module(binding.dataclass_module)
+        key_mod = importlib.import_module(binding.key_module)
+        cls = getattr(dc_mod, binding.dataclass_name, None)
+        if cls is None or not dataclasses.is_dataclass(cls):
+            problems.append(
+                f"VIA100: binding {binding.describe()} does not resolve to a "
+                "live dataclass"
+            )
+            continue
+        if binding.key_module not in trees:
+            source = Path(key_mod.__file__ or "").read_text(encoding="utf-8")
+            trees[binding.key_module] = ast.parse(source)
+        tree = trees[binding.key_module]
+        func = _find_function(tree, binding.key_qualname)
+        if func is None:
+            problems.append(
+                f"VIA100: key builder {binding.key_module}."
+                f"{binding.key_qualname} not found in installed source"
+            )
+            continue
+        fields = [
+            f.name for f in dataclasses.fields(cls) if not f.name.startswith("_")
+        ]
+        consumed = consumed_fields(func, binding.root, binding.attr_path)
+        exempt = getattr(key_mod, "KEY_EXEMPT", {}).get(
+            binding.dataclass_name, {}
+        )
+        for name in fields:
+            if consumed is _ALL or name in consumed:  # type: ignore[operator]
+                continue
+            if name in exempt:
+                continue
+            problems.append(
+                f"VIA101: {binding.dataclass_name}.{name} is not consumed by "
+                f"{binding.key_module}.{binding.key_qualname} and is not "
+                "KEY_EXEMPT — its cache keys no longer cover the live config"
+            )
+        for name in exempt:
+            if name not in fields:
+                problems.append(
+                    f"VIA102: KEY_EXEMPT entry {binding.dataclass_name}."
+                    f"{name} in {binding.key_module} names a field the live "
+                    "dataclass does not have"
+                )
+    if problems:
+        raise ConfigError(
+            "cache-key hygiene check failed (run `python -m repro.analysis` "
+            "for details):\n  " + "\n  ".join(problems)
+        )
+    if bindings is DEFAULT_BINDINGS:
+        _hygiene_checked = True

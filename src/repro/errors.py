@@ -7,6 +7,8 @@ accidentally swallowing programming errors such as ``TypeError``.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -69,7 +71,9 @@ class SweepInterrupted(SweepError):
     existed) together with the delivering ``signum``.
     """
 
-    def __init__(self, message: str, *, result=None, signum=None):
+    def __init__(
+        self, message: str, *, result: Any = None, signum: Optional[int] = None
+    ) -> None:
         super().__init__(message)
         self.result = result
         self.signum = signum
@@ -91,8 +95,8 @@ class ServeError(ReproError):
         message: str,
         *,
         code: str = "internal",
-        retry_after_s=None,
-    ):
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.retry_after_s = retry_after_s
@@ -110,7 +114,7 @@ class JobCancelled(ServeError):
     """A queued job was cancelled — by an explicit ``cancel`` request or
     because the service drained before the job was dispatched."""
 
-    def __init__(self, message: str, *, code: str = "cancelled"):
+    def __init__(self, message: str, *, code: str = "cancelled") -> None:
         super().__init__(message, code=code)
 
 
@@ -128,7 +132,7 @@ class InvariantError(SimulationError):
     ``op`` (``None`` for finalize-time violations).
     """
 
-    def __init__(self, message: str, *, op=None):
+    def __init__(self, message: str, *, op: Any = None) -> None:
         super().__init__(message)
         self.op = op
 

@@ -42,6 +42,22 @@ from repro.sim.ops import (
 #: second group's record run replays it instead of re-running the kernel.
 SHARED_BASELINE_KERNELS = frozenset({"spma", "spmm"})
 
+#: fields deliberately outside :func:`recording_key`, checked by the
+#: VIA101 cache-key hygiene rule (``python -m repro.analysis``).  The
+#: machine side is covered by :func:`repro.sim.ops.machine_shape_key`,
+#: which carries its own exemptions.
+KEY_EXEMPT = {
+    "WorkUnit": {
+        "record_dir": "the recording is invariant to where it is stored",
+        "validate": "invariant checking only verifies streams; it never "
+        "changes them",
+    },
+    "ViaConfig": {
+        "ports": "pure-pricing knob applied at replay time; excluding it "
+        "is what lets one recording serve every port variant",
+    },
+}
+
 
 def recording_key(unit, code_version: str, *, part: str = "via") -> str:
     """Stable content hash of everything that shapes a unit's op streams.

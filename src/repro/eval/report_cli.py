@@ -56,11 +56,11 @@ def build_report(
 ) -> str:
     """Run every experiment and return the combined text report."""
     sections: List[str] = []
-    t0 = time.time()
+    t0 = time.perf_counter()
 
     def section(title: str, body: str) -> None:
         sections.append(f"{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
-        log(f"[{time.time() - t0:7.1f}s] {title}")
+        log(f"[{time.perf_counter() - t0:7.1f}s] {title}")
 
     collection = MatrixCollection(matrices, seed=seed, min_n=192, max_n=max_n)
 
@@ -115,7 +115,7 @@ def build_report(
         )
         section("F9 — design-space exploration", render_dse(dse))
 
-    sections.append(f"report generated in {time.time() - t0:.1f}s")
+    sections.append(f"report generated in {time.perf_counter() - t0:.1f}s")
     return "\n\n".join(sections)
 
 
@@ -189,17 +189,17 @@ def dse_timing_report(
     ]
     rows = []
     for label, configs in sweeps:
-        t0 = time.time()
+        t0 = time.perf_counter()
         direct = run_dse(collection, configs=configs)
-        t_direct = time.time() - t0
+        t_direct = time.perf_counter() - t0
         log(f"{label}: direct {t_direct:.2f}s")
         with tempfile.TemporaryDirectory() as td:
-            t0 = time.time()
+            t0 = time.perf_counter()
             replayed = run_dse(collection, configs=configs, record_dir=td)
-            t_cold = time.time() - t0
-            t0 = time.time()
+            t_cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
             warm = run_dse(collection, configs=configs, record_dir=td)
-            t_warm = time.time() - t0
+            t_warm = time.perf_counter() - t0
         identical = all(
             replayed.cycles[k][c] == v and warm.cycles[k][c] == v
             for k, per_cfg in direct.cycles.items()

@@ -336,12 +336,12 @@ def _load_resume_map(path: str) -> Dict[str, dict]:
         text = journal.read_text(encoding="utf-8")
     except OSError as exc:
         raise SweepError(f"resume journal {path!r} is unreadable: {exc}") from exc
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
+    for raw_line in text.splitlines():
+        stripped = raw_line.strip()
+        if not stripped:
             continue
         try:
-            entry = json.loads(line)
+            entry = json.loads(stripped)
         except json.JSONDecodeError:
             continue  # torn tail of a crashed run
         if not isinstance(entry, dict):
@@ -527,6 +527,14 @@ def run_units(
     """
     config = config or RunnerConfig()
     units = list(units)
+    if any(u.validate for u in units):
+        # validated runs dogfood the VIA101 cache-key hygiene rule against
+        # the *live* dataclasses: an editable install whose config classes
+        # drifted from their key builders fails here, at sweep startup,
+        # instead of silently serving poisoned cache entries
+        from repro.analysis.keys import assert_key_hygiene
+
+        assert_key_hygiene()
     journal = _Journal(config.journal_path)
     cache = ResultCache(config.cache_dir) if config.caching else None
     need_keys = (

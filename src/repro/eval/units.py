@@ -533,6 +533,17 @@ def replay_units(
 # ----------------------------------------------------------------------
 # content-addressed cache keys
 
+#: fields deliberately outside :func:`unit_cache_key`, checked by the
+#: VIA101 cache-key hygiene rule (``python -m repro.analysis``)
+KEY_EXEMPT = {
+    "WorkUnit": {
+        "record_dir": "a unit's record is invariant to where (or whether) "
+        "its op-stream artifact is stored",
+        "validate": "invariant checking only verifies results; it never "
+        "changes them",
+    },
+}
+
 
 def unit_cache_key(unit: WorkUnit, code_version: str) -> str:
     """Stable content hash of everything that determines a unit's record.

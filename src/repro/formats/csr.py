@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterator, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import FormatError
 from repro.formats.base import (
@@ -38,7 +39,8 @@ class CSRMatrix(SparseFormat):
 
     format_name = "csr"
 
-    def __init__(self, shape, row_ptr, col_idx, data):
+    def __init__(self, shape: Tuple[int, int], row_ptr: npt.ArrayLike,
+                 col_idx: npt.ArrayLike, data: npt.ArrayLike) -> None:
         self._shape = check_shape(shape)
         self._row_ptr = as_index_array(row_ptr, "row_ptr")
         self._col_idx = as_index_array(col_idx, "col_idx")

@@ -57,6 +57,20 @@ JOB_KINDS = ("simulate", "replay", "sweep", "report", "sleep")
 KERNELS = ("spmv", "spma", "spmm")
 SPMV_FORMATS = ("csr", "csb", "spc5", "sellcs")
 
+#: fields deliberately outside :meth:`JobSpec.batch_key`, checked by the
+#: VIA101 cache-key hygiene rule (``python -m repro.analysis``)
+KEY_EXEMPT = {
+    "JobSpec": {
+        "port_sweep": "sweep jobs re-price one recording per port; the "
+        "variants are what the batch shares, not what splits it",
+        "duration_s": "sleep-job knob; sleep batches are keyed by family "
+        "only and never share results",
+        "priority": "scheduling order, not work identity",
+        "deadline_s": "per-request admission bound; does not change results",
+        "timeout_s": "per-request execution bound; does not change results",
+    },
+}
+
 #: hard ceilings on workload size — a service must bound what one request
 #: can cost, independent of queue limits
 MAX_COUNT = 64
@@ -106,7 +120,7 @@ class JobSpec:
     deadline_s: Optional[float] = None
     timeout_s: Optional[float] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise _bad_request(
                 f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
@@ -211,7 +225,7 @@ class JobSpec:
         recording, which is precisely the batching win.
         """
         family = "replay" if self.kind in ("replay", "sweep") else self.kind
-        payload = {
+        payload: Dict[str, Any] = {
             "family": family,
             "kernel": self.kernel,
             "count": self.count,
@@ -250,7 +264,7 @@ class Job:
     abandoned: bool = False
     batch_size: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.job_id:
             self.job_id = f"job-{next(_job_seq):06d}"
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -117,6 +118,10 @@ class Scheduler:
         self._batcher: Optional[asyncio.Task] = None
         self._inflight: set = set()
         self._executor: Optional[ThreadPoolExecutor] = None
+        #: guards the job flags that cross the loop↔executor boundary
+        #: (``abandoned``, ``cancel_requested``): the loop sets them, the
+        #: executor's sleep/poll loops read them mid-run
+        self._lock = threading.Lock()
         self._draining = False
         self._stopped = False
         self.started_at = time.monotonic()
@@ -279,7 +284,8 @@ class Scheduler:
         job = self.get(job_id)
         if job.terminal:
             return job
-        job.cancel_requested = True
+        with self._lock:
+            job.cancel_requested = True
         if job.state == JobState.PENDING:
             self._queue = [entry for entry in self._queue if entry[2] is not job]
             self._m_depth.set(len(self._queue))
@@ -387,7 +393,8 @@ class Scheduler:
                 if not job.abandoned:
                     self._finish(job, JobState.DONE, result=result)
             except asyncio.TimeoutError:
-                job.abandoned = True  # discard the late executor result
+                with self._lock:
+                    job.abandoned = True  # discard the late executor result
                 self._finish(
                     job,
                     JobState.FAILED,
@@ -413,7 +420,9 @@ class Scheduler:
         if spec.kind == "sleep":
             deadline = time.monotonic() + spec.duration_s
             while time.monotonic() < deadline:
-                if job.abandoned or job.cancel_requested:
+                with self._lock:
+                    stop = job.abandoned or job.cancel_requested
+                if stop:
                     break
                 time.sleep(min(0.01, max(0.0, deadline - time.monotonic())))
             return {"slept_s": spec.duration_s}

@@ -160,7 +160,7 @@ class ViaServer:
                 try:
                     await writer.drain()
                 except (ConnectionError, RuntimeError):  # client went away
-                    raise ConnectionResetError
+                    raise ConnectionResetError from None
 
         async def serve_one(line: bytes) -> None:
             req_id = None

@@ -31,6 +31,7 @@ construction.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import TYPE_CHECKING, List, Optional
 
 import math
@@ -255,6 +256,12 @@ class InvariantBackend(Backend):
             raise InvariantError(f"finalize({name!r}): {problem}")
 
 
+#: guards every Recording's ``_machine_memo``: the recording store's load
+#: memo hands the *same* Recording object to concurrent serve executor
+#: threads, so the per-machine pricing memo is cross-thread shared state
+_MEMO_LOCK = threading.Lock()
+
+
 def replay_recording(
     recording: Recording,
     *,
@@ -336,14 +343,20 @@ def replay_recording(
             output=recording.output,
         )
         return check_result_invariants(result) if validate else result
-    core = recording._machine_memo.get(machine)
+    with _MEMO_LOCK:
+        core = recording._machine_memo.get(machine)
     if core is None:
         backend = InvariantBackend() if validate else DirectBackend()
         core = Core(machine, backend=backend)
         for op in recording.ops:
             if not isinstance(op, ViaOpRecord):
                 backend.handle(op, core)
-        recording._machine_memo[machine] = core
+        with _MEMO_LOCK:
+            # recordings are shared across serve executor threads via the
+            # store's load memo; a concurrent pricer may have won the race
+            # to populate this machine's entry — keep the first core so
+            # every thread reads the same one
+            core = recording._machine_memo.setdefault(machine, core)
     counters = dataclasses.replace(core.counters)
     counters.via_instructions += via_side.via_instructions
     counters.vector_uops += via_side.vector_uops

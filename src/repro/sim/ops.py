@@ -45,9 +45,21 @@ import io
 import json
 import zipfile
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, ClassVar, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    cast,
+)
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import (
     InvariantError,
@@ -61,6 +73,7 @@ from repro.sim.stats import OpCounters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports ops)
     from repro.sim.core import Core
+    from repro.sim.stats import KernelResult
     from repro.via.config import ViaConfig
 
 #: bump whenever Op field layouts or the artifact format change; folded into
@@ -90,7 +103,7 @@ __all__ = [
 ]
 
 
-def _require_non_negative(op_kind: str, **fields: float) -> None:
+def _require_non_negative(op_kind: str, **fields: Optional[float]) -> None:
     """Constructor guard shared by the op classes.
 
     A negative multiplicity can only come from corrupt narration, a
@@ -109,6 +122,36 @@ def _require_non_negative(op_kind: str, **fields: float) -> None:
 # ---------------------------------------------------------------------------
 # Stream shape keys
 # ---------------------------------------------------------------------------
+
+#: machine fields deliberately outside :func:`machine_shape_key`, checked
+#: by the VIA101 cache-key hygiene rule (``python -m repro.analysis``).
+#: Everything here is consumed at *pricing* time — replay applies it to a
+#: recorded stream — so it must stay out of the stream-shape key or the
+#: record/replay store stops deduplicating across pricing variants.
+KEY_EXEMPT = {
+    "MachineConfig": {
+        "clock_ghz": "pricing-only: scales cycles to seconds",
+        "issue_width": "pricing-only: scalar-issue throughput",
+        "rob_entries": "pricing-only: overlap window",
+        "mshrs": "pricing-only: outstanding-miss cap",
+        "vfu_fma_latency": "pricing-only: vector FMA cost",
+        "gather_base_latency": "pricing-only: gather cost",
+        "scatter_base_latency": "pricing-only: scatter cost",
+        "l2": "pricing-only: hit costs priced at replay",
+        "l3": "pricing-only: hit costs priced at replay",
+        "dram_latency": "pricing-only: miss cost",
+        "dram_bw_bytes_per_cycle": "pricing-only: stream bandwidth",
+        "mlp_stream": "pricing-only: stream overlap factor",
+        "mlp_dependent": "pricing-only: dependent-miss overlap factor",
+    },
+    "CacheConfig": {
+        "size_kb": "pricing-only: hit/miss split priced at replay",
+        "ways": "pricing-only: conflict behaviour priced at replay",
+        "line_bytes": "pricing-only: line-granularity pricing",
+    },
+}
+
+
 def machine_shape_key(machine: MachineConfig) -> Dict[str, Any]:
     """The machine parameters that shape narration (not just pricing).
 
@@ -181,7 +224,9 @@ class Op:
         return payload
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any], pool_data: np.ndarray) -> "Op":
+    def from_payload(
+        cls, payload: Dict[str, Any], pool_data: npt.NDArray[np.int64]
+    ) -> "Op":
         kwargs: Dict[str, Any] = {}
         for name in cls._scalars:
             kwargs[name] = payload[name]
@@ -207,7 +252,7 @@ class AllocOp(Op):
     kind: ClassVar[str] = "alloc"
     _scalars: ClassVar[Tuple[str, ...]] = ("name", "num_elems", "elem_bytes")
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _require_non_negative(self.kind, num_elems=self.num_elems)
         if self.elem_bytes <= 0:
             raise SimulationError(
@@ -231,7 +276,7 @@ class ScalarOpsOp(Op):
     kind: ClassVar[str] = "scalar_ops"
     _scalars: ClassVar[Tuple[str, ...]] = ("count",)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _require_non_negative(self.kind, count=self.count)
 
     def apply(self, core: "Core") -> None:
@@ -252,7 +297,7 @@ class VectorOpOp(Op):
     kind: ClassVar[str] = "vector_op"
     _scalars: ClassVar[Tuple[str, ...]] = ("op_kind", "count")
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op_kind not in VECTOR_OP_KINDS:
             raise SimulationError(f"unknown vector op kind {self.op_kind!r}")
         _require_non_negative(self.kind, count=self.count)
@@ -284,7 +329,7 @@ class BranchesOp(Op):
     kind: ClassVar[str] = "branches"
     _scalars: ClassVar[Tuple[str, ...]] = ("count", "mispredict_rate")
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not (0.0 <= self.mispredict_rate <= 1.0):
             raise SimulationError(
                 f"mispredict_rate must be in [0, 1], got {self.mispredict_rate}"
@@ -311,7 +356,7 @@ class DependencyStallOp(Op):
     kind: ClassVar[str] = "dependency_stall"
     _scalars: ClassVar[Tuple[str, ...]] = ("cycles",)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.cycles < 0:
             raise SimulationError(
                 f"stall cycles must be >= 0, got {self.cycles}"
@@ -332,7 +377,7 @@ class _StreamOp(Op):
     _scalars: ClassVar[Tuple[str, ...]] = ("array", "start", "count")
     _write: ClassVar[bool] = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _require_non_negative(self.kind, start=self.start, count=self.count)
 
     def apply(self, core: "Core") -> None:
@@ -366,14 +411,14 @@ class _IndexedVectorOp(Op):
     """Common body for vector gather/scatter with explicit addresses."""
 
     array: str
-    indices: np.ndarray
+    indices: npt.NDArray[np.int64]
     n_instr: int
 
     _scalars: ClassVar[Tuple[str, ...]] = ("array", "n_instr")
     _arrays: ClassVar[Tuple[str, ...]] = ("indices",)
     _write: ClassVar[bool] = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _require_non_negative(self.kind, n_instr=self.n_instr)
 
     def apply(self, core: "Core") -> None:
@@ -420,7 +465,7 @@ class _SerialIndexedOp(Op):
     _scalars: ClassVar[Tuple[str, ...]] = ("n_instr", "elements_per_instr")
     _write: ClassVar[bool] = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _require_non_negative(
             self.kind,
             n_instr=self.n_instr,
@@ -459,14 +504,14 @@ class LoadWindowsOp(Op):
     """Vector loads of ``width`` contiguous elements at computed starts."""
 
     array: str
-    starts: np.ndarray
+    starts: npt.NDArray[np.int64]
     width: int
 
     kind: ClassVar[str] = "load_windows"
     _scalars: ClassVar[Tuple[str, ...]] = ("array", "width")
     _arrays: ClassVar[Tuple[str, ...]] = ("starts",)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _require_non_negative(self.kind, width=self.width)
 
     def apply(self, core: "Core") -> None:
@@ -488,7 +533,7 @@ class _ScalarIndexedOp(Op):
     """Scalar loads/stores of individual elements."""
 
     array: str
-    indices: np.ndarray
+    indices: npt.NDArray[np.int64]
     dependent: bool
 
     _scalars: ClassVar[Tuple[str, ...]] = ("array", "dependent")
@@ -536,7 +581,7 @@ class BulkStreamOp(Op):
     kind: ClassVar[str] = "bulk_stream"
     _scalars: ClassVar[Tuple[str, ...]] = ("array", "passes", "write")
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _require_non_negative(self.kind, passes=self.passes)
 
     def apply(self, core: "Core") -> None:
@@ -605,7 +650,7 @@ class ViaOpRecord(Op):
         "port_cycles",
     )
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.port_passes is None and self.port_cycles is None:
             raise SimulationError(
                 "record_via_op needs port_passes (FIVU profile) or "
@@ -632,7 +677,8 @@ class ViaOpRecord(Op):
             port_cycles = FivuTiming(
                 sspm_elements=self.sspm_elements,
                 cam_searches=self.cam_searches,
-                port_passes=self.port_passes,
+                # __post_init__ guarantees port_passes when port_cycles is None
+                port_passes=cast(int, self.port_passes),
             ).port_cycles(core.via.config)
         c = core.counters
         c.via_instructions += self.count
@@ -649,7 +695,7 @@ class ViaOpRecord(Op):
 
 
 #: kind -> Op class, for deserialization
-OP_CLASSES: Dict[str, type] = {
+OP_CLASSES: Dict[str, Type[Op]] = {
     cls.kind: cls
     for cls in (
         AllocOp,
@@ -697,7 +743,8 @@ def via_totals(ops: List[Op], via_config: Optional["ViaConfig"]) -> OpCounters:
             port_cycles = FivuTiming(
                 sspm_elements=op.sspm_elements,
                 cam_searches=op.cam_searches,
-                port_passes=op.port_passes,
+                # __post_init__ guarantees port_passes when port_cycles is None
+                port_passes=cast(int, op.port_passes),
             ).port_cycles(via_config)
         totals.via_instructions += op.count
         totals.vector_uops += op.count
@@ -727,7 +774,7 @@ class PricedState:
     dram_occupancy_cycles: float
     dram_traffic_bytes: int
     dram_lines: int
-    cache_stats: Dict[str, dict]
+    cache_stats: Dict[str, Dict[str, Any]]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -775,7 +822,11 @@ class Recording:
     def shape_key(self) -> Dict[str, Any]:
         return stream_shape_key(self.machine, self.via_config)
 
-    def replay(self, machine=None, via_config=None):
+    def replay(
+        self,
+        machine: Optional[MachineConfig] = None,
+        via_config: Optional["ViaConfig"] = None,
+    ) -> "KernelResult":
         """Re-price this stream; see :func:`repro.sim.backends.replay_recording`."""
         from repro.sim.backends import replay_recording
 
@@ -786,18 +837,18 @@ class _IndexPool:
     """Accumulates int64 arrays into one shared buffer; ops hold
     ``(offset, size)`` references into it."""
 
-    def __init__(self):
-        self._chunks: List[np.ndarray] = []
+    def __init__(self) -> None:
+        self._chunks: List[npt.NDArray[np.int64]] = []
         self._size = 0
 
-    def put(self, arr: np.ndarray) -> Tuple[int, int]:
-        arr = np.ascontiguousarray(arr, dtype=np.int64)
-        ref = (self._size, int(arr.size))
-        self._chunks.append(arr)
-        self._size += int(arr.size)
+    def put(self, arr: npt.NDArray[Any]) -> Tuple[int, int]:
+        pooled = np.ascontiguousarray(arr, dtype=np.int64)
+        ref = (self._size, int(pooled.size))
+        self._chunks.append(pooled)
+        self._size += int(pooled.size)
         return ref
 
-    def data(self) -> np.ndarray:
+    def data(self) -> npt.NDArray[np.int64]:
         if not self._chunks:
             return np.zeros(0, dtype=np.int64)
         return np.concatenate(self._chunks)
@@ -819,7 +870,7 @@ def _via_to_dict(cfg: Optional["ViaConfig"]) -> Optional[Dict[str, Any]]:
     return None if cfg is None else dataclasses.asdict(cfg)
 
 
-def _via_from_dict(data: Optional[Dict[str, Any]]):
+def _via_from_dict(data: Optional[Dict[str, Any]]) -> Optional["ViaConfig"]:
     if data is None:
         return None
     from repro.via.config import ViaConfig
@@ -828,7 +879,9 @@ def _via_from_dict(data: Optional[Dict[str, Any]]):
 
 
 # -- output (de)serialization ------------------------------------------------
-def _encode_output(output: Any, arrays: Dict[str, np.ndarray], prefix: str):
+def _encode_output(
+    output: Any, arrays: Dict[str, npt.NDArray[Any]], prefix: str
+) -> Dict[str, Any]:
     """Encode a kernel output into a JSON spec + named npz arrays.
 
     Handles the output types kernels actually return: ``None``, python/numpy
@@ -837,7 +890,7 @@ def _encode_output(output: Any, arrays: Dict[str, np.ndarray], prefix: str):
     from repro.formats.coo import COOMatrix
     from repro.formats.csr import CSRMatrix
 
-    def stash(suffix: str, arr: np.ndarray) -> str:
+    def stash(suffix: str, arr: npt.NDArray[Any]) -> str:
         key = f"{prefix}{suffix}"
         arrays[key] = np.asarray(arr)
         return key
@@ -869,7 +922,7 @@ def _encode_output(output: Any, arrays: Dict[str, np.ndarray], prefix: str):
     )
 
 
-def _decode_output(spec: Dict[str, Any], arrays) -> Any:
+def _decode_output(spec: Dict[str, Any], arrays: Mapping[str, Any]) -> Any:
     from repro.formats.coo import COOMatrix
     from repro.formats.csr import CSRMatrix
 
@@ -897,7 +950,7 @@ def _decode_output(spec: Dict[str, Any], arrays) -> Any:
     raise RecordingError(f"unknown output spec type {kind!r}")
 
 
-def _checksum(meta_blob: bytes, pool: np.ndarray) -> str:
+def _checksum(meta_blob: bytes, pool: npt.NDArray[np.int64]) -> str:
     digest = hashlib.sha256()
     digest.update(meta_blob)
     digest.update(np.ascontiguousarray(pool, dtype=np.int64).tobytes())
@@ -905,7 +958,7 @@ def _checksum(meta_blob: bytes, pool: np.ndarray) -> str:
 
 
 def save_recordings(
-    path,
+    path: Any,
     recordings: Dict[str, Recording],
     *,
     extra_meta: Optional[Dict[str, Any]] = None,
@@ -924,7 +977,7 @@ def save_recordings(
             "priced": None if rec.priced is None else rec.priced.to_dict(),
         }
     pool_data = pool.data()
-    meta = {
+    meta: Dict[str, Any] = {
         "schema": OPS_SCHEMA_VERSION,
         "entries": entries,
         "extra": extra_meta or {},
@@ -941,7 +994,7 @@ def save_recordings(
     )
 
 
-def load_recordings(path) -> Tuple[Dict[str, Recording], Dict[str, Any]]:
+def load_recordings(path: Any) -> Tuple[Dict[str, Recording], Dict[str, Any]]:
     """Load an artifact; returns ``(recordings, extra_meta)``.
 
     Raises :class:`RecordingError` on any integrity or schema failure —

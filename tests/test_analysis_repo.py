@@ -1,0 +1,38 @@
+"""The repo passes its own static checker, baseline-free.
+
+This is the in-tree twin of the CI ``analysis`` job: the full rule set
+over ``src`` and ``tests`` must produce zero error findings with no
+baseline, and the runtime key-hygiene twin must accept the live
+dataclasses.  A failure here means a config field was added without
+keying it (or declaring it ``KEY_EXEMPT``), a clock/RNG/env hazard crept
+into deterministic code, or serve-layer shared state lost its lock.
+"""
+
+from pathlib import Path
+
+from repro.analysis.core import Project, run_analysis
+from repro.analysis.keys import DEFAULT_BINDINGS, assert_key_hygiene, check_keys
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _project(*subdirs):
+    return Project([REPO / d for d in subdirs], root=REPO)
+
+
+def test_repo_gate_is_clean_without_a_baseline():
+    report = run_analysis(_project("src", "tests"))
+    assert [f.render() for f in report.errors] == []
+    assert report.exit_code == 0
+
+
+def test_every_default_binding_resolves():
+    # VIA100 from the repo's own bindings means a module/class/function in
+    # the key-coverage contract was renamed without updating the checker
+    findings = check_keys(_project("src"), bindings=DEFAULT_BINDINGS)
+    assert [f.render() for f in findings if f.rule == "VIA100"] == []
+
+
+def test_runtime_hygiene_accepts_the_live_dataclasses():
+    assert_key_hygiene()
+    assert_key_hygiene()  # second call exercises the memoized fast path

@@ -1,0 +1,901 @@
+"""The analyzer analyzed: seeded-violation fixtures for every rule id.
+
+Each rule gets at least one true-positive fixture (the violation is
+reported) and one clean fixture (no false positive), written to a tmp
+tree and scanned through the same :class:`~repro.analysis.core.Project`
+machinery the CLI uses.  Family checkers take their scopes as
+parameters, so fixtures live under neutral prefixes instead of
+pretending to be ``repro.sim``.  Suppression comments, baseline files,
+selection, and the CLI's exit-code contract are covered at the end.
+"""
+
+import json
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import main as cli_main
+from repro.analysis.core import (
+    FAMILY_CHECKERS,
+    RULES,
+    Project,
+    load_baseline,
+    resolve_selection,
+    run_analysis,
+    save_baseline,
+)
+from repro.analysis.determinism import check_determinism
+from repro.analysis.keys import KeyBinding, assert_key_hygiene, check_keys
+from repro.analysis.locks import check_locks
+from repro.errors import ConfigError
+
+
+def make_project(tmp_path, files):
+    """Write ``{rel: source}`` fixtures and return a Project rooted there."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return Project([tmp_path], root=tmp_path)
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+# ----------------------------------------------------------------------
+# family: keys (VIA100-VIA103)
+# ----------------------------------------------------------------------
+DC_TWO_FIELDS = """
+    from dataclasses import dataclass
+
+
+    @dataclass(frozen=True)
+    class Cfg:
+        alpha: int
+        beta: int
+"""
+
+
+def binding(**kw):
+    base = dict(
+        dataclass_module="dcmod",
+        dataclass_name="Cfg",
+        key_module="keymod",
+        key_qualname="make_key",
+        root="cfg",
+    )
+    base.update(kw)
+    return (KeyBinding(**base),)
+
+
+class TestKeyRules:
+    def test_via101_unconsumed_field(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": DC_TWO_FIELDS,
+                "keymod.py": """
+                    def make_key(cfg):
+                        return {"alpha": cfg.alpha}
+                """,
+            },
+        )
+        findings = check_keys(project, bindings=binding())
+        assert rules_of(findings) == ["VIA101"]
+        assert "Cfg.beta" in findings[0].message
+        assert findings[0].path == "dcmod.py"
+        assert findings[0].severity == "error"
+
+    def test_no_false_positive_when_all_fields_consumed(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": DC_TWO_FIELDS,
+                "keymod.py": """
+                    def make_key(cfg):
+                        return (cfg.alpha, cfg.beta)
+                """,
+            },
+        )
+        assert check_keys(project, bindings=binding()) == []
+
+    def test_asdict_consumes_everything(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": DC_TWO_FIELDS,
+                "keymod.py": """
+                    from dataclasses import asdict
+
+
+                    def make_key(cfg):
+                        return asdict(cfg)
+                """,
+            },
+        )
+        assert check_keys(project, bindings=binding()) == []
+
+    def test_exemption_silences_via101(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": DC_TWO_FIELDS,
+                "keymod.py": """
+                    KEY_EXEMPT = {"Cfg": {"beta": "pricing-only knob"}}
+
+
+                    def make_key(cfg):
+                        return (cfg.alpha,)
+                """,
+            },
+        )
+        assert check_keys(project, bindings=binding()) == []
+
+    def test_via102_stale_exemption(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": DC_TWO_FIELDS,
+                "keymod.py": """
+                    KEY_EXEMPT = {"Cfg": {"gamma": "no such field"}}
+
+
+                    def make_key(cfg):
+                        return (cfg.alpha, cfg.beta)
+                """,
+            },
+        )
+        findings = check_keys(project, bindings=binding())
+        assert rules_of(findings) == ["VIA102"]
+        assert "Cfg.gamma" in findings[0].message
+        assert findings[0].path == "keymod.py"
+
+    def test_via103_exempt_but_consumed_is_a_warning(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": DC_TWO_FIELDS,
+                "keymod.py": """
+                    KEY_EXEMPT = {"Cfg": {"alpha": "stale justification"}}
+
+
+                    def make_key(cfg):
+                        return (cfg.alpha, cfg.beta)
+                """,
+            },
+        )
+        findings = check_keys(project, bindings=binding())
+        assert rules_of(findings) == ["VIA103"]
+        assert findings[0].severity == "warning"
+
+    def test_via100_dataclass_renamed_away(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": DC_TWO_FIELDS,
+                "keymod.py": "def make_key(cfg):\n    return (cfg.alpha,)\n",
+            },
+        )
+        findings = check_keys(
+            project, bindings=binding(dataclass_name="Renamed")
+        )
+        assert rules_of(findings) == ["VIA100"]
+
+    def test_via100_key_builder_renamed_away(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": DC_TWO_FIELDS,
+                "keymod.py": "def other_name(cfg):\n    return (cfg.alpha,)\n",
+            },
+        )
+        findings = check_keys(project, bindings=binding())
+        assert rules_of(findings) == ["VIA100"]
+
+    def test_attr_path_scopes_consumption_to_the_sub_object(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": """
+                    from dataclasses import dataclass
+
+
+                    @dataclass(frozen=True)
+                    class Sub:
+                        x: int
+                        y: int
+                """,
+                "keymod.py": """
+                    def make_key(cfg):
+                        return (cfg.sub.x,)
+                """,
+            },
+        )
+        findings = check_keys(
+            project,
+            bindings=binding(dataclass_name="Sub", attr_path=("sub",)),
+        )
+        assert rules_of(findings) == ["VIA101"]
+        assert "Sub.y" in findings[0].message
+
+    def test_method_qualname_binding(self, tmp_path):
+        # the JobSpec.batch_key shape: the dataclass keys itself
+        project = make_project(
+            tmp_path,
+            {
+                "dcmod.py": """
+                    from dataclasses import dataclass
+
+
+                    @dataclass
+                    class Cfg:
+                        alpha: int
+                        beta: int
+
+                        def key(self):
+                            return (self.alpha,)
+                """,
+            },
+        )
+        findings = check_keys(
+            project,
+            bindings=binding(
+                key_module="dcmod", key_qualname="Cfg.key", root="self"
+            ),
+        )
+        assert rules_of(findings) == ["VIA101"]
+        assert "Cfg.beta" in findings[0].message
+
+    def test_binding_outside_the_file_set_is_skipped(self, tmp_path):
+        project = make_project(tmp_path, {"unrelated.py": "VALUE = 1\n"})
+        assert check_keys(project, bindings=binding()) == []
+
+
+class TestRuntimeKeyHygiene:
+    def _install(self, tmp_path, monkeypatch, modules):
+        monkeypatch.syspath_prepend(str(tmp_path))
+        for name, source in modules.items():
+            (tmp_path / f"{name}.py").write_text(
+                textwrap.dedent(source), encoding="utf-8"
+            )
+            sys.modules.pop(name, None)
+        import importlib
+
+        importlib.invalidate_caches()
+
+    def test_live_drift_fails_fast(self, tmp_path, monkeypatch):
+        self._install(
+            tmp_path,
+            monkeypatch,
+            {
+                "via_hyg_bad_dc": DC_TWO_FIELDS,
+                "via_hyg_bad_key": """
+                    def make_key(cfg):
+                        return (cfg.alpha,)
+                """,
+            },
+        )
+        bindings = binding(
+            dataclass_module="via_hyg_bad_dc", key_module="via_hyg_bad_key"
+        )
+        try:
+            with pytest.raises(ConfigError, match="VIA101.*Cfg\\.beta"):
+                assert_key_hygiene(bindings)
+        finally:
+            sys.modules.pop("via_hyg_bad_dc", None)
+            sys.modules.pop("via_hyg_bad_key", None)
+
+    def test_live_clean_passes(self, tmp_path, monkeypatch):
+        self._install(
+            tmp_path,
+            monkeypatch,
+            {
+                "via_hyg_ok_dc": DC_TWO_FIELDS,
+                "via_hyg_ok_key": """
+                    KEY_EXEMPT = {"Cfg": {"beta": "pricing-only knob"}}
+
+
+                    def make_key(cfg):
+                        return (cfg.alpha,)
+                """,
+            },
+        )
+        bindings = binding(
+            dataclass_module="via_hyg_ok_dc", key_module="via_hyg_ok_key"
+        )
+        try:
+            assert_key_hygiene(bindings)  # must not raise
+        finally:
+            sys.modules.pop("via_hyg_ok_dc", None)
+            sys.modules.pop("via_hyg_ok_key", None)
+
+
+# ----------------------------------------------------------------------
+# family: determinism (VIA201-VIA205)
+# ----------------------------------------------------------------------
+PURE = ("pure/",)
+WORKER = ("worker/",)
+
+
+def determinism(project):
+    return check_determinism(
+        project, pure_prefixes=PURE, worker_prefixes=WORKER
+    )
+
+
+class TestClockRule:
+    def test_via201_host_clock_in_pure_scope(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "pure/mod.py": """
+                    import time
+
+
+                    def f():
+                        return time.perf_counter()
+                """
+            },
+        )
+        findings = determinism(project)
+        assert rules_of(findings) == ["VIA201"]
+        assert "host time" in findings[0].message
+
+    def test_via201_wall_clock_in_worker_scope(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "worker/mod.py": """
+                    import time
+                    from datetime import datetime
+
+
+                    def f():
+                        return time.time(), datetime.now()
+                """
+            },
+        )
+        assert rules_of(determinism(project)) == ["VIA201", "VIA201"]
+
+    def test_perf_counter_sanctioned_in_worker_scope(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "worker/mod.py": """
+                    import time
+
+
+                    def f():
+                        return time.perf_counter(), time.monotonic()
+                """
+            },
+        )
+        assert determinism(project) == []
+
+    def test_files_outside_both_scopes_are_not_scanned(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "other/mod.py": """
+                    import time
+
+
+                    def f():
+                        return time.time()
+                """
+            },
+        )
+        assert determinism(project) == []
+
+
+class TestRandomnessRule:
+    def test_via202_global_rng_entropy_and_unseeded(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "pure/rng.py": """
+                    import os
+                    import random
+
+                    import numpy as np
+
+
+                    def f():
+                        a = random.random()
+                        b = np.random.default_rng()
+                        c = os.urandom(8)
+                        return a, b, c
+                """
+            },
+        )
+        assert rules_of(determinism(project)) == ["VIA202"] * 3
+
+    def test_seeded_generators_are_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "pure/rng.py": """
+                    import numpy as np
+
+
+                    def f(seed):
+                        rng = np.random.default_rng(seed)
+                        other = np.random.default_rng(seed=seed + 1)
+                        return rng.standard_normal(4), other
+                """
+            },
+        )
+        assert determinism(project) == []
+
+
+class TestEnvRule:
+    def test_via203_unsanctioned_reads(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "worker/env.py": """
+                    import os
+
+
+                    def f():
+                        return os.getenv("PATH"), os.environ["HOME"]
+                """
+            },
+        )
+        findings = determinism(project)
+        assert rules_of(findings) == ["VIA203", "VIA203"]
+        assert any("'PATH'" in f.message for f in findings)
+
+    def test_repro_namespace_and_writes_are_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "worker/env.py": """
+                    import os
+
+
+                    def f():
+                        a = os.getenv("REPRO_WORKERS")
+                        b = os.environ["REPRO_CACHE_DIR"]
+                        os.environ["ANYTHING"] = "writes are not reads"
+                        return a, b
+                """
+            },
+        )
+        assert determinism(project) == []
+
+
+class TestSetIterationRule:
+    def test_via204_direct_set_iteration(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "pure/iter.py": """
+                    def f(items):
+                        out = []
+                        for x in set(items):
+                            out.append(x)
+                        return [y for y in {1, 2, 3}]
+                """
+            },
+        )
+        findings = determinism(project)
+        assert rules_of(findings) == ["VIA204", "VIA204"]
+        assert all(f.severity == "warning" for f in findings)
+
+    def test_sorted_set_iteration_is_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "pure/iter.py": """
+                    def f(items):
+                        out = []
+                        for x in sorted(set(items)):
+                            out.append(x)
+                        for y in items:
+                            out.append(y)
+                        return out
+                """
+            },
+        )
+        assert determinism(project) == []
+
+
+class TestIdKeyRule:
+    def test_via205_id_keyed_state(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "pure/ident.py": """
+                    def f(obj, cache, memo):
+                        cache[id(obj)] = 1
+                        memo.setdefault(id(obj), [])
+                        return {id(obj): 2}
+                """
+            },
+        )
+        assert rules_of(determinism(project)) == ["VIA205"] * 3
+
+    def test_stable_keys_are_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "pure/ident.py": """
+                    def f(obj, cache, memo):
+                        cache[obj.name] = 1
+                        memo.setdefault(obj.key, [])
+                        return id(obj)  # computing an id is fine; keying on it is not
+                """
+            },
+        )
+        assert determinism(project) == []
+
+
+# ----------------------------------------------------------------------
+# family: locks (VIA301-VIA302)
+# ----------------------------------------------------------------------
+def locks(project):
+    return check_locks(project, prefixes=("svc",))
+
+
+LOCKED_RACY = """
+    import threading
+
+
+    class Svc:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._executor = None
+            self.flag = False
+            self.items = []
+
+        def arm(self):
+            with self._lock:
+                self.flag = True
+
+        def disarm(self):
+            self.flag = False
+
+        def reset(self):
+            with self._lock:
+                self.items = []
+
+        def kick(self):
+            self._executor.submit(self._work)
+
+        def _work(self):
+            if self.flag:
+                self.items.append(1)
+"""
+
+
+class TestLockRules:
+    def test_via301_and_via302_on_mixed_discipline(self, tmp_path):
+        project = make_project(tmp_path, {"svc.py": LOCKED_RACY})
+        findings = locks(project)
+        # flag: unlocked loop write (disarm) + unlocked executor read;
+        # items: unlocked executor mutator (append) counts as both
+        assert rules_of(findings) == ["VIA301", "VIA301", "VIA302", "VIA302"]
+        v301 = [f for f in findings if f.rule == "VIA301"]
+        assert {("flag" in f.message, "items" in f.message) for f in v301} == {
+            (True, False),
+            (False, True),
+        }
+
+    def test_consistent_locking_is_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    import threading
+
+
+                    class Svc:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._executor = None
+                            self.flag = False
+
+                        def arm(self):
+                            with self._lock:
+                                self.flag = True
+
+                        def kick(self):
+                            self._executor.submit(self._work)
+
+                        def _work(self):
+                            with self._lock:
+                                return self.flag
+                """
+            },
+        )
+        assert locks(project) == []
+
+    def test_lockless_class_is_skipped(self, tmp_path):
+        # the rules check discipline *around* a lock; a class without one
+        # (or without a thread boundary) is out of scope by design
+        project = make_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    class Svc:
+                        def __init__(self):
+                            self._executor = None
+                            self.flag = False
+
+                        def arm(self):
+                            self.flag = True
+
+                        def kick(self):
+                            self._executor.submit(self._work)
+
+                        def _work(self):
+                            return self.flag
+                """
+            },
+        )
+        assert locks(project) == []
+
+    def test_class_without_thread_boundary_is_skipped(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    import threading
+
+
+                    class Svc:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self.flag = False
+
+                        def arm(self):
+                            with self._lock:
+                                self.flag = True
+
+                        def disarm(self):
+                            self.flag = False
+                """
+            },
+        )
+        assert locks(project) == []
+
+    def test_reachability_through_helper_methods(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    import threading
+
+
+                    class Svc:
+                        def __init__(self, loop):
+                            self._lock = threading.Lock()
+                            self._loop = loop
+                            self._executor = None
+                            self.flag = False
+
+                        def arm(self):
+                            with self._lock:
+                                self.flag = True
+
+                        def kick(self):
+                            self._loop.run_in_executor(self._executor, self._work, 1)
+
+                        def _work(self, n):
+                            self._helper()
+
+                        def _helper(self):
+                            self.flag = False
+                """
+            },
+        )
+        findings = locks(project)
+        assert "VIA302" in rules_of(findings)
+        assert any("_helper" not in f.message and "flag" in f.message for f in findings)
+
+    def test_thread_target_is_an_entry_point(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    import threading
+
+
+                    class Svc:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self.flag = False
+
+                        def arm(self):
+                            with self._lock:
+                                self.flag = True
+
+                        def kick(self):
+                            threading.Thread(target=self._work).start()
+
+                        def _work(self):
+                            return self.flag
+                """
+            },
+        )
+        assert rules_of(locks(project)) == ["VIA302"]
+
+    def test_init_writes_are_exempt(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    import threading
+
+
+                    class Svc:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._executor = None
+                            self.flag = False  # no second thread exists yet
+
+                        def arm(self):
+                            with self._lock:
+                                self.flag = True
+
+                        def kick(self):
+                            self._executor.submit(self._work)
+
+                        def _work(self):
+                            with self._lock:
+                                return self.flag
+                """
+            },
+        )
+        assert locks(project) == []
+
+
+# ----------------------------------------------------------------------
+# core machinery: VIA000, suppression, baseline, selection, CLI
+# ----------------------------------------------------------------------
+CLOCKY = """
+    import time
+
+    a = time.time()
+"""
+
+
+class TestCoreMachinery:
+    def test_via000_on_syntax_error(self, tmp_path):
+        project = make_project(tmp_path, {"repro/sim/broken.py": "def f(:\n"})
+        report = run_analysis(project)
+        assert rules_of(report.findings) == ["VIA000"]
+        assert report.exit_code == 1
+
+    def test_suppression_same_line_and_line_above(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/sim/clocky.py": """
+                    import time
+
+                    a = time.time()  # via: ignore[VIA201]
+                    # via: ignore[VIA201]
+                    b = time.time()
+                    c = time.time()
+                """
+            },
+        )
+        report = run_analysis(project)
+        assert rules_of(report.findings) == ["VIA201"]
+        assert len(report.suppressed) == 2
+
+    def test_suppression_wildcard_and_comma_list(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/sim/clocky.py": """
+                    import time
+
+                    a = time.time()  # via: ignore[*]
+                    b = time.time()  # via: ignore[VIA204, VIA201]
+                """
+            },
+        )
+        report = run_analysis(project)
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_baseline_round_trip_is_line_independent(self, tmp_path):
+        files = {"repro/sim/clocky.py": CLOCKY}
+        report = run_analysis(make_project(tmp_path, files))
+        assert len(report.findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, report.findings)
+        fingerprints = load_baseline(baseline_path)
+        assert len(fingerprints) == 1
+
+        # shift the finding to a different line: same rule+path+message
+        # must still match the baseline fingerprint
+        shifted = {"repro/sim/clocky.py": "\n\n\n" + textwrap.dedent(CLOCKY)}
+        report2 = run_analysis(
+            make_project(tmp_path, shifted), baseline=fingerprints
+        )
+        assert report2.findings == []
+        assert len(report2.baselined) == 1
+        assert report2.exit_code == 0
+
+    def test_baseline_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "fingerprints": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_warnings_do_not_fail_the_gate(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {"repro/sim/iter.py": "for x in {1, 2}:\n    print(x)\n"},
+        )
+        report = run_analysis(project, select=["VIA204"])
+        assert rules_of(report.findings) == ["VIA204"]
+        assert report.errors == []
+        assert report.exit_code == 0
+
+    def test_selection_expands_families(self):
+        selected = resolve_selection(["determinism"])
+        assert selected == {"VIA201", "VIA202", "VIA203", "VIA204", "VIA205"}
+        assert resolve_selection(["VIA101"]) == {"VIA101"}
+        assert resolve_selection(None) is None
+        with pytest.raises(ValueError):
+            resolve_selection(["no-such-family"])
+
+    def test_every_family_has_a_registered_checker(self):
+        assert {info.family for info in RULES.values()} == set(FAMILY_CHECKERS)
+
+
+class TestCli:
+    def _tree(self, tmp_path):
+        make_project(tmp_path, {"repro/sim/clocky.py": CLOCKY})
+        return [str(tmp_path), "--root", str(tmp_path)]
+
+    def test_findings_exit_1_human_output(self, tmp_path, capsys):
+        assert cli_main(self._tree(tmp_path)) == 1
+        out = capsys.readouterr().out
+        assert "VIA201" in out
+        assert "1 finding(s) (1 error(s))" in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        assert cli_main(self._tree(tmp_path) + ["--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["rule"] == "VIA201"
+        assert payload["findings"][0]["fingerprint"]
+
+    def test_rule_selection_scopes_the_run(self, tmp_path, capsys):
+        assert cli_main(self._tree(tmp_path) + ["--rules", "keys,locks"]) == 0
+
+    def test_unknown_selection_is_a_usage_error(self, tmp_path, capsys):
+        assert cli_main(self._tree(tmp_path) + ["--rules", "bogus"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_no_files_is_a_usage_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert cli_main([str(empty)]) == 2
+
+    def test_missing_baseline_is_a_usage_error(self, tmp_path, capsys):
+        argv = self._tree(tmp_path) + ["--baseline", str(tmp_path / "no.json")]
+        assert cli_main(argv) == 2
+
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        argv = self._tree(tmp_path)
+        assert cli_main(argv + ["--write-baseline", str(baseline)]) == 0
+        assert cli_main(argv + ["--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_list_rules_covers_every_id(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out

@@ -1,0 +1,108 @@
+"""Regressions for the thread-safety bugs the static checker's audit found.
+
+Two fixes are pinned here:
+
+* the per-recording machine memo in :func:`repro.sim.backends.replay_recording`
+  was a check-then-act on a plain dict; concurrent cross-machine replays of
+  one shared :class:`~repro.sim.ops.Recording` (the recording store hands the
+  same object to every executor thread) could double-build cores and race the
+  dict.  Now a lock plus ``setdefault`` makes the first core win: concurrent
+  replays stay bit-identical to direct execution and exactly one core is
+  memoized per target machine;
+* :class:`~repro.serve.scheduler.Scheduler` mutated ``Job.cancel_requested``
+  and ``Job.abandoned`` across the loop↔executor boundary with no lock.  The
+  observable contract of the fix: cancelling a *running* sleep job stops the
+  executor's poll loop promptly instead of sleeping out the full duration.
+"""
+
+import asyncio
+import dataclasses
+import threading
+import time
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.kernels.spmv import SPMV_VARIANTS
+from repro.matrices.collection import small_collection
+from repro.serve.jobs import JobSpec, JobState
+from repro.serve.scheduler import Scheduler, ServiceConfig
+from repro.sim.backends import RecorderBackend, replay_recording
+from repro.sim.config import DEFAULT_MACHINE
+from repro.via.config import VIA_16_2P
+
+from tests.test_ops_replay_differential import assert_result_identical
+
+
+def test_concurrent_cross_machine_replay_shares_one_memo_entry():
+    coo = small_collection(1, seed=11, max_n=160).specs[0].build()
+    x = np.random.default_rng(3).standard_normal(coo.cols)
+    mat = CSRMatrix.from_coo(coo)
+    _, via_fn = SPMV_VARIANTS["csr"]
+
+    backend = RecorderBackend()
+    via_fn(mat, x, DEFAULT_MACHINE, VIA_16_2P, backend=backend)
+    recording = backend.recording
+
+    # a pure-pricing knob: stream-shape compatible, so replay takes the
+    # cross-machine path that builds and memoizes a fresh core
+    target = dataclasses.replace(
+        DEFAULT_MACHINE, dram_latency=DEFAULT_MACHINE.dram_latency + 40
+    )
+    want = via_fn(mat, x, target, VIA_16_2P)
+
+    n_threads = 8
+    barrier = threading.Barrier(n_threads)
+    results = [None] * n_threads
+    errors = []
+
+    def worker(i):
+        try:
+            barrier.wait(timeout=30)  # maximise overlap on the cold memo
+            results[i] = replay_recording(recording, machine=target)
+        except Exception as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+
+    assert errors == []
+    for got in results:
+        assert got is not None
+        assert_result_identical(got, want)
+    # check-then-act would have installed whichever duplicate core lost
+    # the race; setdefault-under-lock leaves exactly one per machine
+    assert len(recording._machine_memo) == 1
+
+
+def test_cancel_while_running_stops_the_sleep_loop_early():
+    async def case():
+        s = Scheduler(ServiceConfig(batch_window_s=0.0))
+        await s.start()
+        job = s.submit(
+            JobSpec.from_payload(
+                {"kind": "sleep", "duration_s": 5.0, "timeout_s": 30.0}
+            )
+        )
+        for _ in range(500):
+            if job.state is JobState.RUNNING:
+                break
+            await asyncio.sleep(0.01)
+        assert job.state is JobState.RUNNING
+
+        begin = time.monotonic()
+        s.cancel(job.job_id)
+        done = await s.wait(job.job_id, timeout=10)
+        elapsed = time.monotonic() - begin
+
+        # the executor's poll loop saw the flag and broke out; without
+        # the locked flag handshake this takes the full 5 s
+        assert elapsed < 2.0
+        assert done.state is JobState.DONE
+        assert done.result == {"slept_s": 5.0}
+        await s.stop()
+
+    asyncio.run(case())
