@@ -1,0 +1,197 @@
+"""Replay-speedup benchmark for the columnar pricing engine.
+
+Measures the headline claim of the columnar tentpole: re-pricing the
+Fig. 9 DSE's recorded op streams through :mod:`repro.sim.columnar` is an
+order of magnitude faster than the scalar ``Op.apply`` walk, while
+staying bit-identical (the differential and property suites pin the
+identity; this script pins the speed and re-checks identity on the way).
+
+The workload is the real Fig. 9 shape: record the DSE collection once
+into an artifact store, then replay every recording under every port
+variant of its capacity group — exactly the work the record/replay sweep
+and the serving layer's replay path perform.  Two phases per engine:
+
+* **warm** — recordings already resident (the steady state behind the
+  store's load memo): pure re-pricing arithmetic.  The scalar engine
+  walks every op in Python; the columnar engine reduces whole columns.
+  This is the headline number.
+* **cold** — each iteration reloads every artifact from disk first, so
+  the scalar engine also pays per-op materialization of the columnar
+  columns while the columnar engine prices them directly.  Dominated by
+  shared npz decompression, reported for honesty.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py --check
+
+``--check`` exits non-zero unless the warm speedup clears 5x and the two
+engines priced every replay bit-identically; ``--smoke`` shrinks the
+collection for CI.  The full-size run is checked in as
+``benchmarks/results/BENCH_columnar.json`` and summarized in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.eval.dse import run_dse  # noqa: E402
+from repro.matrices.collection import small_collection  # noqa: E402
+from repro.sim.backends import replay_recording  # noqa: E402
+from repro.sim.ops import load_recordings  # noqa: E402
+from repro.via.config import dse_configs  # noqa: E402
+
+DEFAULT_JSON = REPO / "benchmarks" / "results" / "BENCH_columnar.json"
+
+
+def _load_all(paths):
+    recs = []
+    for path in paths:
+        loaded, _ = load_recordings(path)
+        recs.extend(loaded.values())
+    return recs
+
+
+def _replay_all(recordings, engine, port_variants):
+    """Replay every recording under every port variant of its group."""
+    results = []
+    for rec in recordings:
+        if rec.via_config is not None:
+            cfgs = port_variants[rec.via_config.sram_kb]
+        else:
+            cfgs = [None]  # baseline recordings have no VIA side
+        for cfg in cfgs:
+            results.append(
+                replay_recording(rec, via_config=cfg, engine=engine)
+            )
+    return results
+
+
+def _fingerprint(results):
+    """Bitwise digest of every replay's cycles/energy, for identity."""
+    bits = b"".join(
+        np.float64(r.cycles).tobytes() + np.float64(r.energy_pj).tobytes()
+        for r in results
+    )
+    return bits
+
+
+def bench_engine(engine, paths, port_variants, repeats):
+    # warm: load once, replay once to populate lazy state, then time
+    recordings = _load_all(paths)
+    results = _replay_all(recordings, engine, port_variants)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        results = _replay_all(recordings, engine, port_variants)
+    warm_s = (time.perf_counter() - t0) / repeats
+    # cold: a fresh load every iteration (fresh Recording objects, so the
+    # scalar engine re-materializes per-op dataclasses each time)
+    t0 = time.perf_counter()
+    for _ in range(max(1, repeats // 2)):
+        cold_results = _replay_all(_load_all(paths), engine, port_variants)
+    cold_s = (time.perf_counter() - t0) / max(1, repeats // 2)
+    assert _fingerprint(cold_results) == _fingerprint(results)
+    return {
+        "warm_s": round(warm_s, 6),
+        "cold_s": round(cold_s, 6),
+        "replays": len(results),
+    }, _fingerprint(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--matrices", type=int, default=6,
+                        help="collection size (default 6)")
+    parser.add_argument("--max-n", type=int, default=512,
+                        help="matrix size cap (default 512)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per phase (default 5)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workload (3 matrices, max_n 160)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless warm speedup >= 5x and "
+                             "both engines price identically")
+    parser.add_argument("--json", metavar="PATH",
+                        help=f"summary JSON path (default {DEFAULT_JSON})")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.matrices, args.max_n = 3, 160
+
+    collection = small_collection(args.matrices, seed=9, max_n=args.max_n)
+    port_variants = {}
+    for cfg in dse_configs():
+        port_variants.setdefault(cfg.sram_kb, []).append(cfg)
+
+    with tempfile.TemporaryDirectory(prefix="bench-columnar-") as td:
+        print(f"recording the Fig. 9 DSE ({args.matrices} matrices, "
+              f"max_n={args.max_n}) ...")
+        run_dse(collection, record_dir=td)
+        paths = sorted(Path(td).rglob("*.npz"))
+        total_ops = sum(len(r.columnar()) for r in _load_all(paths))
+        print(f"store: {len(paths)} artifacts, {total_ops} recorded ops\n")
+
+        rows = {}
+        prints = {}
+        for engine in ("scalar", "columnar"):
+            rows[engine], prints[engine] = bench_engine(
+                engine, paths, port_variants, args.repeats
+            )
+            r = rows[engine]
+            print(f"  {engine:<9} warm={r['warm_s']*1e3:8.2f}ms "
+                  f"cold={r['cold_s']*1e3:8.2f}ms "
+                  f"({r['replays']} replays)")
+
+    identical = prints["scalar"] == prints["columnar"]
+    warm_speedup = rows["scalar"]["warm_s"] / rows["columnar"]["warm_s"]
+    cold_speedup = rows["scalar"]["cold_s"] / rows["columnar"]["cold_s"]
+    print(f"\nwarm replay speedup (columnar over scalar): "
+          f"{warm_speedup:.1f}x")
+    print(f"cold replay speedup (incl. shared artifact IO): "
+          f"{cold_speedup:.1f}x")
+    print(f"engines bit-identical across all replays: {identical}")
+
+    summary = {
+        "workload": {
+            "matrices": args.matrices,
+            "max_n": args.max_n,
+            "artifacts": len(paths),
+            "recorded_ops": total_ops,
+            "repeats": args.repeats,
+        },
+        "engines": rows,
+        "warm_speedup": round(warm_speedup, 2),
+        "cold_speedup": round(cold_speedup, 2),
+        "bit_identical": identical,
+    }
+    out = Path(args.json) if args.json else DEFAULT_JSON
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+    if args.check:
+        failures = []
+        if not identical:
+            failures.append("engines disagreed on at least one replay")
+        if warm_speedup < 5.0:
+            failures.append(
+                f"warm speedup {warm_speedup:.1f}x below the 5x gate"
+            )
+        if failures:
+            print("\nCHECK FAILED: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print("\nCHECK PASSED: bit-identical and warm speedup >= 5x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,7 @@ def run_dse(
     spmm_max_n: int = 1024,
     runner: Optional["RunnerConfig"] = None,
     record_dir: Optional[str] = None,
+    engine: Optional[str] = None,
     validate: bool = False,
 ) -> DseResult:
     """Sweep every configuration over the three kernels (Figure 9).
@@ -118,6 +119,11 @@ def run_dse(
     them (bit-identical to the direct sweep, see
     ``tests/test_ops_replay_differential.py``).
 
+    ``engine`` selects the replay pricing engine (``"scalar"`` or
+    ``"columnar"``, see :data:`repro.sim.backends.REPLAY_ENGINES`); it only
+    applies in record/replay mode and never changes results — both engines
+    are bit-identical by contract.
+
     ``validate`` routes every op (direct, record, and replay) through the
     runtime invariant checker
     (:class:`~repro.sim.backends.InvariantBackend`).
@@ -133,6 +139,7 @@ def run_dse(
             spmm_max_n=spmm_max_n,
             runner=runner,
             record_dir=record_dir,
+            engine=engine,
             validate=validate,
         )
     cycles: Dict[str, Dict[str, float]] = {k: {} for k in DSE_KERNELS}
@@ -181,6 +188,7 @@ def _run_dse_replay(
     spmm_max_n: int,
     runner: Optional["RunnerConfig"],
     record_dir: str,
+    engine: Optional[str] = None,
     validate: bool = False,
 ) -> DseResult:
     """Record once per stream-shape group, replay once per configuration."""
@@ -206,7 +214,11 @@ def _run_dse_replay(
                 kernel, collection, cfg, machine, limit,
                 spmm_collection, spmm_max_n, validate,
             )
-            recs = _run(replay_units(units, record_dir=record_dir), runner, None)
+            recs = _run(
+                replay_units(units, record_dir=record_dir, engine=engine),
+                runner,
+                None,
+            )
             cycles[kernel][cfg.name] = geomean(
                 r.via_cycles[fmt] for r in recs
             )

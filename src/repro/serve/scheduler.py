@@ -519,7 +519,9 @@ class Scheduler:
                 validate=self.config.validate,
             )
         if spec.kind == "replay":
-            units = replay_units(units, record_dir=self.record_dir)
+            units = replay_units(
+                units, record_dir=self.record_dir, engine=spec.engine
+            )
         return units
 
     def _count_replay_hits(self, units) -> None:

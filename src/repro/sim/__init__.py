@@ -7,6 +7,8 @@ parallelism, and VIA commit-time execution.
 """
 
 from repro.sim.backends import (
+    DEFAULT_REPLAY_ENGINE,
+    REPLAY_ENGINES,
     Backend,
     DirectBackend,
     RecorderBackend,
@@ -14,6 +16,12 @@ from repro.sim.backends import (
     replay_recording,
 )
 from repro.sim.cache import Cache, CacheStats, compress_lines, stream_lines
+from repro.sim.columnar import (
+    ColumnarOps,
+    check_columnar_invariants,
+    columnar_via_totals,
+    price_columnar,
+)
 from repro.sim.config import (
     DEFAULT_MACHINE,
     CacheConfig,
@@ -44,6 +52,12 @@ __all__ = [
     "RecorderBackend",
     "TraceBackend",
     "replay_recording",
+    "DEFAULT_REPLAY_ENGINE",
+    "REPLAY_ENGINES",
+    "ColumnarOps",
+    "check_columnar_invariants",
+    "columnar_via_totals",
+    "price_columnar",
     "OPS_SCHEMA_VERSION",
     "Op",
     "Recording",

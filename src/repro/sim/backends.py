@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 import math
 
-from repro.errors import InvariantError
+from repro.errors import InvariantError, SimulationError
 from repro.sim.config import MachineConfig
 from repro.sim.ops import (
     Op,
@@ -261,12 +261,23 @@ class InvariantBackend(Backend):
 #: threads, so the per-machine pricing memo is cross-thread shared state
 _MEMO_LOCK = threading.Lock()
 
+#: replay pricing engines: ``scalar`` walks :meth:`Op.apply` one record at
+#: a time; ``columnar`` prices whole streams as array arithmetic
+#: (:mod:`repro.sim.columnar`), bit-identical per its integral-latency
+#: contract
+REPLAY_ENGINES = ("scalar", "columnar")
+
+#: engine used when callers do not choose one; flipping this to
+#: ``columnar`` is gated on the differential CI matrix staying green
+DEFAULT_REPLAY_ENGINE = "scalar"
+
 
 def replay_recording(
     recording: Recording,
     *,
     machine: Optional[MachineConfig] = None,
     via_config: Optional["ViaConfig"] = None,
+    engine: Optional[str] = None,
     validate: bool = False,
 ) -> "KernelResult":
     """Re-price a recorded op stream under a target configuration.
@@ -294,11 +305,18 @@ def replay_recording(
       touch the memory hierarchy, so the split is exact.
 
     With ``validate=True`` the replay self-checks: a cross-machine memory
-    pass prices ops through an :class:`InvariantBackend`, and every path
-    runs :func:`check_result_invariants` over the finished result — so a
-    corrupt or mis-priced artifact raises
+    pass prices ops through an :class:`InvariantBackend` (scalar engine) or
+    :func:`repro.sim.columnar.check_columnar_invariants` (columnar engine),
+    and every path runs :func:`check_result_invariants` over the finished
+    result — so a corrupt or mis-priced artifact raises
     :class:`~repro.errors.InvariantError` instead of producing a silently
     wrong number.  Validation never changes the result.
+
+    ``engine`` selects the pricing implementation (default
+    :data:`DEFAULT_REPLAY_ENGINE`): ``columnar`` re-prices the stream as
+    whole-array NumPy kernels, bit-identical to ``scalar`` under the
+    integral-latency contract — a machine carrying fractional cache/DRAM
+    latencies silently falls back to the scalar engine (see DESIGN.md §9).
     """
     from repro.sim.core import Core, build_result
 
@@ -306,6 +324,19 @@ def replay_recording(
         machine = recording.machine
     if via_config is None:
         via_config = recording.via_config
+    if engine is None:
+        engine = DEFAULT_REPLAY_ENGINE
+    if engine not in REPLAY_ENGINES:
+        raise SimulationError(
+            f"unknown replay engine {engine!r}; expected one of {REPLAY_ENGINES}"
+        )
+    if engine == "columnar":
+        from repro.sim.columnar import machine_latencies_integral
+
+        if not machine_latencies_integral(machine):
+            # the bit-identity contract only covers integer cycle
+            # arithmetic; fractional latencies reorder float sums
+            engine = "scalar"
     target_key = stream_shape_key(machine, via_config)
     if target_key != recording.shape_key:
         raise ReplayMismatchError(
@@ -326,7 +357,18 @@ def replay_recording(
         via_leak = area.leakage_mw(via_config)
     else:
         via_leak = 0.0
-    via_side = via_totals(recording.ops, via_config)
+    if engine == "columnar":
+        from repro.sim.columnar import (
+            check_columnar_invariants,
+            columnar_via_totals,
+        )
+
+        cols = recording.columnar()
+        via_side = columnar_via_totals(cols, via_config)
+        if validate:
+            check_columnar_invariants(cols)
+    else:
+        via_side = via_totals(recording.ops, via_config)
     if recording.priced is not None and machine == recording.machine:
         p = recording.priced
         counters = dataclasses.replace(p.counters)
@@ -339,6 +381,35 @@ def replay_recording(
             dram_traffic_bytes=p.dram_traffic_bytes,
             dram_lines=p.dram_lines,
             cache_stats={k: dict(v) for k, v in p.cache_stats.items()},
+            via_leakage_mw=via_leak,
+            output=recording.output,
+        )
+        return check_result_invariants(result) if validate else result
+    if engine == "columnar":
+        from repro.sim.columnar import price_columnar
+
+        memo_key = ("columnar", machine)
+        with _MEMO_LOCK:
+            cp = recording._machine_memo.get(memo_key)
+        if cp is None:
+            cp = price_columnar(cols, machine, validate=validate)
+            with _MEMO_LOCK:
+                # same first-writer-wins discipline as the scalar core memo
+                cp = recording._machine_memo.setdefault(memo_key, cp)
+        counters = dataclasses.replace(cp.counters)
+        counters.via_instructions += via_side.via_instructions
+        counters.vector_uops += via_side.vector_uops
+        counters.sspm_accesses += via_side.sspm_accesses
+        counters.cam_searches += via_side.cam_searches
+        counters.sspm_busy_cycles += via_side.sspm_busy_cycles
+        result = build_result(
+            name=name,
+            machine=machine,
+            counters=counters,
+            dram_occupancy_cycles=cp.dram_occupancy_cycles,
+            dram_traffic_bytes=cp.dram_traffic_bytes,
+            dram_lines=cp.dram_lines,
+            cache_stats={k: dict(v) for k, v in cp.cache_stats.items()},
             via_leakage_mw=via_leak,
             output=recording.output,
         )

@@ -1,0 +1,1018 @@
+"""Columnar (struct-of-arrays) op streams and the vectorized pricing engine.
+
+The scalar pricing path walks a recorded stream one :class:`~repro.sim.ops.Op`
+object at a time.  This module re-expresses the same stream as per-field
+NumPy columns — mirroring the ``.npz`` artifact layout — and re-prices whole
+streams as array arithmetic:
+
+* :func:`columnar_via_totals` prices every :class:`~repro.sim.ops.ViaOpRecord`
+  of a stream in one vectorized pass (the port-dependent side of replay);
+* :func:`price_columnar` is the cross-machine memory pass: allocation bases
+  from a cumulative sum, per-op counters from masked reductions, cache-level
+  latencies from an ``np.take`` over the machine's latency table, and hit /
+  mispredict attribution from per-kind masks;
+* :func:`check_columnar_invariants` re-expresses the PR-3
+  :class:`~repro.sim.backends.InvariantBackend` conservation laws as
+  whole-array assertions, including SSPM occupancy as a running prefix
+  maximum.
+
+Bit-identity contract
+---------------------
+
+Columnar replay is bit-identical to scalar replay because nothing about the
+arithmetic is reordered where order could matter:
+
+* integer counters commute exactly under any summation order;
+* the three float counters that accumulate op by op
+  (``sspm_busy_cycles``, ``branch_mispredicts``,
+  ``dependency_stall_cycles``) are summed with ``np.cumsum``, whose running
+  accumulation performs the same left-to-right float64 additions as the
+  scalar loop;
+* miss-latency sums stay exact under any order because cache and DRAM
+  latencies are integers (``CacheConfig.latency`` / ``dram_latency``), so
+  every per-line latency is an integer-valued float64.  When a machine
+  carries a non-integral latency, :func:`repro.sim.backends.replay_recording`
+  falls back to the scalar engine rather than risk reordered float error;
+* the stateful cache walk itself reuses the scalar model's
+  :class:`~repro.sim.cache.Cache` objects in recorded op order — only the
+  *attribution* of its outcomes is vectorized.
+
+Column layout (one row per op; roles depend on the ``kinds`` discriminator)
+---------------------------------------------------------------------------
+
+===============  =========  =====================  ==========  ==================  ==========
+kind             ``count``  ``aux``                ``misc``    ``extra``/``fval``  pool window
+===============  =========  =====================  ==========  ==================  ==========
+alloc            num_elems  elem_bytes             —           —                   —
+scalar_ops       count      —                      —           —                   —
+vector_op        count      op-kind id             —           —                   —
+branches         count      —                      —           fval=rate           —
+dependency_stall —          —                      —           fval=cycles         —
+load/store_stream count     start                  —           —                   —
+gather/scatter   n_instr    —                      —           —                   indices
+*_serial         n_instr    elements_per_instr     —           —                   —
+load_windows     width      —                      —           —                   starts
+scalar_load/store —         dependent flag         —           —                   indices
+bulk_stream      passes     write flag             —           —                   —
+record_via_op    count      sspm_elements          cam_search  extra=port_passes   —
+                                                               fval=port_cycles
+===============  =========  =====================  ==========  ==================  ==========
+
+``array_id`` indexes the ``names`` table for ops naming a simulated array
+(−1 otherwise); ``off``/``num`` reference a window of the shared ``pool``
+of int64 indices.  ``port_passes`` uses −1 for "not recorded",
+``port_cycles`` uses NaN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, cast
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import InvariantError, RecordingError, SimulationError
+from repro.sim import calibration as cal
+from repro.sim.cache import Cache, compress_lines, stream_lines
+from repro.sim.config import MachineConfig
+from repro.sim.core import stream_uop_count
+from repro.sim.dram import DRAMModel
+from repro.sim.ops import (
+    VECTOR_OP_KINDS,
+    AllocOp,
+    BranchesOp,
+    BulkStreamOp,
+    DependencyStallOp,
+    GatherOp,
+    GatherSerialOp,
+    LoadStreamOp,
+    LoadWindowsOp,
+    Op,
+    ScalarLoadOp,
+    ScalarOpsOp,
+    ScalarStoreOp,
+    ScatterOp,
+    ScatterSerialOp,
+    StoreStreamOp,
+    VectorOpOp,
+    ViaOpRecord,
+)
+from repro.sim.stats import OpCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.via.config import ViaConfig
+
+__all__ = [
+    "COLUMNS",
+    "KIND_IDS",
+    "KIND_ORDER",
+    "ColumnarOps",
+    "ColumnarPriced",
+    "check_columnar_invariants",
+    "columnar_via_totals",
+    "machine_latency_table",
+    "machine_latencies_integral",
+    "price_columnar",
+]
+
+_LINE = cal.CACHE_LINE_BYTES
+_ALLOC_BASE = 0x1000_0000
+
+#: op-kind discriminator values, in schema order — stable across sessions
+#: because the artifact format depends on it (``kinds`` stores these ids)
+KIND_ORDER: Tuple[str, ...] = (
+    "alloc",
+    "scalar_ops",
+    "vector_op",
+    "branches",
+    "dependency_stall",
+    "load_stream",
+    "store_stream",
+    "gather",
+    "scatter",
+    "gather_serial",
+    "scatter_serial",
+    "load_windows",
+    "scalar_load",
+    "scalar_store",
+    "bulk_stream",
+    "record_via_op",
+)
+
+KIND_IDS: Dict[str, int] = {kind: i for i, kind in enumerate(KIND_ORDER)}
+
+_ALLOC = KIND_IDS["alloc"]
+_SCALAR_OPS = KIND_IDS["scalar_ops"]
+_VECTOR_OP = KIND_IDS["vector_op"]
+_BRANCHES = KIND_IDS["branches"]
+_DEP_STALL = KIND_IDS["dependency_stall"]
+_LOAD_STREAM = KIND_IDS["load_stream"]
+_STORE_STREAM = KIND_IDS["store_stream"]
+_GATHER = KIND_IDS["gather"]
+_SCATTER = KIND_IDS["scatter"]
+_GATHER_SERIAL = KIND_IDS["gather_serial"]
+_SCATTER_SERIAL = KIND_IDS["scatter_serial"]
+_LOAD_WINDOWS = KIND_IDS["load_windows"]
+_SCALAR_LOAD = KIND_IDS["scalar_load"]
+_SCALAR_STORE = KIND_IDS["scalar_store"]
+_BULK_STREAM = KIND_IDS["bulk_stream"]
+_VIA = KIND_IDS["record_via_op"]
+
+#: kinds that name a simulated array (``array_id`` must be valid)
+_ARRAY_KINDS = (
+    _ALLOC,
+    _LOAD_STREAM,
+    _STORE_STREAM,
+    _GATHER,
+    _SCATTER,
+    _LOAD_WINDOWS,
+    _SCALAR_LOAD,
+    _SCALAR_STORE,
+    _BULK_STREAM,
+)
+
+#: kinds that reference a window of the index pool
+_POOL_KINDS = (_GATHER, _SCATTER, _LOAD_WINDOWS, _SCALAR_LOAD, _SCALAR_STORE)
+
+#: serialized column names (the ``pool`` array and ``names`` table ride
+#: alongside; see :func:`repro.sim.ops.save_recordings`)
+COLUMNS: Tuple[str, ...] = (
+    "kinds",
+    "count",
+    "aux",
+    "misc",
+    "extra",
+    "fval",
+    "array_id",
+    "off",
+    "num",
+)
+
+_IntArray = npt.NDArray[np.int64]
+_FloatArray = npt.NDArray[np.float64]
+
+
+def _as_column(
+    name: str, values: object, dtype: "np.dtype[np.generic]"
+) -> npt.NDArray[np.generic]:
+    try:
+        arr = np.asarray(values, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise RecordingError(f"columnar field {name!r} is malformed: {exc}") from exc
+    if arr.ndim != 1:
+        raise RecordingError(
+            f"columnar field {name!r} must be one-dimensional, got shape {arr.shape}"
+        )
+    return arr
+
+
+@dataclass
+class ColumnarOps:
+    """A recorded op stream as struct-of-arrays columns.
+
+    Construction validates the structural contract — equal column lengths,
+    known kind ids, in-bounds name-table and index-pool references — and
+    raises :class:`~repro.errors.RecordingError` on any violation, so a
+    truncated or tampered column can never silently broadcast into a
+    wrong-but-plausible pricing result.
+    """
+
+    kinds: npt.NDArray[np.uint8]
+    count: _IntArray
+    aux: _IntArray
+    misc: _IntArray
+    extra: _IntArray
+    fval: _FloatArray
+    array_id: _IntArray
+    off: _IntArray
+    num: _IntArray
+    pool: _IntArray
+    names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.kinds = cast(
+            npt.NDArray[np.uint8], _as_column("kinds", self.kinds, np.dtype(np.uint8))
+        )
+        for name in ("count", "aux", "misc", "extra", "array_id", "off", "num"):
+            setattr(
+                self,
+                name,
+                _as_column(name, getattr(self, name), np.dtype(np.int64)),
+            )
+        self.fval = cast(
+            _FloatArray, _as_column("fval", self.fval, np.dtype(np.float64))
+        )
+        self.pool = cast(
+            _IntArray, _as_column("pool", self.pool, np.dtype(np.int64))
+        )
+        self.names = tuple(str(n) for n in self.names)
+        n = int(self.kinds.size)
+        for name in COLUMNS[1:]:
+            col = getattr(self, name)
+            if int(col.size) != n:
+                raise RecordingError(
+                    f"columnar stream is ragged: column {name!r} has "
+                    f"{int(col.size)} rows, kinds has {n}"
+                )
+        if n and int(self.kinds.max()) >= len(KIND_ORDER):
+            raise RecordingError(
+                f"columnar stream carries unknown op-kind id "
+                f"{int(self.kinds.max())} (schema knows {len(KIND_ORDER)})"
+            )
+        needs_array = np.isin(self.kinds, np.asarray(_ARRAY_KINDS, dtype=np.uint8))
+        if needs_array.any():
+            ids = self.array_id[needs_array]
+            if int(ids.min()) < 0 or int(ids.max()) >= len(self.names):
+                raise RecordingError(
+                    "columnar stream references an array name outside its "
+                    f"name table (ids in [{int(ids.min())}, {int(ids.max())}], "
+                    f"{len(self.names)} names)"
+                )
+        pooled = np.isin(self.kinds, np.asarray(_POOL_KINDS, dtype=np.uint8))
+        if pooled.any():
+            off = self.off[pooled]
+            num = self.num[pooled]
+            if int(off.min()) < 0 or int(num.min()) < 0:
+                raise RecordingError(
+                    "columnar stream carries a negative index-pool reference"
+                )
+            end = off + num
+            if int(end.max(initial=0)) > int(self.pool.size):
+                raise RecordingError(
+                    f"columnar stream references pool slice ending at "
+                    f"{int(end.max(initial=0))} but the pool holds only "
+                    f"{int(self.pool.size)} indices (truncated artifact?)"
+                )
+
+    def __len__(self) -> int:
+        return int(self.kinds.size)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ops(cls, ops: List[Op]) -> "ColumnarOps":
+        """Convert a list of op records into columns (one pass)."""
+        n = len(ops)
+        kinds = np.zeros(n, dtype=np.uint8)
+        count = np.zeros(n, dtype=np.int64)
+        aux = np.zeros(n, dtype=np.int64)
+        misc = np.zeros(n, dtype=np.int64)
+        extra = np.full(n, -1, dtype=np.int64)
+        fval = np.full(n, np.nan, dtype=np.float64)
+        array_id = np.full(n, -1, dtype=np.int64)
+        off = np.zeros(n, dtype=np.int64)
+        num = np.zeros(n, dtype=np.int64)
+        name_ids: Dict[str, int] = {}
+        chunks: List[_IntArray] = []
+        pool_size = 0
+
+        def intern(name: str) -> int:
+            return name_ids.setdefault(name, len(name_ids))
+
+        def pooled(i: int, arr: npt.NDArray[np.int64]) -> None:
+            nonlocal pool_size
+            data = np.ascontiguousarray(arr, dtype=np.int64)
+            off[i] = pool_size
+            num[i] = int(data.size)
+            chunks.append(data)
+            pool_size += int(data.size)
+
+        for i, op in enumerate(ops):
+            kinds[i] = KIND_IDS[op.kind]
+            if isinstance(op, AllocOp):
+                count[i] = op.num_elems
+                aux[i] = op.elem_bytes
+                array_id[i] = intern(op.name)
+            elif isinstance(op, ScalarOpsOp):
+                count[i] = op.count
+            elif isinstance(op, VectorOpOp):
+                count[i] = op.count
+                aux[i] = VECTOR_OP_KINDS.index(op.op_kind)
+            elif isinstance(op, BranchesOp):
+                count[i] = op.count
+                fval[i] = op.mispredict_rate
+            elif isinstance(op, DependencyStallOp):
+                fval[i] = op.cycles
+            elif isinstance(op, (LoadStreamOp, StoreStreamOp)):
+                count[i] = op.count
+                aux[i] = op.start
+                array_id[i] = intern(op.array)
+            elif isinstance(op, (GatherOp, ScatterOp)):
+                count[i] = op.n_instr
+                array_id[i] = intern(op.array)
+                pooled(i, op.indices)
+            elif isinstance(op, (GatherSerialOp, ScatterSerialOp)):
+                count[i] = op.n_instr
+                aux[i] = op.elements_per_instr
+            elif isinstance(op, LoadWindowsOp):
+                count[i] = op.width
+                array_id[i] = intern(op.array)
+                pooled(i, op.starts)
+            elif isinstance(op, (ScalarLoadOp, ScalarStoreOp)):
+                aux[i] = int(op.dependent)
+                array_id[i] = intern(op.array)
+                pooled(i, op.indices)
+            elif isinstance(op, BulkStreamOp):
+                count[i] = op.passes
+                aux[i] = int(op.write)
+                array_id[i] = intern(op.array)
+            elif isinstance(op, ViaOpRecord):
+                count[i] = op.count
+                aux[i] = op.sspm_elements
+                misc[i] = op.cam_searches
+                extra[i] = -1 if op.port_passes is None else op.port_passes
+                fval[i] = np.nan if op.port_cycles is None else op.port_cycles
+            else:  # pragma: no cover - new op kinds must extend this table
+                raise RecordingError(
+                    f"no columnar encoding for op kind {op.kind!r}"
+                )
+        pool = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        )
+        return cls(
+            kinds=kinds,
+            count=count,
+            aux=aux,
+            misc=misc,
+            extra=extra,
+            fval=fval,
+            array_id=array_id,
+            off=off,
+            num=num,
+            pool=pool,
+            names=tuple(name_ids),
+        )
+
+    def to_ops(self) -> List[Op]:
+        """Materialize the columns back into op records (scalar engine)."""
+        ops: List[Op] = []
+        names = self.names
+        pool = self.pool
+        for i in range(len(self)):
+            k = int(self.kinds[i])
+            if k == _ALLOC:
+                ops.append(
+                    AllocOp(
+                        names[int(self.array_id[i])],
+                        int(self.count[i]),
+                        int(self.aux[i]),
+                    )
+                )
+            elif k == _SCALAR_OPS:
+                ops.append(ScalarOpsOp(int(self.count[i])))
+            elif k == _VECTOR_OP:
+                ops.append(
+                    VectorOpOp(
+                        VECTOR_OP_KINDS[int(self.aux[i])], int(self.count[i])
+                    )
+                )
+            elif k == _BRANCHES:
+                ops.append(
+                    BranchesOp(int(self.count[i]), float(self.fval[i]))
+                )
+            elif k == _DEP_STALL:
+                ops.append(DependencyStallOp(float(self.fval[i])))
+            elif k in (_LOAD_STREAM, _STORE_STREAM):
+                cls = LoadStreamOp if k == _LOAD_STREAM else StoreStreamOp
+                ops.append(
+                    cls(
+                        names[int(self.array_id[i])],
+                        int(self.aux[i]),
+                        int(self.count[i]),
+                    )
+                )
+            elif k in (_GATHER, _SCATTER):
+                icls = GatherOp if k == _GATHER else ScatterOp
+                window = pool[int(self.off[i]) : int(self.off[i] + self.num[i])]
+                ops.append(
+                    icls(
+                        names[int(self.array_id[i])],
+                        window,
+                        int(self.count[i]),
+                    )
+                )
+            elif k in (_GATHER_SERIAL, _SCATTER_SERIAL):
+                scls = GatherSerialOp if k == _GATHER_SERIAL else ScatterSerialOp
+                ops.append(scls(int(self.count[i]), int(self.aux[i])))
+            elif k == _LOAD_WINDOWS:
+                window = pool[int(self.off[i]) : int(self.off[i] + self.num[i])]
+                ops.append(
+                    LoadWindowsOp(
+                        names[int(self.array_id[i])],
+                        window,
+                        int(self.count[i]),
+                    )
+                )
+            elif k in (_SCALAR_LOAD, _SCALAR_STORE):
+                mcls = ScalarLoadOp if k == _SCALAR_LOAD else ScalarStoreOp
+                window = pool[int(self.off[i]) : int(self.off[i] + self.num[i])]
+                ops.append(
+                    mcls(
+                        names[int(self.array_id[i])],
+                        window,
+                        bool(self.aux[i]),
+                    )
+                )
+            elif k == _BULK_STREAM:
+                ops.append(
+                    BulkStreamOp(
+                        names[int(self.array_id[i])],
+                        int(self.count[i]),
+                        bool(self.aux[i]),
+                    )
+                )
+            else:
+                pp = int(self.extra[i])
+                pc = float(self.fval[i])
+                ops.append(
+                    ViaOpRecord(
+                        sspm_elements=int(self.aux[i]),
+                        cam_searches=int(self.misc[i]),
+                        count=int(self.count[i]),
+                        port_passes=None if pp < 0 else pp,
+                        port_cycles=None if np.isnan(pc) else pc,
+                    )
+                )
+        return ops
+
+
+# ---------------------------------------------------------------------------
+# VIA-op pricing (the port-dependent side of every replay)
+# ---------------------------------------------------------------------------
+def _port_cycles_vec(
+    sspm_elements: _IntArray, port_passes: _IntArray, ports: int
+) -> _IntArray:
+    """Vectorized :meth:`repro.via.fivu.FivuTiming.port_cycles`."""
+    per_pass = np.maximum(
+        1, sspm_elements // np.maximum(port_passes, 1)
+    )
+    cycles = port_passes * -(-per_pass // ports)
+    return cast(_IntArray, np.where(sspm_elements == 0, 0, cycles))
+
+
+def columnar_via_totals(
+    cols: ColumnarOps, via_config: Optional["ViaConfig"]
+) -> OpCounters:
+    """Vectorized twin of :func:`repro.sim.ops.via_totals`.
+
+    The integer counters are plain masked sums (exact under any order);
+    ``sspm_busy_cycles`` is the last element of an ``np.cumsum`` over the
+    per-op busy terms, which performs the identical left-to-right float64
+    additions as the scalar accumulation loop — bit-identical, not merely
+    close.
+    """
+    totals = OpCounters()
+    mask = cols.kinds == _VIA
+    if not mask.any():
+        return totals
+    cnt = cols.count[mask]
+    se = cols.aux[mask]
+    cs = cols.misc[mask]
+    pp = cols.extra[mask]
+    pc = cols.fval[mask]
+    derive = np.isnan(pc)
+    if derive.any():
+        if via_config is None:
+            raise SimulationError(
+                "cannot price a VIA op without a VIA configuration"
+            )
+        derived = _port_cycles_vec(se, pp, via_config.ports)
+        pc = np.where(derive, derived.astype(np.float64), pc)
+    terms = (pc + float(cal.COMMIT_ISSUE_OVERHEAD)) * cnt
+    totals.via_instructions = int(cnt.sum())
+    totals.vector_uops = int(cnt.sum())
+    totals.sspm_accesses = int((se * cnt).sum())
+    totals.cam_searches = int((cs * cnt).sum())
+    totals.sspm_busy_cycles = float(np.cumsum(terms)[-1])
+    return totals
+
+
+# ---------------------------------------------------------------------------
+# Cross-machine memory pricing
+# ---------------------------------------------------------------------------
+def machine_latency_table(machine: MachineConfig) -> _FloatArray:
+    """Cumulative hit latency per service level (L1, L2, L3, DRAM).
+
+    Indexed by the level an access was served at; ``np.take`` over this
+    table prices a whole trace of classified accesses at once.
+    """
+    m = machine
+    return np.asarray(
+        [
+            float(m.l1.latency),
+            float(m.l1.latency + m.l2.latency),
+            float(m.l1.latency + m.l2.latency + m.l3.latency),
+            float(m.l1.latency + m.l2.latency + m.l3.latency + m.dram_latency),
+        ],
+        dtype=np.float64,
+    )
+
+
+def machine_latencies_integral(machine: MachineConfig) -> bool:
+    """Whether every memory latency is a whole number of cycles.
+
+    The columnar engine's miss-latency sums are order-free only because
+    per-line latencies are integer-valued; a machine configured with a
+    fractional latency must be priced by the scalar engine instead (see
+    the module docstring's bit-identity contract).
+    """
+    values = (
+        machine.l1.latency,
+        machine.l2.latency,
+        machine.l3.latency,
+        machine.dram_latency,
+    )
+    return all(float(v) == float(int(v)) for v in values)
+
+
+@dataclass
+class ColumnarPriced:
+    """Output of :func:`price_columnar`: the machine-dependent pricing state.
+
+    The exact shape :func:`repro.sim.core.build_result` consumes — the VIA
+    side (:func:`columnar_via_totals`) is added on top by the replay
+    driver, mirroring the scalar memory-pass split.
+    """
+
+    counters: OpCounters = field(default_factory=OpCounters)
+    dram_occupancy_cycles: float = 0.0
+    dram_traffic_bytes: int = 0
+    dram_lines: int = 0
+    cache_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+
+def _alloc_tables(
+    cols: ColumnarOps,
+) -> Tuple[_IntArray, _IntArray, _IntArray, _IntArray]:
+    """Vectorized bump allocation: per-alloc-row base/elem_bytes/nbytes.
+
+    Returns ``(alloc_rows, bases, elem_bytes, nbytes)`` in stream order —
+    the cumulative sum over line-aligned sizes reproduces the scalar
+    :class:`~repro.sim.core.AddressSpace` bases exactly.
+    """
+    alloc_rows = np.flatnonzero(cols.kinds == _ALLOC)
+    num_elems = cols.count[alloc_rows]
+    elem_bytes = cols.aux[alloc_rows]
+    if alloc_rows.size and int(elem_bytes.min()) <= 0:
+        raise SimulationError("alloc: elem_bytes must be > 0")
+    nbytes = np.maximum(num_elems, 1) * elem_bytes
+    aligned = (nbytes + _LINE - 1) // _LINE * _LINE
+    bases = _ALLOC_BASE + np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(aligned)[:-1]]
+    )
+    return alloc_rows, bases, elem_bytes, nbytes
+
+
+def _governing_alloc(
+    cols: ColumnarOps, alloc_rows: _IntArray, mem_rows: _IntArray
+) -> _IntArray:
+    """For each memory row, the index (into ``alloc_rows``) of the
+    allocation in effect at that point of the stream (last one wins,
+    mirroring the scalar address-space dict)."""
+    out = np.full(mem_rows.size, -1, dtype=np.int64)
+    if mem_rows.size == 0:
+        return out
+    mem_ids = cols.array_id[mem_rows]
+    alloc_ids = cols.array_id[alloc_rows]
+    for aid in np.unique(mem_ids):
+        a_pos = np.flatnonzero(alloc_ids == aid)
+        m_pos = np.flatnonzero(mem_ids == aid)
+        if a_pos.size == 0:
+            raise SimulationError(
+                f"columnar stream accesses array "
+                f"{cols.names[int(aid)]!r} before allocating it"
+            )
+        slot = np.searchsorted(alloc_rows[a_pos], mem_rows[m_pos], side="left") - 1
+        if int(slot.min()) < 0:
+            raise SimulationError(
+                f"columnar stream accesses array "
+                f"{cols.names[int(aid)]!r} before allocating it"
+            )
+        out[m_pos] = a_pos[slot]
+    return out
+
+
+#: kinds whose rows touch the memory hierarchy (the sequential trace)
+_MEM_KINDS = (
+    _LOAD_STREAM,
+    _STORE_STREAM,
+    _GATHER,
+    _SCATTER,
+    _LOAD_WINDOWS,
+    _SCALAR_LOAD,
+    _SCALAR_STORE,
+    _BULK_STREAM,
+)
+
+
+def price_columnar(
+    cols: ColumnarOps, machine: MachineConfig, *, validate: bool = False
+) -> ColumnarPriced:
+    """Price a stream's non-VIA side on a fresh machine (cross-machine replay).
+
+    The only sequential work is the cache walk itself — LRU state makes the
+    per-line hit/miss classification order-dependent, so the walk drives
+    the scalar model's own :class:`~repro.sim.cache.Cache` objects in
+    recorded op order (identical call sequence, identical state).  Every
+    attribution step around it is whole-array: allocation bases by
+    cumulative sum, per-access latency by ``np.take`` over the machine's
+    latency table, per-op latency sums by ``np.bincount`` segments, hit
+    counters by level masks, and the order-sensitive float counters by
+    ``np.cumsum`` in op order.
+
+    With ``validate=True`` the stream and the finished counters are run
+    through :func:`check_columnar_invariants` (the whole-array twin of the
+    per-op :class:`~repro.sim.backends.InvariantBackend`).
+    """
+    if not machine_latencies_integral(machine):
+        raise SimulationError(
+            "columnar pricing requires integer cache/DRAM latencies "
+            "(use the scalar engine for fractional-latency machines)"
+        )
+    counters = OpCounters()
+    kinds = cols.kinds
+    n = len(cols)
+
+    # ---- whole-array counter sums (integers: order-free and exact) ----
+    def ksum(kind: int, col: _IntArray) -> int:
+        return int(col[kinds == kind].sum())
+
+    counters.scalar_uops = (
+        ksum(_SCALAR_OPS, cols.count)
+        + ksum(_BRANCHES, cols.count)
+        + ksum(_SCALAR_LOAD, cols.num)
+        + ksum(_SCALAR_STORE, cols.num)
+    )
+    counters.branches = ksum(_BRANCHES, cols.count)
+    vec_mask = kinds == _VECTOR_OP
+    counters.vector_uops = (
+        int(cols.count[vec_mask].sum())
+        + ksum(_GATHER, cols.count)
+        + ksum(_SCATTER, cols.count)
+        + ksum(_GATHER_SERIAL, cols.count)
+        + ksum(_SCATTER_SERIAL, cols.count)
+        + ksum(_LOAD_WINDOWS, cols.num)
+    )
+    for name, op_kind in (
+        ("vector_fma", "fma"),
+        ("vector_reduce", "reduce"),
+        ("vector_permute", "permute"),
+        ("vector_conflict", "conflict"),
+    ):
+        sub = vec_mask & (cols.aux == VECTOR_OP_KINDS.index(op_kind))
+        setattr(counters, name, int(cols.count[sub].sum()))
+    counters.gathers = ksum(_GATHER, cols.count) + ksum(_GATHER_SERIAL, cols.count)
+    counters.scatters = ksum(_SCATTER, cols.count) + ksum(_SCATTER_SERIAL, cols.count)
+    gs_mask = kinds == _GATHER_SERIAL
+    ss_mask = kinds == _SCATTER_SERIAL
+    counters.gather_elements = ksum(_GATHER, cols.num) + int(
+        (cols.count[gs_mask] * cols.aux[gs_mask]).sum()
+    )
+    counters.scatter_elements = ksum(_SCATTER, cols.num) + int(
+        (cols.count[ss_mask] * cols.aux[ss_mask]).sum()
+    )
+
+    # ---- order-sensitive float counters: cumsum in op order ----
+    br_mask = kinds == _BRANCHES
+    if br_mask.any():
+        terms = cols.count[br_mask] * cols.fval[br_mask]
+        counters.branch_mispredicts = float(np.cumsum(terms)[-1])
+    stall_mask = kinds == _DEP_STALL
+    if stall_mask.any():
+        counters.dependency_stall_cycles = float(
+            np.cumsum(cols.fval[stall_mask])[-1]
+        )
+
+    # ---- memory trace: sequential cache walk, vectorized attribution ----
+    alloc_rows, bases, a_eb, a_nbytes = _alloc_tables(cols)
+    mem_rows = np.flatnonzero(np.isin(kinds, np.asarray(_MEM_KINDS, dtype=np.uint8)))
+    governing = _governing_alloc(cols, alloc_rows, mem_rows)
+    l1 = Cache(machine.l1)
+    l2 = Cache(machine.l2)
+    l3 = Cache(machine.l3)
+    dram = DRAMModel(
+        machine.dram_latency,
+        machine.dram_bw_bytes_per_cycle,
+        machine.l1.line_bytes,
+    )
+
+    def walk_line(line: int, write: bool) -> int:
+        """One demand access; returns the service level (0=L1 .. 3=DRAM).
+
+        Replicates :meth:`repro.sim.hierarchy.MemoryHierarchy.access_line`
+        call for call — including mid-miss dirty-victim write-backs, which
+        perturb lower-level LRU state and therefore must stay in sequence.
+        """
+        hit, victim = l1.access_line(line, write)
+        if victim is not None:
+            _h, v2 = l2.access_line(victim, True)
+            if v2 is not None:
+                _h, v3 = l3.access_line(v2, True)
+                if v3 is not None:
+                    dram.write_line()
+        if hit:
+            return 0
+        hit, victim = l2.access_line(line, False)
+        if victim is not None:
+            _h, v3 = l3.access_line(victim, True)
+            if v3 is not None:
+                dram.write_line()
+        if hit:
+            return 1
+        hit, victim = l3.access_line(line, False)
+        if victim is not None:
+            dram.write_line()
+        if hit:
+            return 2
+        dram.read_line()
+        return 3
+
+    line_bytes = machine.l1.line_bytes
+    levels_per_op: List[npt.NDArray[np.int8]] = []
+    nlines = np.zeros(mem_rows.size, dtype=np.int64)
+    dependent = np.zeros(mem_rows.size, dtype=bool)
+    stream_extra_latency = np.zeros(mem_rows.size, dtype=np.float64)
+    stream_uops_total = 0
+    bulk_extra_lines = {"l1": 0, "l2": 0, "l3": 0, "dram": 0}
+    l1_cap = machine.l1.size_kb * 1024
+    l2_cap = machine.l2.size_kb * 1024
+    l3_cap = machine.l3.size_kb * 1024
+
+    for j, row in enumerate(mem_rows):
+        k = int(kinds[row])
+        a = int(governing[j])
+        base = int(bases[a])
+        eb = int(a_eb[a])
+        write = False
+        if k in (_LOAD_STREAM, _STORE_STREAM):
+            start = int(cols.aux[row])
+            count = int(cols.count[row])
+            lines = stream_lines(base + start * eb, count * eb, line_bytes)
+            write = k == _STORE_STREAM
+            stream_uops_total += stream_uop_count(machine, count, eb)
+        elif k == _BULK_STREAM:
+            nb = int(a_nbytes[a])
+            num_elems = nb // eb
+            write = bool(cols.aux[row])
+            lines = stream_lines(base, nb, line_bytes)
+            stream_uops_total += stream_uop_count(machine, num_elems, eb)
+            extra = int(cols.count[row]) - 1
+            if extra > 0:
+                blines = -(-nb // _LINE)
+                if nb <= l1_cap:
+                    level_latency, level = 0.0, "l1"
+                elif nb <= l2_cap:
+                    level_latency, level = float(machine.l2.latency), "l2"
+                elif nb <= l3_cap:
+                    level_latency, level = (
+                        float(machine.l2.latency + machine.l3.latency),
+                        "l3",
+                    )
+                else:
+                    level_latency, level = (
+                        float(
+                            machine.l2.latency
+                            + machine.l3.latency
+                            + machine.dram_latency
+                        ),
+                        "dram",
+                    )
+                bulk_extra_lines[level] += extra * blines
+                stream_extra_latency[j] = extra * blines * level_latency
+                stream_uops_total += stream_uop_count(
+                    machine, num_elems * extra, eb
+                )
+        else:
+            window = cols.pool[int(cols.off[row]) : int(cols.off[row] + cols.num[row])]
+            if k == _LOAD_WINDOWS:
+                width = int(cols.count[row])
+                offsets = np.arange(width, dtype=np.int64)
+                addrs = (window[:, None] + offsets[None, :]).ravel() * eb + base
+            else:
+                addrs = base + window * eb
+            lines, _counts = compress_lines(addrs, line_bytes)
+            write = k in (_SCATTER, _SCALAR_STORE)
+            dependent[j] = k in (_GATHER, _SCATTER, _LOAD_WINDOWS) or (
+                k in (_SCALAR_LOAD, _SCALAR_STORE) and bool(cols.aux[row])
+            )
+        lv = np.empty(lines.size, dtype=np.int8)
+        for t, line in enumerate(lines):
+            lv[t] = walk_line(int(line), write)
+        levels_per_op.append(lv)
+        nlines[j] = lines.size
+
+    levels = (
+        np.concatenate(levels_per_op)
+        if levels_per_op
+        else np.zeros(0, dtype=np.int8)
+    )
+    counters.vector_uops += stream_uops_total
+
+    # vectorized attribution: latency-table lookup + per-op segments
+    table = machine_latency_table(machine)
+    lat = np.take(table, levels)
+    seg = np.repeat(np.arange(mem_rows.size, dtype=np.int64), nlines)
+    latsum = np.bincount(seg, weights=lat, minlength=mem_rows.size)
+    miss = np.maximum(latsum - nlines * float(machine.l1.latency), 0.0)
+    stream_terms = np.where(dependent, 0.0, miss) + stream_extra_latency
+    dep_terms = np.where(dependent, miss, 0.0)
+    if mem_rows.size:
+        counters.stream_miss_latency = float(np.cumsum(stream_terms)[-1])
+        counters.dependent_miss_latency = float(np.cumsum(dep_terms)[-1])
+    counters.mem_line_accesses = int(levels.size) + sum(bulk_extra_lines.values())
+    counters.l1_hits = int((levels == 0).sum()) + bulk_extra_lines["l1"]
+    counters.l2_hits = int((levels == 1).sum()) + bulk_extra_lines["l2"]
+    counters.l3_hits = int((levels == 2).sum()) + bulk_extra_lines["l3"]
+    counters.dram_fills = int((levels == 3).sum()) + bulk_extra_lines["dram"]
+    if bulk_extra_lines["dram"]:
+        dram.read_lines(bulk_extra_lines["dram"])
+
+    cache_stats: Dict[str, Dict[str, object]] = {}
+    for name, cache in (("l1", l1), ("l2", l2), ("l3", l3)):
+        s = cache.stats
+        cache_stats[name] = {
+            "accesses": s.accesses,
+            "hits": s.hits,
+            "misses": s.misses,
+            "writebacks": s.writebacks,
+            "hit_rate": s.hit_rate,
+        }
+    cache_stats["dram"] = {
+        "reads": dram.stats.reads,
+        "writes": dram.stats.writes,
+        "traffic_bytes": dram.traffic_bytes,
+    }
+    priced = ColumnarPriced(
+        counters=counters,
+        dram_occupancy_cycles=dram.occupancy_cycles(),
+        dram_traffic_bytes=dram.traffic_bytes,
+        dram_lines=dram.stats.lines,
+        cache_stats=cache_stats,
+    )
+    if validate:
+        check_columnar_invariants(cols, counters=counters)
+    return priced
+
+
+# ---------------------------------------------------------------------------
+# Whole-array invariant checking (the PR-3 laws, vectorized)
+# ---------------------------------------------------------------------------
+_FLOAT_SLACK = 1e-9
+
+#: multiplicity columns that must be non-negative, per kind
+_NON_NEGATIVE_ROLES: Tuple[Tuple[int, str], ...] = (
+    (_ALLOC, "count"),
+    (_SCALAR_OPS, "count"),
+    (_VECTOR_OP, "count"),
+    (_BRANCHES, "count"),
+    (_LOAD_STREAM, "count"),
+    (_LOAD_STREAM, "aux"),
+    (_STORE_STREAM, "count"),
+    (_STORE_STREAM, "aux"),
+    (_GATHER, "count"),
+    (_SCATTER, "count"),
+    (_GATHER_SERIAL, "count"),
+    (_GATHER_SERIAL, "aux"),
+    (_SCATTER_SERIAL, "count"),
+    (_SCATTER_SERIAL, "aux"),
+    (_LOAD_WINDOWS, "count"),
+    (_BULK_STREAM, "count"),
+    (_VIA, "count"),
+    (_VIA, "aux"),
+    (_VIA, "misc"),
+)
+
+
+def check_columnar_invariants(
+    cols: ColumnarOps,
+    *,
+    counters: Optional[OpCounters] = None,
+    capacity: Optional[int] = None,
+) -> None:
+    """Assert the model's conservation laws over whole columns at once.
+
+    The vectorized twin of the per-op
+    :class:`~repro.sim.backends.InvariantBackend` checks:
+
+    * every multiplicity column is non-negative and every float operand is
+      finite, so no op can ever *decrease* a monotone counter;
+    * per-op branch mispredict rates stay within [0, 1] (mispredicts can
+      never exceed the branches that produced them);
+    * with ``capacity`` given, the SSPM footprint law: the running prefix
+      maximum (``np.maximum.accumulate``) of per-pass element counts never
+      exceeds the scratchpad capacity — the whole-stream expression of the
+      live occupancy bound (checked only when a capacity is known,
+      mirroring how the scalar checker needs an attached VIA device);
+    * with ``counters`` given, the finished totals obey the zero-to-final
+      delta laws: finite non-negative counters, cache-hit conservation
+      (every line access served by exactly one level), and total
+      mispredicts bounded by total branches.
+
+    Raises :class:`~repro.errors.InvariantError` on the first violated law.
+    """
+    kinds = cols.kinds
+    for kind, col_name in _NON_NEGATIVE_ROLES:
+        col = getattr(cols, col_name)[kinds == kind]
+        if col.size and int(col.min()) < 0:
+            raise InvariantError(
+                f"op kind {KIND_ORDER[kind]!r} carries a negative "
+                f"{col_name!r} multiplicity ({int(col.min())})"
+            )
+    br = cols.fval[kinds == _BRANCHES]
+    if br.size and (
+        not np.isfinite(br).all() or float(br.min()) < 0.0 or float(br.max()) > 1.0
+    ):
+        raise InvariantError(
+            "branch mispredict rates must lie in [0, 1] "
+            "(mispredicts cannot exceed branches)"
+        )
+    stalls = cols.fval[kinds == _DEP_STALL]
+    if stalls.size and (not np.isfinite(stalls).all() or float(stalls.min()) < 0.0):
+        raise InvariantError("dependency stalls must be finite and >= 0")
+    via = kinds == _VIA
+    if via.any():
+        pp = cols.extra[via]
+        pc = cols.fval[via]
+        missing = (pp < 0) & np.isnan(pc)
+        if missing.any():
+            raise InvariantError(
+                "VIA op carries neither port_passes nor port_cycles"
+            )
+        has_pc = ~np.isnan(pc)
+        if has_pc.any() and float(pc[has_pc].min()) < 0.0:
+            raise InvariantError("VIA port_cycles must be >= 0")
+    if capacity is not None and via.any():
+        se = cols.aux[via]
+        pp = np.maximum(cols.extra[via], 1)
+        footprint = np.maximum(1, se // pp)
+        footprint = np.where(se == 0, 0, footprint)
+        running = np.maximum.accumulate(footprint)
+        if int(running[-1]) > capacity:
+            peak = int(running[-1])
+            raise InvariantError(
+                f"SSPM footprint {peak} exceeds capacity {capacity} "
+                "(occupancy prefix maximum out of bounds)"
+            )
+    if counters is None:
+        return
+    values = counters.as_dict()
+    arr = np.asarray([float(v) for v in values.values()], dtype=np.float64)
+    if not np.isfinite(arr).all():
+        bad = [k for k, v in values.items() if not np.isfinite(float(v))]
+        raise InvariantError(f"counter(s) {bad} became non-finite")
+    if float(arr.min()) < -_FLOAT_SLACK:
+        bad = [k for k, v in values.items() if float(v) < -_FLOAT_SLACK]
+        raise InvariantError(f"counter(s) {bad} are negative")
+    served = (
+        counters.l1_hits + counters.l2_hits + counters.l3_hits + counters.dram_fills
+    )
+    if served != counters.mem_line_accesses:
+        raise InvariantError(
+            f"cache conservation broken: {counters.mem_line_accesses} line "
+            f"accesses but {served} served (l1+l2+l3+dram)"
+        )
+    if counters.branch_mispredicts > counters.branches + _FLOAT_SLACK:
+        raise InvariantError(
+            f"{counters.branch_mispredicts} branch mispredicts exceed "
+            f"{counters.branches} branches"
+        )

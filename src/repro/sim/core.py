@@ -65,6 +65,16 @@ from repro.sim.stats import CycleBreakdown, KernelResult, OpCounters
 _LINE = cal.CACHE_LINE_BYTES
 
 
+def stream_uop_count(machine: MachineConfig, count: int, elem_bytes: int) -> int:
+    """Issue cost of one contiguous vector access (VL elements per uop).
+
+    Shared by :meth:`Core._stream_uops` and the columnar engine
+    (:mod:`repro.sim.columnar`) so both price stream issue identically.
+    """
+    per_uop = max(1, (machine.vl * 8) // max(elem_bytes, 1))
+    return max(1, -(-int(count) // per_uop))
+
+
 def build_result(
     *,
     name: str,
@@ -437,8 +447,9 @@ class Core:
 
     def _stream_uops(self, count: int, elem_bytes: int) -> None:
         """Issue cost of a contiguous vector access (VL elements per uop)."""
-        per_uop = max(1, (self.machine.vl * 8) // max(elem_bytes, 1))
-        self.counters.vector_uops += max(1, -(-int(count) // per_uop))
+        self.counters.vector_uops += stream_uop_count(
+            self.machine, count, elem_bytes
+        )
 
     def _record_mem(self, res: AccessResult, *, dependent: bool) -> None:
         c = self.counters

@@ -30,11 +30,15 @@ Serialization
 
 :func:`save_recordings` / :func:`load_recordings` persist a dict of
 :class:`Recording` objects into one ``np.savez_compressed`` artifact: a JSON
-meta blob (schema version, configs, per-op scalar fields, checksum), a
-shared int64 index pool for all address-bearing ops, and the functional
-outputs as native npz arrays.  Any truncation, tampering, or schema
-mismatch raises :class:`RecordingError` — callers treat that as a cache
-miss and re-record.
+meta blob (schema version, configs, priced state, checksum) plus native npz
+arrays — the op stream stored *columnar* (schema v2: one array per
+:data:`repro.sim.columnar.COLUMNS` field plus the shared int64 index pool,
+exactly the struct-of-arrays the vectorized engine prices), and the
+functional outputs.  Loading never materializes per-op Python objects:
+:class:`Recording` holds the columns and converts to an op list lazily only
+when the scalar engine asks.  Any truncation, tampering, or schema mismatch
+raises :class:`RecordingError` — callers treat that as a cache miss and
+re-record.
 """
 
 from __future__ import annotations
@@ -43,8 +47,9 @@ import dataclasses
 import hashlib
 import io
 import json
+import threading
 import zipfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -72,13 +77,16 @@ from repro.sim.config import CacheConfig, MachineConfig
 from repro.sim.stats import OpCounters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports ops)
+    from repro.sim.columnar import ColumnarOps
     from repro.sim.core import Core
     from repro.sim.stats import KernelResult
     from repro.via.config import ViaConfig
 
 #: bump whenever Op field layouts or the artifact format change; folded into
-#: recording cache keys so stale artifacts invalidate cleanly
-OPS_SCHEMA_VERSION = 1
+#: recording cache keys so stale artifacts invalidate cleanly.
+#: v2: op streams persist as struct-of-arrays columns (repro.sim.columnar)
+#: instead of per-op JSON payloads
+OPS_SCHEMA_VERSION = 2
 
 _LINE = cal.CACHE_LINE_BYTES
 
@@ -213,27 +221,6 @@ class Op:
         for name in self._arrays:
             parts.append(f"{name}=<{getattr(self, name).size} elems>")
         return ", ".join(parts)
-
-    # -- serialization -------------------------------------------------
-    def to_payload(self, pool: "_IndexPool") -> Dict[str, Any]:
-        payload: Dict[str, Any] = {"k": self.kind}
-        for name in self._scalars:
-            payload[name] = getattr(self, name)
-        for name in self._arrays:
-            payload[name] = pool.put(getattr(self, name))
-        return payload
-
-    @classmethod
-    def from_payload(
-        cls, payload: Dict[str, Any], pool_data: npt.NDArray[np.int64]
-    ) -> "Op":
-        kwargs: Dict[str, Any] = {}
-        for name in cls._scalars:
-            kwargs[name] = payload[name]
-        for name in cls._arrays:
-            offset, size = payload[name]
-            kwargs[name] = pool_data[offset : offset + size]
-        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -796,7 +783,6 @@ class PricedState:
         )
 
 
-@dataclass
 class Recording:
     """One kernel execution captured as an op stream plus its output.
 
@@ -805,53 +791,88 @@ class Recording:
     the stream under any shape-compatible pair.  ``priced`` is the record
     run's pricing state (same-machine replays reuse it instead of
     re-simulating memory); ``_machine_memo`` caches the one memory pass a
-    cross-machine replay needs, keyed by target machine.
+    cross-machine replay needs, keyed by target machine (and engine).
+
+    The stream itself lives in whichever representation produced the
+    recording — an op list (recorder backend) or struct-of-arrays columns
+    (loaded v2 artifacts) — and converts to the other lazily, under a lock,
+    only when an engine asks: the columnar engine never materializes per-op
+    objects for a loaded artifact, and the scalar engine never pays for
+    columns it does not use.
     """
 
-    name: str
-    machine: MachineConfig
-    via_config: Optional["ViaConfig"]
-    ops: List[Op] = field(default_factory=list)
-    output: Any = None
-    priced: Optional[PricedState] = None
-    _machine_memo: Dict[MachineConfig, Any] = field(
-        default_factory=dict, repr=False, compare=False
-    )
+    def __init__(
+        self,
+        name: str,
+        machine: MachineConfig,
+        via_config: Optional["ViaConfig"],
+        ops: Optional[List[Op]] = None,
+        output: Any = None,
+        priced: Optional[PricedState] = None,
+        columnar: Optional["ColumnarOps"] = None,
+    ) -> None:
+        if ops is None and columnar is None:
+            ops = []
+        self.name = name
+        self.machine = machine
+        self.via_config = via_config
+        self.output = output
+        self.priced = priced
+        self._ops = ops
+        self._columnar = columnar
+        #: per-(engine, machine) memoized memory passes; shared across serve
+        #: executor threads, guarded by backends._MEMO_LOCK
+        self._machine_memo: Dict[Any, Any] = {}
+        self._lock = threading.Lock()
 
     @property
     def shape_key(self) -> Dict[str, Any]:
         return stream_shape_key(self.machine, self.via_config)
 
+    @property
+    def ops(self) -> List[Op]:
+        """The op stream as records, materialized from columns on demand."""
+        ops = self._ops
+        if ops is None:
+            with self._lock:
+                if self._ops is None:
+                    self._ops = cast("ColumnarOps", self._columnar).to_ops()
+                ops = self._ops
+        return ops
+
+    def columnar(self) -> "ColumnarOps":
+        """The op stream as struct-of-arrays columns, converted on demand."""
+        cols = self._columnar
+        if cols is None:
+            # deferred: columnar imports this module at load time
+            from repro.sim.columnar import ColumnarOps
+
+            with self._lock:
+                if self._columnar is None:
+                    self._columnar = ColumnarOps.from_ops(
+                        cast(List[Op], self._ops)
+                    )
+                cols = self._columnar
+        return cols
+
     def replay(
         self,
         machine: Optional[MachineConfig] = None,
         via_config: Optional["ViaConfig"] = None,
+        *,
+        engine: Optional[str] = None,
+        validate: bool = False,
     ) -> "KernelResult":
         """Re-price this stream; see :func:`repro.sim.backends.replay_recording`."""
         from repro.sim.backends import replay_recording
 
-        return replay_recording(self, machine=machine, via_config=via_config)
-
-
-class _IndexPool:
-    """Accumulates int64 arrays into one shared buffer; ops hold
-    ``(offset, size)`` references into it."""
-
-    def __init__(self) -> None:
-        self._chunks: List[npt.NDArray[np.int64]] = []
-        self._size = 0
-
-    def put(self, arr: npt.NDArray[Any]) -> Tuple[int, int]:
-        pooled = np.ascontiguousarray(arr, dtype=np.int64)
-        ref = (self._size, int(pooled.size))
-        self._chunks.append(pooled)
-        self._size += int(pooled.size)
-        return ref
-
-    def data(self) -> npt.NDArray[np.int64]:
-        if not self._chunks:
-            return np.zeros(0, dtype=np.int64)
-        return np.concatenate(self._chunks)
+        return replay_recording(
+            self,
+            machine=machine,
+            via_config=via_config,
+            engine=engine,
+            validate=validate,
+        )
 
 
 # -- config (de)serialization ------------------------------------------------
@@ -950,10 +971,17 @@ def _decode_output(spec: Dict[str, Any], arrays: Mapping[str, Any]) -> Any:
     raise RecordingError(f"unknown output spec type {kind!r}")
 
 
-def _checksum(meta_blob: bytes, pool: npt.NDArray[np.int64]) -> str:
+def _checksum(meta_blob: bytes, arrays: Mapping[str, npt.NDArray[Any]]) -> str:
+    """Digest of the meta blob plus every npz array (name, dtype, shape,
+    bytes) — so tampering with any column, pool, or output is detected."""
     digest = hashlib.sha256()
     digest.update(meta_blob)
-    digest.update(np.ascontiguousarray(pool, dtype=np.int64).tobytes())
+    for key in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(arr.dtype.str.encode("ascii"))
+        digest.update(repr(arr.shape).encode("ascii"))
+        digest.update(arr.tobytes())
     return digest.hexdigest()
 
 
@@ -963,33 +991,44 @@ def save_recordings(
     *,
     extra_meta: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Persist named recordings into one compressed ``.npz`` artifact."""
-    pool = _IndexPool()
-    arrays: Dict[str, np.ndarray] = {}
+    """Persist named recordings into one compressed ``.npz`` artifact.
+
+    Schema v2 stores each entry's op stream as its struct-of-arrays columns
+    (``ops{i}_<column>`` plus ``ops{i}_pool``; see
+    :class:`repro.sim.columnar.ColumnarOps`) — the exact representation the
+    vectorized engine prices, so loading is zero-copy into the columnar
+    path and only the scalar engine ever pays per-op materialization.
+    """
+    from repro.sim.columnar import COLUMNS
+
+    arrays: Dict[str, npt.NDArray[Any]] = {}
     entries: Dict[str, Any] = {}
     for i, (label, rec) in enumerate(recordings.items()):
+        cols = rec.columnar()
+        prefix = f"ops{i}_"
+        for column in COLUMNS:
+            arrays[prefix + column] = getattr(cols, column)
+        arrays[prefix + "pool"] = cols.pool
         entries[label] = {
             "name": rec.name,
             "machine": _machine_to_dict(rec.machine),
             "via": _via_to_dict(rec.via_config),
-            "ops": [op.to_payload(pool) for op in rec.ops],
+            "ops": {"prefix": prefix, "names": list(cols.names)},
             "output": _encode_output(rec.output, arrays, prefix=f"out{i}_"),
             "priced": None if rec.priced is None else rec.priced.to_dict(),
         }
-    pool_data = pool.data()
     meta: Dict[str, Any] = {
         "schema": OPS_SCHEMA_VERSION,
         "entries": entries,
         "extra": extra_meta or {},
     }
     meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
-    meta["checksum"] = _checksum(meta_blob, pool_data)
+    meta["checksum"] = _checksum(meta_blob, arrays)
     np.savez_compressed(
         path,
         meta=np.frombuffer(
             json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
         ),
-        pool=pool_data,
         **arrays,
     )
 
@@ -998,14 +1037,16 @@ def load_recordings(path: Any) -> Tuple[Dict[str, Recording], Dict[str, Any]]:
     """Load an artifact; returns ``(recordings, extra_meta)``.
 
     Raises :class:`RecordingError` on any integrity or schema failure —
-    truncated zip, garbled JSON, checksum mismatch, or a schema version
-    this code does not understand.
+    truncated zip, garbled JSON, checksum mismatch, a schema version this
+    code does not understand, or ragged/out-of-bounds op columns (the
+    structural validation in :class:`repro.sim.columnar.ColumnarOps`).
     """
+    from repro.sim.columnar import COLUMNS, ColumnarOps
+
     try:
         with np.load(path, allow_pickle=False) as npz:
             meta = json.loads(bytes(npz["meta"].tobytes()).decode("utf-8"))
-            pool_data = np.ascontiguousarray(npz["pool"], dtype=np.int64)
-            arrays = {k: npz[k] for k in npz.files if k not in ("meta", "pool")}
+            arrays = {k: npz[k] for k in npz.files if k != "meta"}
     except (OSError, ValueError, KeyError, zipfile.BadZipFile,
             json.JSONDecodeError, io.UnsupportedOperation) as exc:
         raise RecordingError(f"unreadable recording artifact {path}: {exc}") from exc
@@ -1016,20 +1057,23 @@ def load_recordings(path: Any) -> Tuple[Dict[str, Recording], Dict[str, Any]]:
             )
         stored = meta.pop("checksum", None)
         meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
-        if stored != _checksum(meta_blob, pool_data):
+        if stored != _checksum(meta_blob, arrays):
             raise RecordingError(f"recording checksum mismatch in {path}")
         recordings: Dict[str, Recording] = {}
         for label, entry in meta["entries"].items():
-            ops = [
-                OP_CLASSES[p["k"]].from_payload(p, pool_data)
-                for p in entry["ops"]
-            ]
+            spec = entry["ops"]
+            prefix = spec["prefix"]
+            cols = ColumnarOps(
+                pool=arrays[prefix + "pool"],
+                names=tuple(spec["names"]),
+                **{col: arrays[prefix + col] for col in COLUMNS},
+            )
             priced = entry.get("priced")
             recordings[label] = Recording(
                 name=entry["name"],
                 machine=_machine_from_dict(entry["machine"]),
                 via_config=_via_from_dict(entry["via"]),
-                ops=ops,
+                columnar=cols,
                 output=_decode_output(entry["output"], arrays),
                 priced=None if priced is None else PricedState.from_dict(priced),
             )

@@ -3,7 +3,12 @@
 Mirrors ``test_runner_fault.py`` for the artifact layer: a truncated,
 garbled, tampered, schema-stale, or mis-filed recording must be detected
 by the integrity checks, dropped, and transparently re-recorded — the
-sweep's records stay bit-identical and the store heals itself.  Also pins
+sweep's records stay bit-identical and the store heals itself.  The v2
+columnar artifacts add a second defense line: a mutation that *re-signs*
+the checksum (so integrity passes) must still be rejected by the
+structural validation in :class:`repro.sim.columnar.ColumnarOps` — ragged
+column lengths and out-of-bounds index-pool slices raise a structured
+:class:`~repro.errors.RecordingError` instead of mispricing.  Also pins
 the key discipline: SSPM port counts and pure-pricing machine knobs stay
 out of :func:`recording_key`, while the IR schema version, the artifact
 part, and the SSPM capacity feed it.
@@ -14,13 +19,15 @@ import json
 import numpy as np
 import pytest
 
+from repro.errors import RecordingError
 from repro.eval import RunnerConfig, run_units
 from repro.eval import recordings as recordings_mod
 from repro.eval.recordings import RecordingStore, recording_key
 from repro.eval.runner import code_version
 from repro.eval.units import record_units, replay_units, spmv_units
 from repro.matrices import small_collection
-from repro.sim.ops import load_recordings, save_recordings
+from repro.sim.columnar import KIND_IDS
+from repro.sim.ops import _checksum, load_recordings, save_recordings
 from repro.via.config import VIA_4_2P, VIA_16_2P, VIA_16_4P
 
 pytestmark = pytest.mark.smoke
@@ -63,6 +70,32 @@ def _rewrite(path, *, schema=None, drop_checksum_for=None, key=None):
         ),
         **arrays,
     )
+
+
+def _rewrite_signed(path, mutate):
+    """Re-save with a mutation and a *refreshed* checksum.
+
+    The artifact then passes the integrity check, so only the columnar
+    structural validation stands between the mutation and a replay.
+    """
+    with np.load(path, allow_pickle=False) as npz:
+        meta = json.loads(bytes(npz["meta"].tobytes()).decode("utf-8"))
+        arrays = {k: npz[k] for k in npz.files if k != "meta"}
+    meta.pop("checksum", None)
+    mutate(meta, arrays)
+    meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    meta["checksum"] = _checksum(meta_blob, arrays)
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+        **arrays,
+    )
+
+
+def _first_prefix(meta):
+    return next(iter(meta["entries"].values()))["ops"]["prefix"]
 
 
 class TestArtifactRot:
@@ -110,6 +143,60 @@ class TestArtifactRot:
         direct, rdir, baseline, _ = warmed
         for npz in RecordingStore(rdir).root.rglob("*.npz"):
             npz.write_bytes(b"\x00" * 64)
+        self._assert_selfhealed(direct, rdir, baseline)
+
+    def test_truncated_column_is_rejected_and_healed(self, warmed):
+        """A ragged op column (one array shorter than its siblings) must
+        raise a structured error from the columnar loader, turn into a
+        store miss through :class:`RecordingStore`, and self-heal."""
+        direct, rdir, baseline, path = warmed
+
+        def chop_one_column(meta, arrays):
+            prefix = _first_prefix(meta)
+            arrays[prefix + "count"] = arrays[prefix + "count"][:-1]
+
+        _rewrite_signed(path, chop_one_column)
+        with pytest.raises(RecordingError, match="ragged"):
+            load_recordings(path)
+        store = RecordingStore(rdir)
+        assert store.get(path.stem) is None  # dropped on sight...
+        assert not path.exists()  # ...and deleted, not served
+        self._assert_selfhealed(direct, rdir, baseline)
+
+    def test_truncated_index_pool_is_rejected_and_healed(self, warmed):
+        """A pool slice pointing past the end of the shared index pool
+        (the on-disk shape of a truncated pool array) must be rejected."""
+        direct, rdir, baseline, path = warmed
+
+        def overrun_pool(meta, arrays):
+            prefix = _first_prefix(meta)
+            kinds = arrays[prefix + "kinds"]
+            pooled = np.isin(
+                kinds,
+                np.asarray(
+                    [
+                        KIND_IDS[k]
+                        for k in (
+                            "gather",
+                            "scatter",
+                            "load_windows",
+                            "scalar_load",
+                            "scalar_store",
+                        )
+                    ],
+                    dtype=kinds.dtype,
+                ),
+            )
+            assert pooled.any()  # spmv streams always gather
+            num = arrays[prefix + "num"].copy()
+            num[pooled] += arrays[prefix + "pool"].size + 1
+            arrays[prefix + "num"] = num
+
+        _rewrite_signed(path, overrun_pool)
+        with pytest.raises(RecordingError, match="pool"):
+            load_recordings(path)
+        assert RecordingStore(rdir).get(path.stem) is None
+        assert not path.exists()
         self._assert_selfhealed(direct, rdir, baseline)
 
     def test_load_memo_never_serves_a_corrupted_file(self, warmed):
