@@ -13,7 +13,11 @@ that no general-purpose linter checks:
   (:mod:`repro.analysis.determinism`);
 * **lock discipline** — :mod:`repro.serve` mutates shared state from
   executor threads; attributes crossing that boundary must be touched
-  under the instance lock (:mod:`repro.analysis.locks`).
+  under the instance lock (:mod:`repro.analysis.locks`);
+* **hot-path narration** — the record path buffers ops in the
+  columnar builder; per-op ``Op(...)`` construction in ``Core``/kernel
+  loops would silently restore the per-object cost
+  (:mod:`repro.analysis.hotpath`).
 
 :mod:`repro.analysis.core` provides the rule framework (findings,
 suppressions, baselines, JSON/human output); ``python -m repro.analysis``
@@ -29,7 +33,12 @@ from repro.analysis.core import (
 )
 
 # importing the rule modules registers their family checkers
-from repro.analysis import determinism, keys, locks  # noqa: F401  (registration)
+from repro.analysis import (  # noqa: F401  (registration)
+    determinism,
+    hotpath,
+    keys,
+    locks,
+)
 
 __all__ = [
     "AnalysisReport",

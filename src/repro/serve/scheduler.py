@@ -148,6 +148,14 @@ class Scheduler:
             "cache_misses", "work units that missed the result cache"
         )
         self._m_units = m.counter("units_executed", "work units run to completion")
+        self._m_engine_fallback = m.counter(
+            "engine_fallback",
+            "pricing fell back to the scalar engine (non-integral latency)",
+        )
+        self._m_narration_flushes = m.counter(
+            "narration_flushes",
+            "columnar builder flushes on the batched record path",
+        )
         self._m_depth = m.gauge("queue_depth", "jobs admitted and waiting")
         self._m_inflight = m.gauge("jobs_inflight", "jobs currently executing")
         self._m_queue_wait = m.histogram(
@@ -456,6 +464,10 @@ class Scheduler:
         self._m_units.inc(len(units))
         self._m_cache_hits.inc(result.counters.cache_hits)
         self._m_cache_misses.inc(result.counters.cache_misses)
+        if result.counters.engine_fallback:
+            self._m_engine_fallback.inc(result.counters.engine_fallback)
+        if result.counters.narration_flushes:
+            self._m_narration_flushes.inc(result.counters.narration_flushes)
         if result.failures:
             first = result.failures[0]
             raise ServeError(
@@ -483,6 +495,8 @@ class Scheduler:
                 "units_cached": result.counters.units_cached,
                 "cache_hits": result.counters.cache_hits,
                 "cache_misses": result.counters.cache_misses,
+                "engine_fallback": result.counters.engine_fallback,
+                "narration_flushes": result.counters.narration_flushes,
             },
         }
 

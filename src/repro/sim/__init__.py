@@ -17,10 +17,17 @@ from repro.sim.backends import (
 )
 from repro.sim.cache import Cache, CacheStats, compress_lines, stream_lines
 from repro.sim.columnar import (
+    ColumnarBuilder,
     ColumnarOps,
+    EngineFallbackWarning,
+    FlushBatch,
     check_columnar_invariants,
     columnar_via_totals,
+    concat_columnar,
+    engine_fallback_count,
+    note_engine_fallback,
     price_columnar,
+    price_flush,
 )
 from repro.sim.config import (
     DEFAULT_MACHINE,
@@ -28,7 +35,15 @@ from repro.sim.config import (
     MachineConfig,
     table1,
 )
-from repro.sim.core import AddressSpace, Array, Core
+from repro.sim.core import (
+    DEFAULT_FLUSH_OPS,
+    AddressSpace,
+    Array,
+    Core,
+    narration_flush_count,
+    narration_mode,
+    set_narration_mode,
+)
 from repro.sim.dram import DRAMModel, DRAMStats
 from repro.sim.hierarchy import AccessResult, MemoryHierarchy
 from repro.sim.ops import (
@@ -54,10 +69,17 @@ __all__ = [
     "replay_recording",
     "DEFAULT_REPLAY_ENGINE",
     "REPLAY_ENGINES",
+    "ColumnarBuilder",
     "ColumnarOps",
+    "EngineFallbackWarning",
+    "FlushBatch",
     "check_columnar_invariants",
     "columnar_via_totals",
+    "concat_columnar",
+    "engine_fallback_count",
+    "note_engine_fallback",
     "price_columnar",
+    "price_flush",
     "OPS_SCHEMA_VERSION",
     "Op",
     "Recording",
@@ -75,6 +97,10 @@ __all__ = [
     "AddressSpace",
     "Array",
     "Core",
+    "DEFAULT_FLUSH_OPS",
+    "narration_flush_count",
+    "narration_mode",
+    "set_narration_mode",
     "DRAMModel",
     "DRAMStats",
     "AccessResult",

@@ -1,44 +1,52 @@
 """Pricing backends for the op-stream IR.
 
-Every narration call a kernel makes reaches :meth:`repro.sim.core.Core._emit`
-as an :class:`~repro.sim.ops.Op`, and the core's backend decides what happens
-to it:
+Narration reaches a backend in one of two shapes.  Batch-capable backends
+(:attr:`Backend.batch_capable`) receive whole
+:class:`~repro.sim.columnar.FlushBatch` column blocks from the core's
+narration buffer via :meth:`Backend.flush` — the hot path, no per-op
+objects.  Batch-incapable backends (tracing) and directly-injected ops
+arrive one :class:`~repro.sim.ops.Op` at a time through
+:meth:`Backend.handle`, priced by :meth:`Op.apply` — the scalar reference
+engine.  Both shapes mutate the same core counters and are bit-identical.
 
-* :class:`DirectBackend` — price immediately (the historical behavior, and
-  the default: zero overhead, zero regression);
-* :class:`RecorderBackend` — append the op to a stream *and* price it, so a
+* :class:`DirectBackend` — price immediately and retain nothing (the
+  default);
+* :class:`RecorderBackend` — capture the stream *and* price it, so a
   recording run produces both the artifact and the baseline result in one
-  pass;
-* :class:`TraceBackend` — log a :class:`~repro.sim.trace.TraceEvent` and
-  delegate to an inner backend (this is what :class:`~repro.sim.trace.TracedCore`
-  installs);
-* :class:`InvariantBackend` — delegate to an inner backend, then assert the
-  model's conservation laws over the op's counter delta (gem5-style runtime
-  self-checking): monotone non-negative counters, cache hit totals that
-  account for every line access, bounded branch mispredicts, SSPM occupancy
-  within capacity.  A violation raises
-  :class:`~repro.errors.InvariantError` with the offending op attached, so
-  model corruption is caught at the op that caused it instead of surfacing
-  as a silently wrong figure point.
+  pass.  Batched narration is captured as the column blocks themselves:
+  the recording is born columnar, with no ``from_ops`` conversion and no
+  per-op materialization;
+* :class:`TraceBackend` — log a :class:`~repro.sim.trace.TraceEvent` per
+  op and delegate to an inner backend (installed by
+  :class:`~repro.sim.trace.TracedCore`; not batch-capable, which is what
+  keeps the trace op-by-op);
+* :class:`InvariantBackend` — delegate, then assert the model's
+  conservation laws (gem5-style runtime self-checking): monotone
+  non-negative counters, cache hit totals that account for every line
+  access, bounded branch mispredicts, SSPM occupancy within capacity.
+  Per-op deltas are checked on the scalar path; flushes are validated at
+  batch granularity — structurally via
+  :func:`~repro.sim.columnar.check_columnar_invariants` plus the same
+  counter-delta laws over the whole batch.
 
-Replay is not a backend but a driver: :func:`replay_recording` feeds a
-recorded stream through :meth:`Op.apply` on a *fresh* core configured with
-the target machine/VIA pair.  Because direct execution prices ops through
-the very same ``apply`` path, replayed results are bit-identical by
+Replay is not a backend but a driver: :func:`replay_recording` re-prices a
+recorded stream on a *fresh* core configured with the target machine/VIA
+pair, through either pricing engine.  Because direct execution prices ops
+through the very same kernels, replayed results are bit-identical by
 construction.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import threading
-from typing import TYPE_CHECKING, List, Optional
-
 import math
+import threading
+from typing import TYPE_CHECKING, List, Optional, Union, cast
 
 from repro.errors import InvariantError, SimulationError
 from repro.sim.config import MachineConfig
 from repro.sim.ops import (
+    AllocOp,
     Op,
     PricedState,
     Recording,
@@ -50,6 +58,7 @@ from repro.sim.ops import (
 from repro.sim.stats import OpCounters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.columnar import ColumnarOps, FlushBatch
     from repro.sim.core import Core
     from repro.sim.stats import KernelResult
     from repro.sim.trace import Trace
@@ -57,17 +66,44 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class Backend:
-    """Base backend: price each op as it is narrated."""
+    """Base backend: price each op as it is narrated.
+
+    Subclasses advertising :attr:`batch_capable` receive buffered
+    narration as :meth:`flush` calls instead of per-op :meth:`handle`
+    calls; the base :meth:`flush` is a reference implementation that
+    materializes the batch back into ops and handles them one by one
+    (alloc rows excepted — a batched core allocates eagerly at narration
+    time, so re-applying the op would corrupt the address space).
+    """
+
+    #: whether this backend accepts whole flush batches; cores only build
+    #: a narration buffer for backends that do
+    batch_capable: bool = False
 
     def handle(self, op: Op, core: "Core") -> None:
         op.apply(core)
+
+    def flush(self, batch: "FlushBatch", core: "Core") -> None:
+        """Price one narration batch (reference implementation: per-op)."""
+        for op in batch.cols.to_ops():
+            if isinstance(op, AllocOp):
+                continue
+            self.handle(op, core)
 
     def on_finalize(self, core: "Core", name: str, output: object) -> None:
         """Called by :meth:`Core.finalize` before the result is built."""
 
 
 class DirectBackend(Backend):
-    """Today's behavior: ops are priced immediately and not retained."""
+    """Price immediately, retain nothing; flushes go through the columnar
+    kernels (:func:`~repro.sim.columnar.price_flush`)."""
+
+    batch_capable = True
+
+    def flush(self, batch: "FlushBatch", core: "Core") -> None:
+        from repro.sim.columnar import price_flush
+
+        price_flush(batch, core)
 
 
 class RecorderBackend(Backend):
@@ -76,23 +112,53 @@ class RecorderBackend(Backend):
     After the kernel calls ``finalize``, :attr:`recording` holds the
     complete :class:`~repro.sim.ops.Recording` (stream + configurations +
     functional output), ready for :func:`~repro.sim.ops.save_recordings`.
+
+    Batched narration is captured as the flushed column blocks and
+    stitched with :func:`~repro.sim.columnar.concat_columnar` at finalize,
+    so the recording carries native struct-of-arrays columns end to end —
+    no ``Op`` object is ever built on this path.  Ops injected directly
+    (scalar mode, traced cores, tests) are captured per-op; a mixed stream
+    falls back to an op-list recording, preserving order.
     """
 
     def __init__(self) -> None:
-        self.ops: List[Op] = []
+        self._events: List[Union[Op, "ColumnarOps"]] = []
         self.recording: Optional[Recording] = None
 
+    batch_capable = True
+
     def handle(self, op: Op, core: "Core") -> None:
-        self.ops.append(op)
+        self._events.append(op)
         op.apply(core)
 
+    def flush(self, batch: "FlushBatch", core: "Core") -> None:
+        from repro.sim.columnar import price_flush
+
+        self._events.append(batch.cols)
+        price_flush(batch, core)
+
     def on_finalize(self, core: "Core", name: str, output: object) -> None:
+        from repro.sim.columnar import ColumnarOps, concat_columnar
+
         via_cfg = core.via.config if core.via is not None else None
+        events = self._events
+        cols_arg: Optional["ColumnarOps"] = None
+        ops_arg: Optional[List[Op]] = None
+        if events and all(isinstance(e, ColumnarOps) for e in events):
+            cols_arg = concat_columnar(cast("List[ColumnarOps]", events))
+        else:
+            ops_arg = []
+            for event in events:
+                if isinstance(event, ColumnarOps):
+                    ops_arg.extend(event.to_ops())
+                else:
+                    ops_arg.append(event)
         self.recording = Recording(
             name=name,
             machine=core.machine,
             via_config=via_cfg,
-            ops=list(self.ops),
+            ops=ops_arg,
+            columnar=cols_arg,
             output=output,
             priced=PricedState(
                 counters=dataclasses.replace(core.counters),
@@ -105,7 +171,12 @@ class RecorderBackend(Backend):
 
 
 class TraceBackend(Backend):
-    """Log every op to a :class:`~repro.sim.trace.Trace`, then delegate."""
+    """Log every op to a :class:`~repro.sim.trace.Trace`, then delegate.
+
+    Deliberately not batch-capable: installing it flips the core back to
+    per-op narration, which is what keeps the trace a faithful op-by-op
+    log (DESIGN.md §10 — tracing is when ``Op`` objects still materialize).
+    """
 
     def __init__(self, trace: "Trace", inner: Optional[Backend] = None) -> None:
         self.trace = trace
@@ -227,13 +298,19 @@ class InvariantBackend(Backend):
     prices the op through the inner backend, and checks the delta — so the
     first op that corrupts the model raises
     :class:`~repro.errors.InvariantError` with itself attached, not some
-    later observer.  Wrap any backend: ``InvariantBackend()`` validates
-    direct pricing, ``InvariantBackend(RecorderBackend())`` validates while
-    recording.
+    later observer.  Batched narration validates at flush granularity:
+    :meth:`flush` first runs
+    :func:`~repro.sim.columnar.check_columnar_invariants` over the batch's
+    columns (structural laws, SSPM footprint vs capacity), then checks the
+    same counter-delta laws over the whole batch.  Wrap any backend:
+    ``InvariantBackend()`` validates direct pricing,
+    ``InvariantBackend(RecorderBackend())`` validates while recording.
     """
 
     def __init__(self, inner: Optional[Backend] = None) -> None:
         self.inner = inner if inner is not None else DirectBackend()
+        # validate in whatever shape the inner backend consumes
+        self.batch_capable = self.inner.batch_capable
 
     def handle(self, op: Op, core: "Core") -> None:
         before = dataclasses.replace(core.counters)
@@ -245,6 +322,30 @@ class InvariantBackend(Backend):
             raise InvariantError(
                 f"op {op.kind!r} violated a model invariant: {problem}",
                 op=op,
+            )
+
+    def flush(self, batch: "FlushBatch", core: "Core") -> None:
+        from repro.sim.columnar import check_columnar_invariants
+
+        n = len(batch.cols)
+        try:
+            capacity = (
+                core.via.config.cam_entries if core.via is not None else None
+            )
+            check_columnar_invariants(batch.cols, capacity=capacity)
+        except InvariantError as exc:
+            raise InvariantError(
+                f"flush of {n} narrated ops violated a model invariant: {exc}"
+            ) from exc
+        before = dataclasses.replace(core.counters)
+        self.inner.flush(batch, core)
+        problem = _counters_violation(before, core.counters)
+        if problem is None:
+            problem = _sspm_violation(core)
+        if problem is not None:
+            raise InvariantError(
+                f"flush of {n} narrated ops violated a model invariant: "
+                f"{problem}"
             )
 
     def on_finalize(self, core: "Core", name: str, output: object) -> None:
@@ -316,7 +417,11 @@ def replay_recording(
     :data:`DEFAULT_REPLAY_ENGINE`): ``columnar`` re-prices the stream as
     whole-array NumPy kernels, bit-identical to ``scalar`` under the
     integral-latency contract — a machine carrying fractional cache/DRAM
-    latencies silently falls back to the scalar engine (see DESIGN.md §9).
+    latencies falls back to the scalar engine *loudly*, via
+    :class:`~repro.sim.columnar.EngineFallbackWarning` (once per config)
+    and the process-wide
+    :func:`~repro.sim.columnar.engine_fallback_count` counter surfaced in
+    sweep and serve metrics (see DESIGN.md §9).
     """
     from repro.sim.core import Core, build_result
 
@@ -331,11 +436,15 @@ def replay_recording(
             f"unknown replay engine {engine!r}; expected one of {REPLAY_ENGINES}"
         )
     if engine == "columnar":
-        from repro.sim.columnar import machine_latencies_integral
+        from repro.sim.columnar import (
+            machine_latencies_integral,
+            note_engine_fallback,
+        )
 
         if not machine_latencies_integral(machine):
             # the bit-identity contract only covers integer cycle
             # arithmetic; fractional latencies reorder float sums
+            note_engine_fallback(machine, context="replay")
             engine = "scalar"
     target_key = stream_shape_key(machine, via_config)
     if target_key != recording.shape_key:

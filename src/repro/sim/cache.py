@@ -12,7 +12,7 @@ eight times is one line access, mirroring how a real LSQ coalesces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,19 +50,20 @@ class Cache:
         self.num_sets = config.num_sets
         self.ways = config.ways
         self.line_bytes = config.line_bytes
-        self._tags = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
-        self._dirty = np.zeros((self.num_sets, self.ways), dtype=bool)
-        self._stamp = np.zeros((self.num_sets, self.ways), dtype=np.int64)
-        self._clock = 0
+        # One recency-ordered dict per set, mapping line id -> dirty bit.
+        # Python dicts preserve insertion order and every touch re-inserts
+        # the line at the back, so the first key is always the LRU line.
+        # Access stamps are strictly increasing, which makes the recency
+        # order total — this is exactly equivalent to the timestamp-argmin
+        # formulation, without per-access array scans.
+        self._sets: List[Dict[int, bool]] = [{} for _ in range(self.num_sets)]
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Invalidate all lines and zero the statistics."""
-        self._tags.fill(-1)
-        self._dirty.fill(False)
-        self._stamp.fill(0)
-        self._clock = 0
+        for lru in self._sets:
+            lru.clear()
         self.stats.reset()
 
     def access_line(self, line: int, write: bool) -> Tuple[bool, Optional[int]]:
@@ -75,42 +76,33 @@ class Cache:
             is allocated; ``victim`` is the line id of an evicted *dirty*
             line that must be written back (None otherwise).
         """
-        self._clock += 1
-        self.stats.accesses += 1
-        s = line % self.num_sets
-        tags = self._tags[s]
-        ways = np.flatnonzero(tags == line)
-        if ways.size:
-            w = int(ways[0])
-            self.stats.hits += 1
-            self._stamp[s, w] = self._clock
-            if write:
-                self._dirty[s, w] = True
+        stats = self.stats
+        stats.accesses += 1
+        lru = self._sets[line % self.num_sets]
+        dirty = lru.pop(line, None)
+        if dirty is not None:
+            stats.hits += 1
+            lru[line] = dirty or bool(write)
             return True, None
 
-        self.stats.misses += 1
-        empty = np.flatnonzero(tags == -1)
-        if empty.size:
-            w = int(empty[0])
-            victim = None
-        else:
-            w = int(np.argmin(self._stamp[s]))
-            victim = int(tags[w]) if self._dirty[s, w] else None
-            if victim is not None:
-                self.stats.writebacks += 1
-        self._tags[s, w] = line
-        self._dirty[s, w] = bool(write)
-        self._stamp[s, w] = self._clock
+        stats.misses += 1
+        victim: Optional[int] = None
+        if len(lru) >= self.ways:
+            victim_line = next(iter(lru))
+            if lru.pop(victim_line):
+                stats.writebacks += 1
+                victim = victim_line
+        lru[line] = bool(write)
         return False, victim
 
     def probe(self, line: int) -> bool:
         """Check presence without touching LRU state or statistics."""
-        s = line % self.num_sets
-        return bool(np.any(self._tags[s] == line))
+        return line in self._sets[line % self.num_sets]
 
     def occupancy(self) -> float:
         """Fraction of lines currently valid."""
-        return float((self._tags != -1).mean())
+        filled = sum(len(lru) for lru in self._sets)
+        return filled / float(self.num_sets * self.ways)
 
 
 def compress_lines(addresses: np.ndarray, line_bytes: int) -> Tuple[np.ndarray, np.ndarray]:

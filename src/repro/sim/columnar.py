@@ -14,7 +14,13 @@ streams as array arithmetic:
 * :func:`check_columnar_invariants` re-expresses the PR-3
   :class:`~repro.sim.backends.InvariantBackend` conservation laws as
   whole-array assertions, including SSPM occupancy as a running prefix
-  maximum.
+  maximum;
+* :class:`ColumnarBuilder` / :func:`price_flush` run the same kernels on
+  the *record* path: a batched :class:`~repro.sim.core.Core` appends one
+  row per narration call (no ``Op`` object on the hot path) and flushes
+  batches through the pricing helpers against its live cache hierarchy —
+  op streams are born columnar and :func:`concat_columnar` stitches the
+  flushed batches back into one stream for the recorder.
 
 Bit-identity contract
 ---------------------
@@ -66,8 +72,10 @@ of int64 indices.  ``port_passes`` uses −1 for "not recorded",
 
 from __future__ import annotations
 
+import threading
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, cast
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, cast
 
 import numpy as np
 import numpy.typing as npt
@@ -101,19 +109,27 @@ from repro.sim.ops import (
 from repro.sim.stats import OpCounters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Array, Core
     from repro.via.config import ViaConfig
 
 __all__ = [
     "COLUMNS",
     "KIND_IDS",
     "KIND_ORDER",
+    "ColumnarBuilder",
     "ColumnarOps",
     "ColumnarPriced",
+    "EngineFallbackWarning",
+    "FlushBatch",
     "check_columnar_invariants",
     "columnar_via_totals",
+    "concat_columnar",
+    "engine_fallback_count",
     "machine_latency_table",
     "machine_latencies_integral",
+    "note_engine_fallback",
     "price_columnar",
+    "price_flush",
 ]
 
 _LINE = cal.CACHE_LINE_BYTES
@@ -645,47 +661,42 @@ _MEM_KINDS = (
 )
 
 
-def price_columnar(
-    cols: ColumnarOps, machine: MachineConfig, *, validate: bool = False
-) -> ColumnarPriced:
-    """Price a stream's non-VIA side on a fresh machine (cross-machine replay).
+def _seeded_cumsum(start: float, terms: _FloatArray) -> float:
+    """Left-to-right float64 accumulation of ``terms`` on top of ``start``.
 
-    The only sequential work is the cache walk itself — LRU state makes the
-    per-line hit/miss classification order-dependent, so the walk drives
-    the scalar model's own :class:`~repro.sim.cache.Cache` objects in
-    recorded op order (identical call sequence, identical state).  Every
-    attribution step around it is whole-array: allocation bases by
-    cumulative sum, per-access latency by ``np.take`` over the machine's
-    latency table, per-op latency sums by ``np.bincount`` segments, hit
-    counters by level masks, and the order-sensitive float counters by
-    ``np.cumsum`` in op order.
-
-    With ``validate=True`` the stream and the finished counters are run
-    through :func:`check_columnar_invariants` (the whole-array twin of the
-    per-op :class:`~repro.sim.backends.InvariantBackend`).
+    ``np.cumsum`` over ``[start, t0, t1, ...]`` performs the identical
+    addition sequence as ``for t in terms: start += t``, so order-sensitive
+    float counters stay bit-identical to the scalar per-op walk even when
+    a stream is priced in several flush batches.
     """
-    if not machine_latencies_integral(machine):
-        raise SimulationError(
-            "columnar pricing requires integer cache/DRAM latencies "
-            "(use the scalar engine for fractional-latency machines)"
-        )
-    counters = OpCounters()
-    kinds = cols.kinds
-    n = len(cols)
+    seeded = np.concatenate(
+        (np.asarray([start], dtype=np.float64), np.asarray(terms, dtype=np.float64))
+    )
+    return float(np.cumsum(seeded)[-1])
 
-    # ---- whole-array counter sums (integers: order-free and exact) ----
+
+def _accumulate_compute(cols: ColumnarOps, counters: OpCounters) -> None:
+    """Fold a stream's compute-side counters into ``counters``.
+
+    Masked integer sums (order-free and exact) plus order-preserving
+    float accumulation for branch mispredicts and dependency stalls.
+    Adds on top of whatever ``counters`` already holds, so a stream
+    priced flush-by-flush lands on the same totals as one whole pass.
+    """
+    kinds = cols.kinds
+
     def ksum(kind: int, col: _IntArray) -> int:
         return int(col[kinds == kind].sum())
 
-    counters.scalar_uops = (
+    counters.scalar_uops += (
         ksum(_SCALAR_OPS, cols.count)
         + ksum(_BRANCHES, cols.count)
         + ksum(_SCALAR_LOAD, cols.num)
         + ksum(_SCALAR_STORE, cols.num)
     )
-    counters.branches = ksum(_BRANCHES, cols.count)
+    counters.branches += ksum(_BRANCHES, cols.count)
     vec_mask = kinds == _VECTOR_OP
-    counters.vector_uops = (
+    counters.vector_uops += (
         int(cols.count[vec_mask].sum())
         + ksum(_GATHER, cols.count)
         + ksum(_SCATTER, cols.count)
@@ -700,41 +711,63 @@ def price_columnar(
         ("vector_conflict", "conflict"),
     ):
         sub = vec_mask & (cols.aux == VECTOR_OP_KINDS.index(op_kind))
-        setattr(counters, name, int(cols.count[sub].sum()))
-    counters.gathers = ksum(_GATHER, cols.count) + ksum(_GATHER_SERIAL, cols.count)
-    counters.scatters = ksum(_SCATTER, cols.count) + ksum(_SCATTER_SERIAL, cols.count)
+        setattr(
+            counters, name, getattr(counters, name) + int(cols.count[sub].sum())
+        )
+    counters.gathers += ksum(_GATHER, cols.count) + ksum(_GATHER_SERIAL, cols.count)
+    counters.scatters += ksum(_SCATTER, cols.count) + ksum(
+        _SCATTER_SERIAL, cols.count
+    )
     gs_mask = kinds == _GATHER_SERIAL
     ss_mask = kinds == _SCATTER_SERIAL
-    counters.gather_elements = ksum(_GATHER, cols.num) + int(
+    counters.gather_elements += ksum(_GATHER, cols.num) + int(
         (cols.count[gs_mask] * cols.aux[gs_mask]).sum()
     )
-    counters.scatter_elements = ksum(_SCATTER, cols.num) + int(
+    counters.scatter_elements += ksum(_SCATTER, cols.num) + int(
         (cols.count[ss_mask] * cols.aux[ss_mask]).sum()
     )
-
-    # ---- order-sensitive float counters: cumsum in op order ----
     br_mask = kinds == _BRANCHES
     if br_mask.any():
         terms = cols.count[br_mask] * cols.fval[br_mask]
-        counters.branch_mispredicts = float(np.cumsum(terms)[-1])
+        counters.branch_mispredicts = _seeded_cumsum(
+            counters.branch_mispredicts, terms
+        )
     stall_mask = kinds == _DEP_STALL
     if stall_mask.any():
-        counters.dependency_stall_cycles = float(
-            np.cumsum(cols.fval[stall_mask])[-1]
+        counters.dependency_stall_cycles = _seeded_cumsum(
+            counters.dependency_stall_cycles, cols.fval[stall_mask]
         )
 
-    # ---- memory trace: sequential cache walk, vectorized attribution ----
-    alloc_rows, bases, a_eb, a_nbytes = _alloc_tables(cols)
-    mem_rows = np.flatnonzero(np.isin(kinds, np.asarray(_MEM_KINDS, dtype=np.uint8)))
-    governing = _governing_alloc(cols, alloc_rows, mem_rows)
-    l1 = Cache(machine.l1)
-    l2 = Cache(machine.l2)
-    l3 = Cache(machine.l3)
-    dram = DRAMModel(
-        machine.dram_latency,
-        machine.dram_bw_bytes_per_cycle,
-        machine.l1.line_bytes,
-    )
+
+def _price_memory_rows(
+    cols: ColumnarOps,
+    mem_rows: _IntArray,
+    row_base: _IntArray,
+    row_eb: _IntArray,
+    row_nbytes: _IntArray,
+    machine: MachineConfig,
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    dram: DRAMModel,
+    counters: OpCounters,
+) -> None:
+    """Walk a stream's memory rows through live caches, attribute the costs.
+
+    The only sequential work in the engine — LRU state makes the per-line
+    hit/miss classification order-dependent, so the walk drives the passed
+    :class:`~repro.sim.cache.Cache` / :class:`~repro.sim.dram.DRAMModel`
+    objects in recorded op order.  Everything around it is whole-array:
+    latency by ``np.take`` over the machine's table, per-op latency sums by
+    ``np.bincount`` segments, hit counters by level masks.
+
+    ``row_base`` / ``row_eb`` / ``row_nbytes`` carry the governing
+    allocation per memory row (cross-machine replay derives them from the
+    stream's alloc rows; the record path captures them live from the
+    core's address space).  Counter updates add on top of existing values
+    so flush batches compose against a long-lived hierarchy.
+    """
+    kinds = cols.kinds
 
     def walk_line(line: int, write: bool) -> int:
         """One demand access; returns the service level (0=L1 .. 3=DRAM).
@@ -780,9 +813,8 @@ def price_columnar(
 
     for j, row in enumerate(mem_rows):
         k = int(kinds[row])
-        a = int(governing[j])
-        base = int(bases[a])
-        eb = int(a_eb[a])
+        base = int(row_base[j])
+        eb = int(row_eb[j])
         write = False
         if k in (_LOAD_STREAM, _STORE_STREAM):
             start = int(cols.aux[row])
@@ -791,7 +823,7 @@ def price_columnar(
             write = k == _STORE_STREAM
             stream_uops_total += stream_uop_count(machine, count, eb)
         elif k == _BULK_STREAM:
-            nb = int(a_nbytes[a])
+            nb = int(row_nbytes[j])
             num_elems = nb // eb
             write = bool(cols.aux[row])
             lines = stream_lines(base, nb, line_bytes)
@@ -835,9 +867,11 @@ def price_columnar(
             dependent[j] = k in (_GATHER, _SCATTER, _LOAD_WINDOWS) or (
                 k in (_SCALAR_LOAD, _SCALAR_STORE) and bool(cols.aux[row])
             )
-        lv = np.empty(lines.size, dtype=np.int8)
-        for t, line in enumerate(lines):
-            lv[t] = walk_line(int(line), write)
+        lv = np.fromiter(
+            (walk_line(line, write) for line in lines.tolist()),
+            dtype=np.int8,
+            count=lines.size,
+        )
         levels_per_op.append(lv)
         nlines[j] = lines.size
 
@@ -857,16 +891,25 @@ def price_columnar(
     stream_terms = np.where(dependent, 0.0, miss) + stream_extra_latency
     dep_terms = np.where(dependent, miss, 0.0)
     if mem_rows.size:
-        counters.stream_miss_latency = float(np.cumsum(stream_terms)[-1])
-        counters.dependent_miss_latency = float(np.cumsum(dep_terms)[-1])
-    counters.mem_line_accesses = int(levels.size) + sum(bulk_extra_lines.values())
-    counters.l1_hits = int((levels == 0).sum()) + bulk_extra_lines["l1"]
-    counters.l2_hits = int((levels == 1).sum()) + bulk_extra_lines["l2"]
-    counters.l3_hits = int((levels == 2).sum()) + bulk_extra_lines["l3"]
-    counters.dram_fills = int((levels == 3).sum()) + bulk_extra_lines["dram"]
+        counters.stream_miss_latency = _seeded_cumsum(
+            counters.stream_miss_latency, stream_terms
+        )
+        counters.dependent_miss_latency = _seeded_cumsum(
+            counters.dependent_miss_latency, dep_terms
+        )
+    counters.mem_line_accesses += int(levels.size) + sum(bulk_extra_lines.values())
+    counters.l1_hits += int((levels == 0).sum()) + bulk_extra_lines["l1"]
+    counters.l2_hits += int((levels == 1).sum()) + bulk_extra_lines["l2"]
+    counters.l3_hits += int((levels == 2).sum()) + bulk_extra_lines["l3"]
+    counters.dram_fills += int((levels == 3).sum()) + bulk_extra_lines["dram"]
     if bulk_extra_lines["dram"]:
         dram.read_lines(bulk_extra_lines["dram"])
 
+
+def _cache_stats(
+    l1: Cache, l2: Cache, l3: Cache, dram: DRAMModel
+) -> Dict[str, Dict[str, object]]:
+    """Per-level statistics in the shape ``build_result`` consumes."""
     cache_stats: Dict[str, Dict[str, object]] = {}
     for name, cache in (("l1", l1), ("l2", l2), ("l3", l3)):
         s = cache.stats
@@ -882,16 +925,610 @@ def price_columnar(
         "writes": dram.stats.writes,
         "traffic_bytes": dram.traffic_bytes,
     }
+    return cache_stats
+
+
+def price_columnar(
+    cols: ColumnarOps, machine: MachineConfig, *, validate: bool = False
+) -> ColumnarPriced:
+    """Price a stream's non-VIA side on a fresh machine (cross-machine replay).
+
+    The only sequential work is the cache walk itself — LRU state makes the
+    per-line hit/miss classification order-dependent, so the walk drives
+    the scalar model's own :class:`~repro.sim.cache.Cache` objects in
+    recorded op order (identical call sequence, identical state).  Every
+    attribution step around it is whole-array: allocation bases by
+    cumulative sum, per-access latency by ``np.take`` over the machine's
+    latency table, per-op latency sums by ``np.bincount`` segments, hit
+    counters by level masks, and the order-sensitive float counters by
+    ``np.cumsum`` in op order.
+
+    With ``validate=True`` the stream and the finished counters are run
+    through :func:`check_columnar_invariants` (the whole-array twin of the
+    per-op :class:`~repro.sim.backends.InvariantBackend`).
+    """
+    if not machine_latencies_integral(machine):
+        raise SimulationError(
+            "columnar pricing requires integer cache/DRAM latencies "
+            "(use the scalar engine for fractional-latency machines)"
+        )
+    counters = OpCounters()
+    _accumulate_compute(cols, counters)
+
+    # ---- memory trace: sequential cache walk, vectorized attribution ----
+    alloc_rows, bases, a_eb, a_nbytes = _alloc_tables(cols)
+    mem_rows = np.flatnonzero(
+        np.isin(cols.kinds, np.asarray(_MEM_KINDS, dtype=np.uint8))
+    )
+    governing = _governing_alloc(cols, alloc_rows, mem_rows)
+    l1 = Cache(machine.l1)
+    l2 = Cache(machine.l2)
+    l3 = Cache(machine.l3)
+    dram = DRAMModel(
+        machine.dram_latency,
+        machine.dram_bw_bytes_per_cycle,
+        machine.l1.line_bytes,
+    )
+
+    _price_memory_rows(
+        cols,
+        mem_rows,
+        bases[governing],
+        a_eb[governing],
+        a_nbytes[governing],
+        machine,
+        l1,
+        l2,
+        l3,
+        dram,
+        counters,
+    )
     priced = ColumnarPriced(
         counters=counters,
         dram_occupancy_cycles=dram.occupancy_cycles(),
         dram_traffic_bytes=dram.traffic_bytes,
         dram_lines=dram.stats.lines,
-        cache_stats=cache_stats,
+        cache_stats=_cache_stats(l1, l2, l3, dram),
     )
     if validate:
         check_columnar_invariants(cols, counters=counters)
     return priced
+
+
+# ---------------------------------------------------------------------------
+# Batched narration: the record-path builder and flush pricing
+# ---------------------------------------------------------------------------
+@dataclass
+class FlushBatch:
+    """One detached builder batch: columns plus live allocation context.
+
+    ``base`` / ``elem_bytes`` / ``nbytes`` are row-aligned with ``cols``
+    and carry the governing allocation captured when each row was
+    appended — the record-path equivalent of the replay engine's
+    :func:`_alloc_tables` + :func:`_governing_alloc` derivation (which
+    cannot run per batch, because the governing alloc row may live in an
+    earlier flush).
+    """
+
+    cols: ColumnarOps
+    base: _IntArray
+    elem_bytes: _IntArray
+    nbytes: _IntArray
+
+
+#: vector-op kind -> aux code, precomputed for the per-op append path
+_VEC_KIND_CODE: Dict[str, int] = {k: i for i, k in enumerate(VECTOR_OP_KINDS)}
+
+#: builder column storage and the default each slot is re-armed with
+_BUILDER_FILLS: Tuple[Tuple[str, float], ...] = (
+    ("_kinds", 0),
+    ("_count", 0),
+    ("_aux", 0),
+    ("_misc", 0),
+    ("_extra", -1),
+    ("_fval", np.nan),
+    ("_array_id", -1),
+    ("_off", 0),
+    ("_num", 0),
+    ("_base", 0),
+    ("_eb", 0),
+    ("_nb", 0),
+)
+
+
+class ColumnarBuilder:
+    """Append-only struct-of-arrays narration buffer (the record path).
+
+    A preallocated, geometrically-grown row set mirroring the
+    :class:`ColumnarOps` column layout, plus per-row side arrays capturing
+    the governing allocation (base / elem_bytes / nbytes) live from the
+    core's address space, so :func:`price_flush` can price memory rows
+    without re-deriving allocation tables.  Append methods validate
+    exactly like the corresponding :class:`~repro.sim.ops.Op`
+    constructors — verbatim messages — so batched narration faults on the
+    same bad operands the scalar path would, just without ever building
+    the object.  The name-intern table persists across :meth:`take` calls;
+    batch pool offsets restart at zero each flush and
+    :func:`concat_columnar` re-bases them when stitching.
+    """
+
+    #: rows buffered since the last :meth:`take` (plain attribute — it is
+    #: read once per narrated op by the core's flush check)
+    rows: int
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(
+                f"builder capacity must be positive, got {capacity}"
+            )
+        self._cap = capacity
+        self.rows = 0
+        self._kinds = np.zeros(capacity, dtype=np.uint8)
+        self._count = np.zeros(capacity, dtype=np.int64)
+        self._aux = np.zeros(capacity, dtype=np.int64)
+        self._misc = np.zeros(capacity, dtype=np.int64)
+        self._extra = np.full(capacity, -1, dtype=np.int64)
+        self._fval = np.full(capacity, np.nan, dtype=np.float64)
+        self._array_id = np.full(capacity, -1, dtype=np.int64)
+        self._off = np.zeros(capacity, dtype=np.int64)
+        self._num = np.zeros(capacity, dtype=np.int64)
+        self._base = np.zeros(capacity, dtype=np.int64)
+        self._eb = np.zeros(capacity, dtype=np.int64)
+        self._nb = np.zeros(capacity, dtype=np.int64)
+        self._pool_chunks: List[_IntArray] = []
+        self._pool_n = 0
+        self._names: Dict[str, int] = {}
+
+    def _grow(self) -> None:
+        cap = self._cap * 2
+        for name, fill in _BUILDER_FILLS:
+            old = getattr(self, name)
+            grown = np.full(cap, fill, dtype=old.dtype)
+            grown[: self._cap] = old
+            setattr(self, name, grown)
+        self._cap = cap
+
+    def _row(self, kind: int) -> int:
+        i = self.rows
+        if i == self._cap:
+            self._grow()
+        self._kinds[i] = kind
+        self.rows = i + 1
+        return i
+
+    def _set_array(self, i: int, arr: "Array") -> None:
+        self._array_id[i] = self._names.setdefault(arr.name, len(self._names))
+        self._base[i] = arr.base
+        self._eb[i] = arr.elem_bytes
+        self._nb[i] = arr.nbytes
+
+    def _pooled(self, i: int, data: _IntArray) -> None:
+        window = np.ascontiguousarray(data, dtype=np.int64)
+        self._off[i] = self._pool_n
+        self._num[i] = int(window.size)
+        self._pool_chunks.append(window)
+        self._pool_n += int(window.size)
+
+    # -- one append method per op kind (validation mirrors the Op ctor;
+    #    checks are inlined with verbatim messages — this path runs once
+    #    per narrated op, so no kwargs-dict guard helper) --
+    def alloc(self, arr: "Array", num_elems: int, elem_bytes: int) -> None:
+        if num_elems < 0:
+            raise SimulationError(
+                f"alloc: num_elems must be >= 0, got {num_elems!r}"
+            )
+        if elem_bytes <= 0:
+            raise SimulationError(
+                f"alloc: elem_bytes must be > 0, got {elem_bytes!r}"
+            )
+        i = self._row(_ALLOC)
+        self._count[i] = num_elems
+        self._aux[i] = elem_bytes
+        self._set_array(i, arr)
+
+    def scalar_ops(self, count: int) -> None:
+        if count < 0:
+            raise SimulationError(
+                f"scalar_ops: count must be >= 0, got {count!r}"
+            )
+        i = self._row(_SCALAR_OPS)
+        self._count[i] = count
+
+    def vector_op(self, op_kind: str, count: int) -> None:
+        code = _VEC_KIND_CODE.get(op_kind)
+        if code is None:
+            raise SimulationError(f"unknown vector op kind {op_kind!r}")
+        if count < 0:
+            raise SimulationError(
+                f"vector_op: count must be >= 0, got {count!r}"
+            )
+        i = self._row(_VECTOR_OP)
+        self._count[i] = count
+        self._aux[i] = code
+
+    def branches(self, count: int, mispredict_rate: float) -> None:
+        if not (0.0 <= mispredict_rate <= 1.0):
+            raise SimulationError(
+                f"mispredict_rate must be in [0, 1], got {mispredict_rate}"
+            )
+        if count < 0:
+            raise SimulationError(
+                f"branches: count must be >= 0, got {count!r}"
+            )
+        i = self._row(_BRANCHES)
+        self._count[i] = count
+        self._fval[i] = mispredict_rate
+
+    def dependency_stall(self, cycles: float) -> None:
+        if cycles < 0:
+            raise SimulationError(
+                f"stall cycles must be >= 0, got {cycles}"
+            )
+        i = self._row(_DEP_STALL)
+        self._fval[i] = cycles
+
+    def load_stream(self, arr: "Array", start: int, count: int) -> None:
+        if start < 0:
+            raise SimulationError(
+                f"load_stream: start must be >= 0, got {start!r}"
+            )
+        if count < 0:
+            raise SimulationError(
+                f"load_stream: count must be >= 0, got {count!r}"
+            )
+        i = self._row(_LOAD_STREAM)
+        self._count[i] = count
+        self._aux[i] = start
+        self._set_array(i, arr)
+
+    def store_stream(self, arr: "Array", start: int, count: int) -> None:
+        if start < 0:
+            raise SimulationError(
+                f"store_stream: start must be >= 0, got {start!r}"
+            )
+        if count < 0:
+            raise SimulationError(
+                f"store_stream: count must be >= 0, got {count!r}"
+            )
+        i = self._row(_STORE_STREAM)
+        self._count[i] = count
+        self._aux[i] = start
+        self._set_array(i, arr)
+
+    def gather(self, arr: "Array", indices: _IntArray, n_instr: int) -> None:
+        if n_instr < 0:
+            raise SimulationError(
+                f"gather: n_instr must be >= 0, got {n_instr!r}"
+            )
+        i = self._row(_GATHER)
+        self._count[i] = n_instr
+        self._set_array(i, arr)
+        self._pooled(i, indices)
+
+    def scatter(self, arr: "Array", indices: _IntArray, n_instr: int) -> None:
+        if n_instr < 0:
+            raise SimulationError(
+                f"scatter: n_instr must be >= 0, got {n_instr!r}"
+            )
+        i = self._row(_SCATTER)
+        self._count[i] = n_instr
+        self._set_array(i, arr)
+        self._pooled(i, indices)
+
+    def gather_serial(self, n_instr: int, elements_per_instr: int) -> None:
+        if n_instr < 0:
+            raise SimulationError(
+                f"gather_serial: n_instr must be >= 0, got {n_instr!r}"
+            )
+        if elements_per_instr < 0:
+            raise SimulationError(
+                "gather_serial: elements_per_instr must be >= 0, "
+                f"got {elements_per_instr!r}"
+            )
+        i = self._row(_GATHER_SERIAL)
+        self._count[i] = n_instr
+        self._aux[i] = elements_per_instr
+
+    def scatter_serial(self, n_instr: int, elements_per_instr: int) -> None:
+        if n_instr < 0:
+            raise SimulationError(
+                f"scatter_serial: n_instr must be >= 0, got {n_instr!r}"
+            )
+        if elements_per_instr < 0:
+            raise SimulationError(
+                "scatter_serial: elements_per_instr must be >= 0, "
+                f"got {elements_per_instr!r}"
+            )
+        i = self._row(_SCATTER_SERIAL)
+        self._count[i] = n_instr
+        self._aux[i] = elements_per_instr
+
+    def load_windows(self, arr: "Array", starts: _IntArray, width: int) -> None:
+        if width < 0:
+            raise SimulationError(
+                f"load_windows: width must be >= 0, got {width!r}"
+            )
+        i = self._row(_LOAD_WINDOWS)
+        self._count[i] = width
+        self._set_array(i, arr)
+        self._pooled(i, starts)
+
+    def scalar_load(
+        self, arr: "Array", indices: _IntArray, dependent: bool
+    ) -> None:
+        i = self._row(_SCALAR_LOAD)
+        self._aux[i] = int(dependent)
+        self._set_array(i, arr)
+        self._pooled(i, indices)
+
+    def scalar_store(
+        self, arr: "Array", indices: _IntArray, dependent: bool
+    ) -> None:
+        i = self._row(_SCALAR_STORE)
+        self._aux[i] = int(dependent)
+        self._set_array(i, arr)
+        self._pooled(i, indices)
+
+    def bulk_stream(self, arr: "Array", passes: int, write: bool) -> None:
+        if passes < 0:
+            raise SimulationError(
+                f"bulk_stream: passes must be >= 0, got {passes!r}"
+            )
+        i = self._row(_BULK_STREAM)
+        self._count[i] = passes
+        self._aux[i] = int(write)
+        self._set_array(i, arr)
+
+    def record_via_op(
+        self,
+        *,
+        sspm_elements: int,
+        cam_searches: int,
+        count: int,
+        port_passes: Optional[int],
+        port_cycles: Optional[float],
+    ) -> None:
+        if port_passes is None and port_cycles is None:
+            raise SimulationError(
+                "record_via_op needs port_passes (FIVU profile) or "
+                "port_cycles (pre-computed cost)"
+            )
+        if sspm_elements < 0:
+            raise SimulationError(
+                f"record_via_op: sspm_elements must be >= 0, got {sspm_elements!r}"
+            )
+        if cam_searches < 0:
+            raise SimulationError(
+                f"record_via_op: cam_searches must be >= 0, got {cam_searches!r}"
+            )
+        if count < 0:
+            raise SimulationError(
+                f"record_via_op: count must be >= 0, got {count!r}"
+            )
+        if port_passes is not None and port_passes < 0:
+            raise SimulationError(
+                f"record_via_op: port_passes must be >= 0, got {port_passes!r}"
+            )
+        if port_cycles is not None and port_cycles < 0:
+            raise SimulationError(
+                f"record_via_op: port_cycles must be >= 0, got {port_cycles!r}"
+            )
+        i = self._row(_VIA)
+        self._count[i] = count
+        self._aux[i] = sspm_elements
+        self._misc[i] = cam_searches
+        if port_passes is not None:
+            self._extra[i] = port_passes
+        if port_cycles is not None:
+            self._fval[i] = port_cycles
+
+    # ------------------------------------------------------------------
+    def take(self) -> FlushBatch:
+        """Detach the buffered rows as a flush batch and reset the buffer.
+
+        The used prefix is copied out and re-armed with column defaults in
+        place, so the preallocated storage is immediately reusable and a
+        later grow can never alias a batch already handed out.
+        """
+        n = self.rows
+        cols = ColumnarOps(
+            kinds=self._kinds[:n].copy(),
+            count=self._count[:n].copy(),
+            aux=self._aux[:n].copy(),
+            misc=self._misc[:n].copy(),
+            extra=self._extra[:n].copy(),
+            fval=self._fval[:n].copy(),
+            array_id=self._array_id[:n].copy(),
+            off=self._off[:n].copy(),
+            num=self._num[:n].copy(),
+            pool=(
+                np.concatenate(self._pool_chunks)
+                if self._pool_chunks
+                else np.zeros(0, dtype=np.int64)
+            ),
+            names=tuple(self._names),
+        )
+        batch = FlushBatch(
+            cols=cols,
+            base=self._base[:n].copy(),
+            elem_bytes=self._eb[:n].copy(),
+            nbytes=self._nb[:n].copy(),
+        )
+        for name, fill in _BUILDER_FILLS:
+            getattr(self, name)[:n] = fill
+        self._pool_chunks = []
+        self._pool_n = 0
+        self.rows = 0
+        return batch
+
+
+def price_flush(batch: FlushBatch, core: "Core") -> None:
+    """Price one flushed narration batch against a live core.
+
+    The batch-mode twin of walking ``Op.apply`` over the same ops:
+    compute counters through :func:`_accumulate_compute`, memory rows
+    through :func:`_price_memory_rows` against the core's *own* cache
+    hierarchy (LRU and DRAM state persist across flushes), VIA rows with
+    port cycles derived from the core's attached device.  Alloc rows are
+    skipped — the batched core allocates eagerly at narration time so
+    kernels can keep using the returned handles.
+    """
+    cols = batch.cols
+    counters = core.counters
+    _accumulate_compute(cols, counters)
+    mem_rows = np.flatnonzero(
+        np.isin(cols.kinds, np.asarray(_MEM_KINDS, dtype=np.uint8))
+    )
+    if mem_rows.size:
+        mh = core.memory
+        _price_memory_rows(
+            cols,
+            mem_rows,
+            batch.base[mem_rows],
+            batch.elem_bytes[mem_rows],
+            batch.nbytes[mem_rows],
+            core.machine,
+            mh.l1,
+            mh.l2,
+            mh.l3,
+            mh.dram,
+            counters,
+        )
+    via_mask = cols.kinds == _VIA
+    if via_mask.any():
+        cnt = cols.count[via_mask]
+        se = cols.aux[via_mask]
+        cs = cols.misc[via_mask]
+        pp = cols.extra[via_mask]
+        pc = cols.fval[via_mask]
+        derive = np.isnan(pc)
+        if derive.any():
+            if core.via is None:
+                raise SimulationError(
+                    "cannot price a VIA op on a core without a VIA device"
+                )
+            derived = _port_cycles_vec(se, pp, core.via.config.ports)
+            pc = np.where(derive, derived.astype(np.float64), pc)
+        counters.via_instructions += int(cnt.sum())
+        counters.vector_uops += int(cnt.sum())
+        counters.sspm_accesses += int((se * cnt).sum())
+        counters.cam_searches += int((cs * cnt).sum())
+        terms = (pc + float(cal.COMMIT_ISSUE_OVERHEAD)) * cnt
+        counters.sspm_busy_cycles = _seeded_cumsum(
+            counters.sspm_busy_cycles, terms
+        )
+
+
+def concat_columnar(chunks: Sequence[ColumnarOps]) -> ColumnarOps:
+    """Stitch flushed batches back into one stream (recorder capture).
+
+    Name tables are merged by string (each batch may have interned a
+    different prefix of the final table) and pooled rows' ``off`` values
+    are re-based by the running pool length; the result carries exactly
+    the columns :meth:`ColumnarOps.from_ops` would produce for the
+    concatenated op list.
+    """
+    if not chunks:
+        return ColumnarOps(
+            kinds=np.zeros(0, dtype=np.uint8),
+            count=np.zeros(0, dtype=np.int64),
+            aux=np.zeros(0, dtype=np.int64),
+            misc=np.zeros(0, dtype=np.int64),
+            extra=np.zeros(0, dtype=np.int64),
+            fval=np.zeros(0, dtype=np.float64),
+            array_id=np.zeros(0, dtype=np.int64),
+            off=np.zeros(0, dtype=np.int64),
+            num=np.zeros(0, dtype=np.int64),
+            pool=np.zeros(0, dtype=np.int64),
+            names=(),
+        )
+    if len(chunks) == 1:
+        return chunks[0]
+    merged: Dict[str, int] = {}
+    array_ids: List[_IntArray] = []
+    offs: List[_IntArray] = []
+    pool_base = 0
+    for chunk in chunks:
+        remap = np.asarray(
+            [merged.setdefault(name, len(merged)) for name in chunk.names],
+            dtype=np.int64,
+        )
+        aid = chunk.array_id.copy()
+        mask = aid >= 0
+        if mask.any():
+            aid[mask] = remap[aid[mask]]
+        array_ids.append(aid)
+        off = chunk.off.copy()
+        pooled = np.isin(chunk.kinds, np.asarray(_POOL_KINDS, dtype=np.uint8))
+        off[pooled] += pool_base
+        offs.append(off)
+        pool_base += int(chunk.pool.size)
+    return ColumnarOps(
+        kinds=np.concatenate([c.kinds for c in chunks]),
+        count=np.concatenate([c.count for c in chunks]),
+        aux=np.concatenate([c.aux for c in chunks]),
+        misc=np.concatenate([c.misc for c in chunks]),
+        extra=np.concatenate([c.extra for c in chunks]),
+        fval=np.concatenate([c.fval for c in chunks]),
+        array_id=np.concatenate(array_ids),
+        off=np.concatenate(offs),
+        num=np.concatenate([c.num for c in chunks]),
+        pool=np.concatenate([c.pool for c in chunks]),
+        names=tuple(merged),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Engine-fallback accounting (the loud scalar fallback)
+# ---------------------------------------------------------------------------
+class EngineFallbackWarning(UserWarning):
+    """A record or replay path fell back to the scalar ``Op.apply`` engine."""
+
+
+_FALLBACK_LOCK = threading.Lock()
+_FALLBACK_WARNED: Set[Tuple[str, float, float, float, float]] = set()
+_FALLBACK_COUNT = 0
+
+
+def note_engine_fallback(machine: MachineConfig, *, context: str) -> None:
+    """Record (and warn once per configuration) a scalar-engine fallback.
+
+    The columnar engine refuses machines with fractional cache/DRAM
+    latencies (see the module docstring's bit-identity contract), so both
+    batched narration and columnar replay price such machines with the
+    scalar walk instead.  Every occurrence bumps a process-wide counter —
+    surfaced as ``engine_fallback`` in sweep counters and serve metrics —
+    and the first occurrence per (context, latency profile) emits an
+    :class:`EngineFallbackWarning` so users can tell which engine priced
+    their sweep.
+    """
+    global _FALLBACK_COUNT
+    key = (
+        context,
+        float(machine.l1.latency),
+        float(machine.l2.latency),
+        float(machine.l3.latency),
+        float(machine.dram_latency),
+    )
+    with _FALLBACK_LOCK:
+        _FALLBACK_COUNT += 1
+        first = key not in _FALLBACK_WARNED
+        if first:
+            _FALLBACK_WARNED.add(key)
+    if first:
+        warnings.warn(
+            f"non-integral cache/DRAM latency on {context}: pricing with "
+            "the scalar engine (columnar bit-identity requires integer "
+            "latencies); results are identical, just slower",
+            EngineFallbackWarning,
+            stacklevel=3,
+        )
+
+
+def engine_fallback_count() -> int:
+    """Process-wide count of scalar-engine fallback events (monotone)."""
+    with _FALLBACK_LOCK:
+        return _FALLBACK_COUNT
 
 
 # ---------------------------------------------------------------------------

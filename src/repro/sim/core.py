@@ -3,12 +3,18 @@
 Kernels do not run real machine code; they *narrate* their execution to a
 :class:`Core` as a stream of coarse operations (one call per VL-wide vector
 instruction or scalar bookkeeping group) while computing their functional
-results in numpy.  Each narration call builds an immutable
-:class:`~repro.sim.ops.Op` record and routes it through the core's backend
-(:mod:`repro.sim.backends`): the default direct backend prices it
-immediately, a recorder also captures it for later replay, a trace backend
-logs it.  Pricing itself always happens in :meth:`Op.apply` against the
-machine configuration and the live cache hierarchy, then
+results in numpy.  Narration is **born columnar**: when the core's backend
+can consume batches (all pricing backends can), each narration call appends
+one row to an in-core :class:`~repro.sim.columnar.ColumnarBuilder` and the
+buffered rows flush through the columnar pricing kernels
+(:func:`~repro.sim.columnar.price_flush`) — no per-op
+:class:`~repro.sim.ops.Op` object is ever allocated on the hot path.  The
+scalar path (one ``Op`` per call, priced through :meth:`Op.apply`) is
+retained as the reference engine: it serves batch-incapable backends
+(tracing), machines whose latencies break the columnar bit-identity
+contract, and ``set_narration_mode("scalar")``.  Both paths produce
+bit-identical counters; the differential suite pins this.
+
 :meth:`Core.finalize` combines the counters into cycles with an
 interval-style overlap model:
 
@@ -26,15 +32,17 @@ interval-style overlap model:
 
 This is deliberately not a per-instruction scheduler: it is fast enough to
 sweep a thousand-matrix collection in Python while preserving the
-mechanisms the paper's conclusions rest on (see DESIGN.md Section 5).
+mechanisms the paper's conclusions rest on (see DESIGN.md Sections 5 and 10).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import SimulationError
 from repro.sim import calibration as cal
@@ -62,7 +70,67 @@ from repro.sim.ops import (
 )
 from repro.sim.stats import CycleBreakdown, KernelResult, OpCounters
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.columnar import ColumnarBuilder
+    from repro.via.engine import ViaDevice
+
 _LINE = cal.CACHE_LINE_BYTES
+
+# ---------------------------------------------------------------------------
+# Narration mode (process-wide)
+# ---------------------------------------------------------------------------
+#: rows buffered core-side before a batch flushes through the columnar
+#: pricing kernels; large enough that flush overhead amortizes, small
+#: enough that a sweep's peak buffered state stays a few hundred KB
+DEFAULT_FLUSH_OPS = 8192
+
+_VALID_NARRATION_MODES = ("batched", "scalar")
+_narration_mode = "batched"
+_FLUSH_LOCK = threading.Lock()
+_flush_count = 0
+
+
+def set_narration_mode(mode: str) -> str:
+    """Select how cores buffer narration; returns the previous mode.
+
+    ``batched`` (the default) buffers rows in a
+    :class:`~repro.sim.columnar.ColumnarBuilder` and prices them in
+    batches; ``scalar`` restores the per-op ``Op.apply`` reference path.
+    Affects cores constructed *after* the call (each core binds its mode
+    in ``__init__``/backend swaps).  Benchmarks and the differential
+    suite flip this to compare engines::
+
+        previous = set_narration_mode("scalar")
+        try:
+            ...
+        finally:
+            set_narration_mode(previous)
+    """
+    global _narration_mode
+    if mode not in _VALID_NARRATION_MODES:
+        raise SimulationError(
+            f"unknown narration mode {mode!r}; "
+            f"expected one of {_VALID_NARRATION_MODES}"
+        )
+    previous = _narration_mode
+    _narration_mode = mode
+    return previous
+
+
+def narration_mode() -> str:
+    """The process-wide narration mode (``batched`` or ``scalar``)."""
+    return _narration_mode
+
+
+def narration_flush_count() -> int:
+    """Process-wide count of builder flushes (sweep/serve metrics)."""
+    return _flush_count
+
+
+def _note_flush() -> None:
+    global _flush_count
+    with _FLUSH_LOCK:
+        _flush_count += 1
 
 
 def stream_uop_count(machine: MachineConfig, count: int, elem_bytes: int) -> int:
@@ -83,9 +151,9 @@ def build_result(
     dram_occupancy_cycles: float,
     dram_traffic_bytes: int,
     dram_lines: int,
-    cache_stats: Dict[str, dict],
+    cache_stats: Dict[str, Dict[str, Any]],
     via_leakage_mw: float,
-    output=None,
+    output: object = None,
 ) -> KernelResult:
     """Combine priced counters into a :class:`KernelResult`.
 
@@ -164,12 +232,12 @@ class Array:
     def num_elems(self) -> int:
         return self.nbytes // self.elem_bytes
 
-    def addr(self, indices) -> np.ndarray:
+    def addr(self, indices: npt.ArrayLike) -> npt.NDArray[np.int64]:
         """Byte addresses of the given element indices."""
         idx = np.asarray(indices, dtype=np.int64)
-        return self.base + idx * self.elem_bytes
+        return np.asarray(self.base + idx * self.elem_bytes, dtype=np.int64)
 
-    def addr_range(self, start: int, count: int) -> tuple:
+    def addr_range(self, start: int, count: int) -> Tuple[int, int]:
         """(base, nbytes) of elements ``[start, start+count)``."""
         return self.base + start * self.elem_bytes, count * self.elem_bytes
 
@@ -182,7 +250,7 @@ class AddressSpace:
     exact address trace the original run generated.
     """
 
-    def __init__(self, base: int = 0x1000_0000):
+    def __init__(self, base: int = 0x1000_0000) -> None:
         self._next = base
         self._arrays: Dict[str, Array] = {}
 
@@ -214,43 +282,145 @@ class Core:
         present, VIA instructions report their SSPM occupancy here through
         :meth:`record_via_op`.
     backend:
-        Op-stream backend (defaults to :class:`~repro.sim.backends.DirectBackend`,
-        which prices every op immediately — the historical behavior).
+        Op-stream backend (defaults to :class:`~repro.sim.backends.DirectBackend`).
+        Backends advertising :attr:`~repro.sim.backends.Backend.batch_capable`
+        receive narration as columnar flush batches; others get one
+        :class:`~repro.sim.ops.Op` per call (the reference path).
+    flush_ops:
+        Buffered-row threshold at which the builder flushes
+        (default :data:`DEFAULT_FLUSH_OPS`; keyword-only).
     """
 
     def __init__(
         self,
         machine: MachineConfig = DEFAULT_MACHINE,
-        via=None,
+        via: Optional["ViaDevice"] = None,
         backend: Optional[Backend] = None,
-    ):
+        *,
+        flush_ops: int = DEFAULT_FLUSH_OPS,
+    ) -> None:
         self.machine = machine
         self.memory = MemoryHierarchy(machine)
         self.mem = AddressSpace()
-        self.counters = OpCounters()
-        self.backend: Backend = backend if backend is not None else DirectBackend()
+        self._counters = OpCounters()
+        self._backend: Backend = (
+            backend if backend is not None else DirectBackend()
+        )
+        self._flush_ops = max(1, int(flush_ops))
+        self._builder: Optional["ColumnarBuilder"] = None
+        self._fallback_pending = False
         self.via = via
         if via is not None:
             via.attach(self)
+        self._refresh_mode()
+
+    # ------------------------------------------------------------------
+    # Batched-narration plumbing
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> OpCounters:
+        """Priced counters, current through everything narrated so far.
+
+        Reading them drains the narration buffer first, so mid-kernel
+        observers (invariant checks, tests, the VIA engine) always see
+        totals identical to the scalar path's.
+        """
+        b = self._builder
+        if b is not None and b.rows:
+            self._flush()
+        return self._counters
+
+    @counters.setter
+    def counters(self, value: OpCounters) -> None:
+        self._counters = value
+
+    @property
+    def backend(self) -> Backend:
+        return self._backend
+
+    @backend.setter
+    def backend(self, value: Backend) -> None:
+        # drain buffered narration into the backend that observed it, then
+        # rebind the mode to the new backend's capabilities (TracedCore
+        # swaps in a batch-incapable TraceBackend this way)
+        self._flush()
+        self._backend = value
+        self._refresh_mode()
+
+    def _refresh_mode(self) -> None:
+        self._builder = None
+        self._fallback_pending = False
+        if not (self._backend.batch_capable and narration_mode() == "batched"):
+            return
+        from repro.sim.columnar import (
+            ColumnarBuilder,
+            machine_latencies_integral,
+        )
+
+        if not machine_latencies_integral(self.machine):
+            # columnar bit-identity needs integer cycle arithmetic; warn
+            # lazily at the first narrated op so cores that never narrate
+            # (replay memo cores) stay quiet
+            self._fallback_pending = True
+            return
+        self._builder = ColumnarBuilder()
+
+    def _flush(self) -> None:
+        """Price and hand off all buffered narration rows."""
+        b = self._builder
+        if b is None or not b.rows:
+            return
+        # detach before dispatch: pricing reads ``core.counters``, which
+        # must not re-enter the flush
+        batch = b.take()
+        _note_flush()
+        self._backend.flush(batch, self)
 
     def _emit(self, op: Op) -> None:
-        """Route one narrated op through the backend (the IR seam)."""
-        self.backend.handle(op, self)
+        """Route one narrated op through the backend (the IR seam).
+
+        Batched cores flush first so a directly-injected op observes (and
+        is validated against) the same counter state as in scalar order.
+        """
+        if self._builder is not None:
+            self._flush()
+        elif self._fallback_pending:
+            self._fallback_pending = False
+            from repro.sim.columnar import note_engine_fallback
+
+            note_engine_fallback(self.machine, context="narration")
+        self._backend.handle(op, self)
 
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
     def alloc(self, name: str, num_elems: int, elem_bytes: int = 8) -> Array:
         """Allocate a simulated array (line-aligned)."""
-        self._emit(AllocOp(name, int(num_elems), int(elem_bytes)))
-        return self.mem[name]
+        b = self._builder
+        if b is None:
+            self._emit(AllocOp(name, int(num_elems), int(elem_bytes)))
+            return self.mem[name]
+        # eager allocation keeps handles usable immediately; the builder
+        # row preserves the op in the stream so replays re-derive the
+        # identical address space
+        arr = self.mem.alloc(name, int(num_elems), int(elem_bytes))
+        b.alloc(arr, int(num_elems), int(elem_bytes))
+        if b.rows >= self._flush_ops:
+            self._flush()
+        return arr
 
     # ------------------------------------------------------------------
     # Scalar / vector compute
     # ------------------------------------------------------------------
     def scalar_ops(self, count: int) -> None:
         """Record ``count`` scalar bookkeeping uops (loop control, etc.)."""
-        self._emit(ScalarOpsOp(int(count)))
+        b = self._builder
+        if b is None:
+            self._emit(ScalarOpsOp(int(count)))
+            return
+        b.scalar_ops(int(count))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
     def vector_op(self, kind: str = "alu", count: int = 1) -> None:
         """Record ``count`` VL-wide vector ALU instructions.
@@ -258,7 +428,13 @@ class Core:
         ``kind`` selects the latency/energy class: ``alu``, ``fma``,
         ``reduce``, ``permute``, ``conflict``, ``mask``.
         """
-        self._emit(VectorOpOp(kind, int(count)))
+        b = self._builder
+        if b is None:
+            self._emit(VectorOpOp(kind, int(count)))
+            return
+        b.vector_op(kind, int(count))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
     def branches(self, count: int, mispredict_rate: float) -> None:
         """Record conditional branches with a given mispredict rate.
@@ -267,7 +443,13 @@ class Core:
         data comparisons the predictor cannot learn; every mispredict costs
         a front-end refill.
         """
-        self._emit(BranchesOp(int(count), float(mispredict_rate)))
+        b = self._builder
+        if b is None:
+            self._emit(BranchesOp(int(count), float(mispredict_rate)))
+            return
+        b.branches(int(count), float(mispredict_rate))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
     def dependency_stall(self, cycles: float) -> None:
         """Record serialization the OoO window cannot hide.
@@ -276,20 +458,44 @@ class Core:
         feeding the next iteration, or read-modify-write chains on the same
         address (scalar histogram bins).
         """
-        self._emit(DependencyStallOp(float(cycles)))
+        b = self._builder
+        if b is None:
+            self._emit(DependencyStallOp(float(cycles)))
+            return
+        b.dependency_stall(float(cycles))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
     # ------------------------------------------------------------------
     # Memory operations
     # ------------------------------------------------------------------
     def load_stream(self, array: Array, start: int, count: int) -> None:
         """Contiguous load of ``count`` elements starting at ``start``."""
-        self._emit(LoadStreamOp(array.name, int(start), int(count)))
+        b = self._builder
+        if b is None:
+            self._emit(LoadStreamOp(array.name, int(start), int(count)))
+            return
+        b.load_stream(array, int(start), int(count))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
     def store_stream(self, array: Array, start: int, count: int) -> None:
         """Contiguous store of ``count`` elements starting at ``start``."""
-        self._emit(StoreStreamOp(array.name, int(start), int(count)))
+        b = self._builder
+        if b is None:
+            self._emit(StoreStreamOp(array.name, int(start), int(count)))
+            return
+        b.store_stream(array, int(start), int(count))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
-    def gather(self, array: Array, indices, *, n_instr: Optional[int] = None) -> None:
+    def gather(
+        self,
+        array: Array,
+        indices: npt.ArrayLike,
+        *,
+        n_instr: Optional[int] = None,
+    ) -> None:
         """Vector gather ``array[indices]`` (paper Challenge 1).
 
         Charged the published fixed cost per gather instruction plus the
@@ -306,9 +512,21 @@ class Core:
         vl = self.machine.vl
         if n_instr is None:
             n_instr = (idx.size + vl - 1) // vl
-        self._emit(GatherOp(array.name, idx, int(n_instr)))
+        b = self._builder
+        if b is None:
+            self._emit(GatherOp(array.name, idx, int(n_instr)))
+            return
+        b.gather(array, idx, int(n_instr))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
-    def scatter(self, array: Array, indices, *, n_instr: Optional[int] = None) -> None:
+    def scatter(
+        self,
+        array: Array,
+        indices: npt.ArrayLike,
+        *,
+        n_instr: Optional[int] = None,
+    ) -> None:
         """Vector scatter to ``array[indices]`` (store-load forwarding
         traffic when used for partial results)."""
         idx = np.asarray(indices, dtype=np.int64)
@@ -317,7 +535,13 @@ class Core:
         vl = self.machine.vl
         if n_instr is None:
             n_instr = (idx.size + vl - 1) // vl
-        self._emit(ScatterOp(array.name, idx, int(n_instr)))
+        b = self._builder
+        if b is None:
+            self._emit(ScatterOp(array.name, idx, int(n_instr)))
+            return
+        b.scatter(array, idx, int(n_instr))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
     def gather_serial(self, n_instr: int, elements_per_instr: int) -> None:
         """Account gather instructions whose memory side is billed elsewhere.
@@ -331,16 +555,30 @@ class Core:
         n_instr = int(n_instr)
         if n_instr <= 0:
             return
-        self._emit(GatherSerialOp(n_instr, int(elements_per_instr)))
+        b = self._builder
+        if b is None:
+            self._emit(GatherSerialOp(n_instr, int(elements_per_instr)))
+            return
+        b.gather_serial(n_instr, int(elements_per_instr))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
     def scatter_serial(self, n_instr: int, elements_per_instr: int) -> None:
         """Scatter counterpart of :meth:`gather_serial`."""
         n_instr = int(n_instr)
         if n_instr <= 0:
             return
-        self._emit(ScatterSerialOp(n_instr, int(elements_per_instr)))
+        b = self._builder
+        if b is None:
+            self._emit(ScatterSerialOp(n_instr, int(elements_per_instr)))
+            return
+        b.scatter_serial(n_instr, int(elements_per_instr))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
-    def load_windows(self, array: Array, starts, width: int) -> None:
+    def load_windows(
+        self, array: Array, starts: npt.ArrayLike, width: int
+    ) -> None:
         """Vector loads of ``width`` contiguous elements at computed starts.
 
         Models formats that read small windows at data-dependent offsets
@@ -349,26 +587,50 @@ class Core:
         from a just-loaded header, but *without* the gather fixed cost —
         these are plain (possibly unaligned) vector loads.
         """
-        starts = np.asarray(starts, dtype=np.int64)
-        if starts.size == 0 or width <= 0:
+        start_idx = np.asarray(starts, dtype=np.int64)
+        if start_idx.size == 0 or width <= 0:
             return
-        self._emit(LoadWindowsOp(array.name, starts, int(width)))
+        b = self._builder
+        if b is None:
+            self._emit(LoadWindowsOp(array.name, start_idx, int(width)))
+            return
+        b.load_windows(array, start_idx, int(width))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
-    def scalar_load(self, array: Array, indices, *, dependent: bool = False) -> None:
+    def scalar_load(
+        self, array: Array, indices: npt.ArrayLike, *, dependent: bool = False
+    ) -> None:
         """Scalar loads of individual elements."""
         idx = np.asarray(indices, dtype=np.int64)
         if idx.size == 0:
             return
-        self._emit(ScalarLoadOp(array.name, idx, bool(dependent)))
+        b = self._builder
+        if b is None:
+            self._emit(ScalarLoadOp(array.name, idx, bool(dependent)))
+            return
+        b.scalar_load(array, idx, bool(dependent))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
-    def scalar_store(self, array: Array, indices, *, dependent: bool = False) -> None:
+    def scalar_store(
+        self, array: Array, indices: npt.ArrayLike, *, dependent: bool = False
+    ) -> None:
         """Scalar stores of individual elements."""
         idx = np.asarray(indices, dtype=np.int64)
         if idx.size == 0:
             return
-        self._emit(ScalarStoreOp(array.name, idx, bool(dependent)))
+        b = self._builder
+        if b is None:
+            self._emit(ScalarStoreOp(array.name, idx, bool(dependent)))
+            return
+        b.scalar_store(array, idx, bool(dependent))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
-    def bulk_stream(self, array: Array, *, passes: int, write: bool = False) -> None:
+    def bulk_stream(
+        self, array: Array, *, passes: int, write: bool = False
+    ) -> None:
         """Aggregate accounting for re-streaming an array ``passes`` times.
 
         Inner-product SpMM re-reads all of matrix ``B`` once per row of
@@ -379,7 +641,13 @@ class Core:
         """
         if passes <= 0:
             return
-        self._emit(BulkStreamOp(array.name, int(passes), bool(write)))
+        b = self._builder
+        if b is None:
+            self._emit(BulkStreamOp(array.name, int(passes), bool(write)))
+            return
+        b.bulk_stream(array, int(passes), bool(write))
+        if b.rows >= self._flush_ops:
+            self._flush()
 
     # ------------------------------------------------------------------
     # VIA hook
@@ -407,26 +675,39 @@ class Core:
         instructions (per-instruction operand values do not change the
         timing, only the element counts do).
         """
-        self._emit(
-            ViaOpRecord(
-                sspm_elements=int(sspm_elements),
-                cam_searches=int(cam_searches),
-                count=int(count),
-                port_passes=None if port_passes is None else int(port_passes),
-                port_cycles=None if port_cycles is None else float(port_cycles),
+        b = self._builder
+        if b is None:
+            self._emit(
+                ViaOpRecord(
+                    sspm_elements=int(sspm_elements),
+                    cam_searches=int(cam_searches),
+                    count=int(count),
+                    port_passes=None if port_passes is None else int(port_passes),
+                    port_cycles=None if port_cycles is None else float(port_cycles),
+                )
             )
+            return
+        b.record_via_op(
+            sspm_elements=int(sspm_elements),
+            cam_searches=int(cam_searches),
+            count=int(count),
+            port_passes=None if port_passes is None else int(port_passes),
+            port_cycles=None if port_cycles is None else float(port_cycles),
         )
+        if b.rows >= self._flush_ops:
+            self._flush()
 
     # ------------------------------------------------------------------
     # Finalization
     # ------------------------------------------------------------------
-    def finalize(self, name: str, *, output=None) -> KernelResult:
+    def finalize(self, name: str, *, output: object = None) -> KernelResult:
         """Combine the accumulated counters into a :class:`KernelResult`."""
-        self.backend.on_finalize(self, name, output)
+        self._flush()
+        self._backend.on_finalize(self, name, output)
         return build_result(
             name=name,
             machine=self.machine,
-            counters=self.counters,
+            counters=self._counters,
             dram_occupancy_cycles=self.memory.dram.occupancy_cycles(),
             dram_traffic_bytes=self.memory.dram.traffic_bytes,
             dram_lines=self.memory.dram.stats.lines,
@@ -438,7 +719,9 @@ class Core:
     # ------------------------------------------------------------------
     # Internals (shared by Op.apply implementations)
     # ------------------------------------------------------------------
-    def _price_stream(self, array: Array, start: int, count: int, *, write: bool) -> None:
+    def _price_stream(
+        self, array: Array, start: int, count: int, *, write: bool
+    ) -> None:
         """Detailed-model cost of one contiguous stream access."""
         base, nbytes = array.addr_range(start, count)
         res = self.memory.access_stream(base, nbytes, write=write)
@@ -447,12 +730,12 @@ class Core:
 
     def _stream_uops(self, count: int, elem_bytes: int) -> None:
         """Issue cost of a contiguous vector access (VL elements per uop)."""
-        self.counters.vector_uops += stream_uop_count(
+        self._counters.vector_uops += stream_uop_count(
             self.machine, count, elem_bytes
         )
 
     def _record_mem(self, res: AccessResult, *, dependent: bool) -> None:
-        c = self.counters
+        c = self._counters
         c.mem_line_accesses += res.line_accesses
         c.l1_hits += res.l1_hits
         c.l2_hits += res.l2_hits

@@ -63,6 +63,16 @@ class MemoryHierarchy:
             machine.l1.line_bytes,
         )
         self.line_bytes = machine.l1.line_bytes
+        # Cumulative latency by fill level (0=L1 hit .. 3=DRAM fill),
+        # left-associated exactly like the per-line sums used to be so that
+        # float configs stay bit-identical.
+        m = machine
+        self._level_latency = (
+            m.l1.latency,
+            m.l1.latency + m.l2.latency,
+            m.l1.latency + m.l2.latency + m.l3.latency,
+            m.l1.latency + m.l2.latency + m.l3.latency + self.dram.latency,
+        )
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -71,39 +81,46 @@ class MemoryHierarchy:
         self.dram.reset()
 
     # ------------------------------------------------------------------
-    def access_line(self, line: int, write: bool) -> AccessResult:
-        """One demand line access through the full hierarchy."""
-        res = AccessResult(raw_accesses=0, line_accesses=1)
-        m = self.machine
+    def _walk(self, line: int, write: bool) -> int:
+        """Walk one line through the hierarchy; returns the fill level.
 
+        0 = L1 hit, 1 = L2 hit, 2 = L3 hit, 3 = DRAM fill.  Dirty victims
+        cascade downwards as a side effect (inclusive write-back).
+        """
         hit, victim = self.l1.access_line(line, write)
         if victim is not None:
             self._writeback_to_l2(victim)
         if hit:
-            res.l1_hits = 1
-            res.latency_sum = m.l1.latency
-            return res
+            return 0
 
         hit, victim = self.l2.access_line(line, False)
         if victim is not None:
             self._writeback_to_l3(victim)
         if hit:
-            res.l2_hits = 1
-            res.latency_sum = m.l1.latency + m.l2.latency
-            return res
+            return 1
 
         hit, victim = self.l3.access_line(line, False)
         if victim is not None:
             self.dram.write_line()
         if hit:
-            res.l3_hits = 1
-            res.latency_sum = m.l1.latency + m.l2.latency + m.l3.latency
-            return res
+            return 2
 
-        res.dram_fills = 1
-        res.latency_sum = (
-            m.l1.latency + m.l2.latency + m.l3.latency + self.dram.read_line()
-        )
+        self.dram.read_line()
+        return 3
+
+    def access_line(self, line: int, write: bool) -> AccessResult:
+        """One demand line access through the full hierarchy."""
+        res = AccessResult(raw_accesses=0, line_accesses=1)
+        level = self._walk(line, write)
+        if level == 0:
+            res.l1_hits = 1
+        elif level == 1:
+            res.l2_hits = 1
+        elif level == 2:
+            res.l3_hits = 1
+        else:
+            res.dram_fills = 1
+        res.latency_sum = self._level_latency[level]
         return res
 
     def _writeback_to_l2(self, line: int) -> None:
@@ -121,21 +138,38 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def access_addresses(self, addresses: np.ndarray, *, write: bool = False) -> AccessResult:
         """Access a sequence of byte addresses (LSQ-coalesced per line)."""
-        lines, counts = compress_lines(addresses, self.line_bytes)
-        total = AccessResult(raw_accesses=int(np.asarray(addresses).size))
-        for line in lines:
-            total = total.merge(self.access_line(int(line), write))
-        total.raw_accesses = int(np.asarray(addresses).size)
-        return total
+        lines, _counts = compress_lines(addresses, self.line_bytes)
+        return self._walk_batch(lines, write, int(np.asarray(addresses).size))
 
     def access_stream(self, base: int, nbytes: int, *, write: bool = False) -> AccessResult:
         """Access a contiguous byte range (one pass, line granularity)."""
         lines = stream_lines(base, nbytes, self.line_bytes)
-        total = AccessResult(raw_accesses=int(lines.size))
-        for line in lines:
-            total = total.merge(self.access_line(int(line), write))
-        total.raw_accesses = int(lines.size)
-        return total
+        return self._walk_batch(lines, write, int(lines.size))
+
+    def _walk_batch(self, lines: np.ndarray, write: bool, raw: int) -> AccessResult:
+        """Walk a batch of line ids, accumulating counters in plain ints.
+
+        Latency accumulates per line as ``0.0 + lat_0 + lat_1 + ...`` — the
+        same left fold the old per-line ``AccessResult.merge`` chain did, so
+        fractional-latency configs price bit-identically.
+        """
+        walk = self._walk
+        lat = self._level_latency
+        hits = [0, 0, 0, 0]
+        latency_sum = 0.0
+        for line in lines.tolist():
+            level = walk(line, write)
+            hits[level] += 1
+            latency_sum = latency_sum + lat[level]
+        return AccessResult(
+            raw_accesses=raw,
+            line_accesses=int(lines.size),
+            l1_hits=hits[0],
+            l2_hits=hits[1],
+            l3_hits=hits[2],
+            dram_fills=hits[3],
+            latency_sum=latency_sum,
+        )
 
     # ------------------------------------------------------------------
     def level_stats(self) -> Dict[str, dict]:

@@ -1033,12 +1033,32 @@ def save_recordings(
     )
 
 
+def _reject_v1_artifact(path: Any) -> None:
+    """The single v1-artifact compatibility shim.
+
+    Schema-1 artifacts (PR-2 era, one JSON payload per op) lost their
+    codec when the op stream went columnar; this is the one place that
+    still recognizes them, and it translates the bare version mismatch
+    into an actionable deprecation error.  Callers that go through
+    :class:`repro.eval.recordings.RecordingStore` self-heal — the store
+    deletes the stale artifact and the next record run rewrites it in the
+    columnar v2 layout — so the error only ever surfaces to direct
+    :func:`load_recordings` users.
+    """
+    raise RecordingError(
+        f"recording artifact {path} uses the deprecated v1 per-op schema; "
+        "v1 payload codecs were removed when op streams went columnar "
+        f"(schema {OPS_SCHEMA_VERSION}) — delete the artifact and re-record"
+    )
+
+
 def load_recordings(path: Any) -> Tuple[Dict[str, Recording], Dict[str, Any]]:
     """Load an artifact; returns ``(recordings, extra_meta)``.
 
     Raises :class:`RecordingError` on any integrity or schema failure —
     truncated zip, garbled JSON, checksum mismatch, a schema version this
-    code does not understand, or ragged/out-of-bounds op columns (the
+    code does not understand (v1 gets a dedicated deprecation message via
+    :func:`_reject_v1_artifact`), or ragged/out-of-bounds op columns (the
     structural validation in :class:`repro.sim.columnar.ColumnarOps`).
     """
     from repro.sim.columnar import COLUMNS, ColumnarOps
@@ -1051,6 +1071,8 @@ def load_recordings(path: Any) -> Tuple[Dict[str, Recording], Dict[str, Any]]:
             json.JSONDecodeError, io.UnsupportedOperation) as exc:
         raise RecordingError(f"unreadable recording artifact {path}: {exc}") from exc
     try:
+        if meta.get("schema") == 1:
+            _reject_v1_artifact(path)
         if meta.get("schema") != OPS_SCHEMA_VERSION:
             raise RecordingError(
                 f"recording schema {meta.get('schema')!r} != {OPS_SCHEMA_VERSION}"

@@ -26,6 +26,7 @@ from repro.analysis.core import (
     save_baseline,
 )
 from repro.analysis.determinism import check_determinism
+from repro.analysis.hotpath import check_hotpath
 from repro.analysis.keys import KeyBinding, assert_key_hygiene, check_keys
 from repro.analysis.locks import check_locks
 from repro.errors import ConfigError
@@ -751,6 +752,157 @@ class TestLockRules:
             },
         )
         assert locks(project) == []
+
+
+# ----------------------------------------------------------------------
+# family: hotpath (VIA401-VIA402)
+# ----------------------------------------------------------------------
+def hotpath(project):
+    return check_hotpath(
+        project, loop_scopes=("hot/core.py",), kernel_scopes=("hot/kern/",)
+    )
+
+
+class TestHotpathRules:
+    def test_via401_op_constructed_in_loop(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "hot/core.py": """
+                    from repro.sim.ops import GatherOp
+
+
+                    def narrate(core, rows):
+                        for idx in rows:
+                            core._emit(GatherOp("a", idx, 1))
+                """
+            },
+        )
+        findings = hotpath(project)
+        assert rules_of(findings) == ["VIA401"]
+        assert "GatherOp" in findings[0].message
+        assert findings[0].severity == "error"
+
+    def test_via401_through_module_alias(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "hot/core.py": """
+                    import repro.sim.ops as ops
+
+
+                    def narrate(core):
+                        while core.pending():
+                            core._emit(ops.ScalarOpsOp(1))
+                """
+            },
+        )
+        assert rules_of(hotpath(project)) == ["VIA401"]
+
+    def test_op_outside_loop_is_clean(self, tmp_path):
+        # Core's scalar-fallback branches build one op per *call*, not
+        # per loop iteration — that is the supported slow path
+        project = make_project(
+            tmp_path,
+            {
+                "hot/core.py": """
+                    from repro.sim.ops import ScalarOpsOp
+
+
+                    def scalar_ops(self, count):
+                        if self._builder is None:
+                            self._emit(ScalarOpsOp(int(count)))
+                """
+            },
+        )
+        assert hotpath(project) == []
+
+    def test_nested_function_resets_loop_context(self, tmp_path):
+        # a closure *defined* in a loop runs when called, not per
+        # iteration of the defining loop
+        project = make_project(
+            tmp_path,
+            {
+                "hot/core.py": """
+                    from repro.sim.ops import AllocOp
+
+
+                    def build(specs):
+                        makers = []
+                        for name in specs:
+                            def make(n=name):
+                                return AllocOp(n, 64, 8)
+                            makers.append(make)
+                        return makers
+                """
+            },
+        )
+        assert hotpath(project) == []
+
+    def test_non_op_calls_in_loops_are_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "hot/core.py": """
+                    def narrate(core, rows):
+                        for idx in rows:
+                            core.gather("a", idx)
+                            total = int(idx)
+                """
+            },
+        )
+        assert hotpath(project) == []
+
+    def test_via402_kernel_builds_op_even_outside_loop(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "hot/kern/spmv.py": """
+                    from repro.sim.ops import ViaOpRecord
+
+
+                    def price(core):
+                        core._emit(ViaOpRecord(4, 2, 1.0, None, 1))
+                """
+            },
+        )
+        findings = hotpath(project)
+        assert rules_of(findings) == ["VIA402"]
+        assert "ViaOpRecord" in findings[0].message
+
+    def test_kernel_without_op_construction_is_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "hot/kern/spmv.py": """
+                    def price(core, idx):
+                        core.gather("a", idx)
+                        core.scalar_ops(3)
+                """
+            },
+        )
+        assert hotpath(project) == []
+
+    def test_ignore_comment_silences_via401(self, tmp_path):
+        # default scopes: repro/kernels/ is a real hot-path prefix, so
+        # this exercises the registered checker end-to-end
+        project = make_project(
+            tmp_path,
+            {
+                "repro/kernels/k.py": """
+                    from repro.sim.ops import GatherOp
+
+
+                    def replay(core, rows):
+                        for idx in rows:
+                            # via: ignore[VIA401, VIA402]
+                            core._emit(GatherOp("a", idx, 1))
+                """
+            },
+        )
+        report = run_analysis(project, select=["hotpath"])
+        assert report.findings == []
+        assert rules_of(report.suppressed) == ["VIA401", "VIA402"]
 
 
 # ----------------------------------------------------------------------

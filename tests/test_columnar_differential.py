@@ -14,8 +14,9 @@ never trip or perturb a bit.
 
 Also pins the engine-selection surface itself: the default engine stays
 scalar, unknown engines are rejected, fractional-latency machines fall
-back to the scalar path silently, and the cross-machine memo keeps one
-entry per (engine, machine).
+back to the scalar path *loudly* (:class:`EngineFallbackWarning` plus the
+``engine_fallback`` counter), and the cross-machine memo keeps one entry
+per (engine, machine).
 """
 
 import dataclasses
@@ -217,8 +218,15 @@ class TestDseConfigsAndEngines:
 
     def test_fractional_latency_falls_back_to_scalar(self, coo, x):
         """Fractional DRAM latency voids the integer-arithmetic guarantee;
-        the columnar engine must silently take the scalar path and stay
-        bit-identical, not drift."""
+        the engine must take the scalar path *loudly* — once-per-config
+        :class:`EngineFallbackWarning` plus the monotone
+        ``engine_fallback_count`` — and stay bit-identical, not drift."""
+        from repro.sim import columnar as columnar_mod
+        from repro.sim.columnar import (
+            EngineFallbackWarning,
+            engine_fallback_count,
+        )
+
         frac = dataclasses.replace(DEFAULT_MACHINE, dram_latency=100.5)
         assert not machine_latencies_integral(frac)
         assert machine_latencies_integral(DEFAULT_MACHINE)
@@ -228,8 +236,15 @@ class TestDseConfigsAndEngines:
                 csb, x, DEFAULT_MACHINE, VIA_16_2P, backend=backend
             )
         )
-        want = SPMV_VARIANTS["csb"][1](csb, x, frac, VIA_16_4P)
-        got = _replay_both(recording, machine=frac, via_config=VIA_16_4P)
+        # re-arm the once-per-config dedupe so this test is order-independent
+        with columnar_mod._FALLBACK_LOCK:
+            columnar_mod._FALLBACK_WARNED.clear()
+        before = engine_fallback_count()
+        with pytest.warns(EngineFallbackWarning, match="narration"):
+            want = SPMV_VARIANTS["csb"][1](csb, x, frac, VIA_16_4P)
+        with pytest.warns(EngineFallbackWarning, match="replay"):
+            got = _replay_both(recording, machine=frac, via_config=VIA_16_4P)
+        assert engine_fallback_count() > before
         assert_result_identical(got, want)
 
 
