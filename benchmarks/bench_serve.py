@@ -17,13 +17,19 @@ Two load models, both stdlib-only:
   closed loops self-throttle and hide it).
 
 Each mode boots its own server process on an ephemeral port with fresh
-cache/record directories, so trials never poison each other.  Run::
+cache/record directories, so trials never poison each other.  A third
+trial repeats the batched replay workload under a ``--chaos`` fault plan
+(workers crashed mid-job, one reply garbled) and reports the pool's
+health metrics — restarts, retries, respawn latency — proving the
+crash-isolation story under load rather than asserting it.  Run::
 
     PYTHONPATH=src python benchmarks/bench_serve.py --check
 
-``--check`` exits non-zero unless batched replay beats naive simulation
-and the metrics dump shows non-zero replay and cache hits — the PR's
-acceptance gate, also exercised by CI's serve smoke job.
+``--check`` exits non-zero unless batched replay beats naive simulation,
+the metrics dump shows non-zero replay and cache hits, and the chaos
+trial completes every job (zero lost responses) with at least one worker
+restart — the PR's acceptance gate, also exercised by CI's serve smoke
+job.
 """
 
 from __future__ import annotations
@@ -56,7 +62,9 @@ PORT_SWEEP = (1, 2, 3, 4, 5, 6, 7, 8)  # the 8-config workload
 class ServerProcess:
     """A ``python -m repro.serve serve`` child on an ephemeral port."""
 
-    def __init__(self, workdir: Path, *, max_queue: int = 256):
+    def __init__(
+        self, workdir: Path, *, max_queue: int = 256, extra_args: tuple = ()
+    ):
         self.workdir = workdir
         ready = workdir / "ready"
         env = dict(os.environ)
@@ -69,6 +77,7 @@ class ServerProcess:
                 "--max-queue", str(max_queue),
                 "--cache-dir", str(workdir / "cache"),
                 "--record-dir", str(workdir / "recordings"),
+                *extra_args,
             ],
             env=env,
             stdout=subprocess.DEVNULL,
@@ -235,6 +244,51 @@ def run_mode(kind: str, label: str, args) -> dict:
             "metrics_text": text}
 
 
+def run_chaos_trial(args) -> dict:
+    """The batched replay workload again, while chaos kills workers.
+
+    The plan crashes two workers mid-job and garbles one reply; the pool
+    must retry and respawn so that **every** job still completes — the
+    crash-isolation acceptance claim, measured instead of asserted.
+    """
+    plan = "crash:times=2;corrupt:times=1"
+    with tempfile.TemporaryDirectory(prefix="bench-serve-chaos-") as tmp:
+        # retries cover the worst case of every fault landing on one job
+        with ServerProcess(
+            Path(tmp), extra_args=("--chaos", plan, "--pool-retries", "4")
+        ) as server:
+            specs = sweep_specs("replay", seed=args.seed, max_n=args.max_n)
+            closed = summarize(
+                f"replay under chaos (c={args.clients})",
+                *closed_loop(server.addr, specs, args.clients),
+            )
+            with ServeClient(**server.addr, timeout_s=600) as client:
+                metrics = client.metrics()
+    pool = {
+        name: metrics[name]
+        for name in (
+            "pool_worker_restarts", "pool_retries",
+            "pool_corrupt_replies", "pool_timeout_kills",
+            "pool_poison_jobs", "pool_workers_alive",
+        )
+    }
+    print(f"  chaos plan: {plan}")
+    print(f"  pool after chaos: restarts={pool['pool_worker_restarts']:g} "
+          f"retries={pool['pool_retries']:g} "
+          f"corrupt={pool['pool_corrupt_replies']:g} "
+          f"alive={pool['pool_workers_alive']:g}")
+    print("  respawn latency: "
+          + " ".join(f"{k}={v:.3g}s" for k, v in
+                     metrics["pool_respawn_seconds"].items()
+                     if k in ("p50", "p95", "max")))
+    return {
+        "plan": plan,
+        "closed": closed,
+        "pool": pool,
+        "respawn_seconds": metrics["pool_respawn_seconds"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--clients", type=int, default=8,
@@ -260,6 +314,9 @@ def main(argv=None) -> int:
     print("\nbatched replay (one recording, re-priced per config):")
     batched = run_mode("replay", "replay", args)
 
+    print("\nbatched replay under chaos (workers crashed mid-load):")
+    chaos = run_chaos_trial(args)
+
     n_tput = naive["closed"]["throughput_jobs_per_s"]
     b_tput = batched["closed"]["throughput_jobs_per_s"]
     speedup = b_tput / n_tput if n_tput else float("inf")
@@ -278,6 +335,7 @@ def main(argv=None) -> int:
                      "max_n": args.max_n},
         "naive": {k: naive[k] for k in ("closed", "open", "metrics")},
         "batched": {k: batched[k] for k in ("closed", "open", "metrics")},
+        "chaos": chaos,
         "closed_loop_speedup": round(speedup, 3),
     }
     if args.json:
@@ -294,11 +352,20 @@ def main(argv=None) -> int:
             failures.append("no replay hits recorded")
         if cache_hits <= 0:
             failures.append("no cache hits recorded")
+        if chaos["closed"]["jobs"] != len(PORT_SWEEP):
+            failures.append(
+                f"chaos trial lost responses: {chaos['closed']['jobs']} "
+                f"of {len(PORT_SWEEP)} jobs completed"
+            )
+        if chaos["pool"]["pool_worker_restarts"] < 1:
+            failures.append(
+                "chaos plan never fired (no worker restarts recorded)"
+            )
         if failures:
             print("\nCHECK FAILED: " + "; ".join(failures), file=sys.stderr)
             return 1
         print("\nCHECK PASSED: batched replay strictly faster, "
-              "replay/cache hits non-zero")
+              "replay/cache hits non-zero, chaos trial lost nothing")
     return 0
 
 

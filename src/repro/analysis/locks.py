@@ -20,14 +20,19 @@ Per class, the checker derives:
   ``with self._lock:`` block.  Writes include subscript stores and
   mutator-method calls (``append``/``pop``/``clear``/…).
 
-An attribute is **shared** when it is written by loop-side code (any
-non-entry method outside ``__init__``) *and* touched by executor-reachable
-code.  For shared attributes:
+An attribute is **shared** when one side writes it and the other side
+touches it — in either direction.  For shared attributes:
 
 * ``VIA301`` (error) — the attribute is written both inside and outside
   lock blocks (the unlocked write races the locked reader);
-* ``VIA302`` (error) — an executor-reachable method touches the
-  attribute without holding the lock.
+* ``VIA302`` (error) — an executor-reachable method touches
+  loop-written shared state without holding the lock;
+* ``VIA303`` (error) — the mirror image: a loop-side method touches
+  executor-written shared state without holding the lock.  The serve
+  worker-pool supervisor (:mod:`repro.serve.pool`) is the motivating
+  case: its supervisor thread mutates the worker table and crash
+  counters, and every loop-side reader (``submit``/``cancel``/
+  ``health``) must hold the supervisor lock to see a consistent view.
 
 ``__init__`` writes are exempt (no second thread exists yet).  Classes
 with no lock attribute and no executor entry points are skipped — the
@@ -59,6 +64,11 @@ VIA302 = rule(
     "VIA302",
     "locks",
     "executor-reachable code touches shared state without the lock",
+)
+VIA303 = rule(
+    "VIA303",
+    "locks",
+    "loop-side code touches executor-written shared state without the lock",
 )
 
 #: path fragments selecting the threaded-serving scope
@@ -281,6 +291,19 @@ def _check_class(cls: ast.ClassDef, src: SourceFile) -> List[Finding]:
             executor_touches.setdefault(ev.attr, []).append(ev)
     shared = set(loop_writes) & set(executor_touches)
 
+    # the mirror direction: executor-side writes vs loop-side touches
+    loop_touches: Dict[str, List[_AttrEvent]] = {}
+    for name, info in methods.items():
+        if name == "__init__" or name in executor_side:
+            continue
+        for ev in info.events:
+            loop_touches.setdefault(ev.attr, []).append(ev)
+    executor_writes = {
+        attr for attr, events in executor_touches.items()
+        if any(ev.write for ev in events)
+    }
+    shared_back = executor_writes & set(loop_touches)
+
     for attr in sorted(shared):
         locked_writes = [e for e in loop_writes[attr] if e.locked]
         unlocked_writes = [e for e in loop_writes[attr] if not e.locked] + [
@@ -304,6 +327,18 @@ def _check_class(cls: ast.ClassDef, src: SourceFile) -> List[Finding]:
                         f"{cls.name}.{attr} is loop-mutated shared state "
                         "touched here from an executor-reachable method "
                         "without holding the lock",
+                    )
+                )
+    for attr in sorted(shared_back):
+        for ev in sorted(loop_touches[attr], key=lambda e: e.line):
+            if not ev.locked:
+                findings.append(
+                    make_finding(
+                        VIA303, src.rel, ev.line,
+                        f"{cls.name}.{attr} is written by the supervisor/"
+                        "executor thread and touched here from loop-side "
+                        "code without holding the lock; the reader can "
+                        "observe a torn update",
                     )
                 )
     # one site can raise several identical events (a mutator call is both

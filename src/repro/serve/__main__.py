@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import repro
 from repro.errors import ServeError
+from repro.serve.chaos import ChaosConfig
 from repro.serve.client import ServeClient, ServeRequestError
 from repro.serve.scheduler import Scheduler, ServiceConfig
 from repro.serve.server import ViaServer
@@ -63,9 +64,31 @@ def build_parser() -> argparse.ArgumentParser:
                        "join a batch")
     serve.add_argument("--max-batch", type=int, default=16)
     serve.add_argument("--workers", type=int, default=2,
-                       help="concurrent executor batches")
+                       help="subprocess pool workers (concurrent jobs)")
     serve.add_argument("--default-timeout", type=float, default=120.0,
                        help="per-job execution timeout (seconds)")
+    serve.add_argument("--pool-retries", type=int, default=2,
+                       help="extra attempts for jobs whose worker died")
+    serve.add_argument("--pool-backoff", type=float, default=0.05,
+                       help="base retry backoff after a worker crash "
+                       "(seconds, doubles per attempt)")
+    serve.add_argument("--poison-threshold", type=int, default=3,
+                       help="worker crashes per job key before the "
+                       "poison circuit breaker opens")
+    serve.add_argument("--spawn-timeout", type=float, default=60.0,
+                       help="worker bootstrap (spawn-to-ready) budget "
+                       "(seconds)")
+    serve.add_argument("--mp-context", default=None,
+                       choices=("fork", "spawn", "forkserver"),
+                       help="worker start method (default: fork where "
+                       "available; env REPRO_SERVE_MP_CONTEXT)")
+    serve.add_argument("--chaos", default=None,
+                       help="fault-injection plan for the worker pool, "
+                       "e.g. 'crash:kind=replay:times=2;hang:delay=60' "
+                       "(env REPRO_SERVE_CHAOS)")
+    serve.add_argument("--chaos-dir", default=None,
+                       help="shared chaos token directory (default: "
+                       "per-pool temp; env REPRO_SERVE_CHAOS_DIR)")
     serve.add_argument("--cache-dir", default=None,
                        help="result cache directory (default: per-run temp)")
     serve.add_argument("--record-dir", default=None,
@@ -102,6 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--wait", action="store_true",
                         help="block until the job is terminal")
     submit.add_argument("--wait-timeout", type=float, default=None)
+    submit.add_argument("--shed-retries", type=int, default=4,
+                        help="client-side retries on queue_full shedding "
+                        "(0 = surface the first shed)")
 
     status = sub.add_parser("status", help="one job's state")
     _add_client_args(status)
@@ -112,7 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     result.add_argument("job_id")
     result.add_argument("--timeout", type=float, default=None)
 
-    cancel = sub.add_parser("cancel", help="cancel a queued job")
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
     _add_client_args(cancel)
     cancel.add_argument("job_id")
 
@@ -131,12 +157,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_serve(args) -> int:
+    if args.chaos:
+        chaos = ChaosConfig.parse(args.chaos, args.chaos_dir)
+    else:
+        chaos = ChaosConfig.from_env()  # REPRO_SERVE_CHAOS, or None
     config = ServiceConfig(
         max_queue=args.max_queue,
         batch_window_s=args.batch_window,
         max_batch=args.max_batch,
         executor_workers=args.workers,
         default_timeout_s=args.default_timeout,
+        pool_retries=args.pool_retries,
+        pool_backoff_s=args.pool_backoff,
+        poison_threshold=args.poison_threshold,
+        spawn_timeout_s=args.spawn_timeout,
+        mp_context=args.mp_context,
+        chaos=chaos,
         cache_dir=args.cache_dir,
         record_dir=args.record_dir,
         validate=args.validate,
@@ -200,7 +236,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
-    client = ServeClient(args.host, args.port)
+    client = ServeClient(
+        args.host, args.port,
+        shed_retries=getattr(args, "shed_retries", 4),
+    )
     try:
         with client:
             if args.command == "ping":

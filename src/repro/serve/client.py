@@ -11,6 +11,14 @@ Server-side rejections and failures raise :class:`ServeRequestError`
 carrying the structured error triple (``code`` / ``reason`` /
 ``retry_after_s``); transport problems raise
 :class:`~repro.errors.ServeError` with code ``transport``.
+
+**Shed handling**: the server sheds overload with a structured
+``queue_full`` error carrying a ``retry_after_s`` hint.  ``submit``
+honours the hint — it backs off and retries up to ``shed_retries`` times
+before surfacing the error, so a short admission burst is absorbed
+client-side instead of failing the caller on first shed.  ``draining``
+is terminal for this server instance (it carries no retry hint — the
+process is going away) and is never retried.
 """
 
 from __future__ import annotations
@@ -18,9 +26,13 @@ from __future__ import annotations
 import itertools
 import json
 import socket
+import time
 from typing import Any, Dict, Optional
 
 from repro.errors import ServeError
+
+#: client-side backoff cap between shed retries (seconds)
+MAX_SHED_BACKOFF_S = 5.0
 
 
 class ServeRequestError(ServeError):
@@ -45,10 +57,19 @@ class ServeClient:
         port: int = 7341,
         *,
         timeout_s: float = 60.0,
+        shed_retries: int = 4,
+        shed_backoff_s: float = 0.05,
     ):
+        if shed_retries < 0:
+            raise ServeError(
+                f"shed_retries must be >= 0, got {shed_retries}",
+                code="bad_request",
+            )
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.shed_retries = shed_retries
+        self.shed_backoff_s = shed_backoff_s
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._ids = itertools.count(1)
@@ -140,13 +161,33 @@ class ServeClient:
 
         With ``wait=True`` the job payload is terminal (state ``done``,
         ``failed``, or ``cancelled``) — one round trip for small jobs.
+
+        A ``queue_full`` shed is retried up to ``shed_retries`` times,
+        sleeping the server's ``retry_after_s`` hint (falling back to a
+        capped exponential backoff when the hint is missing) between
+        attempts.  Construct the client with ``shed_retries=0`` to
+        surface the first shed unchanged.
         """
         req: Dict[str, Any] = {"type": "submit", "spec": spec}
         if wait:
             req["wait"] = True
             if wait_timeout_s is not None:
                 req["wait_timeout_s"] = wait_timeout_s
-        return self.request(req)["job"]
+        attempt = 0
+        while True:
+            try:
+                return self.request(req)["job"]
+            except ServeRequestError as exc:
+                if exc.code != "queue_full" or attempt >= self.shed_retries:
+                    raise
+                attempt += 1
+                hint = exc.retry_after_s
+                delay = (
+                    float(hint)
+                    if hint is not None and hint > 0
+                    else self.shed_backoff_s * (2 ** (attempt - 1))
+                )
+                time.sleep(min(delay, MAX_SHED_BACKOFF_S))
 
     def status(self, job_id: str) -> Dict[str, Any]:
         return self.request({"type": "status", "job_id": job_id})["job"]

@@ -13,7 +13,7 @@ result or error payload).  Five kinds:
   replay units, so one recording serves all configurations of the batch;
 * ``report`` — cheap text artifacts (Table I / Table II), a fast request
   type for health probes and mixed workloads;
-* ``sleep`` — a diagnostic kind that holds an executor slot for
+* ``sleep`` — a diagnostic kind that holds a pool worker for
   ``duration_s``; used by load tests to fill the admission queue
   deterministically.
 
@@ -263,6 +263,24 @@ class JobSpec:
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
+    def poison_key(self) -> str:
+        """Identity of the *work* for the pool's poison circuit breaker.
+
+        Two submissions with the same key run the same computation, so a
+        worker crash caused by one predicts a crash for the other: the
+        :class:`~repro.serve.pool.WorkerPool` counts crashes per key and
+        quarantines the key after its threshold.  Scheduling knobs
+        (``priority``, ``deadline_s``, ``timeout_s``) are excluded — they
+        change *when* and *how long*, never *what* executes, and must not
+        let a poison job dodge its quarantine by resubmitting with a
+        different priority.
+        """
+        payload = self.to_payload()
+        for name in ("priority", "deadline_s", "timeout_s"):
+            payload.pop(name, None)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
 
 _job_seq = itertools.count(1)
 
@@ -280,8 +298,8 @@ class Job:
     result: Optional[Dict[str, Any]] = None
     error: Optional[Dict[str, Any]] = None
     cancel_requested: bool = False
-    #: set when a timed-out executor thread is abandoned: a late result
-    #: arriving afterwards must be discarded, not reported
+    #: set when a timed-out job's worker was SIGKILLed and its pool slot
+    #: respawned: the attempt was reclaimed, not left running
     abandoned: bool = False
     batch_size: int = 0
 

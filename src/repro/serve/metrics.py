@@ -70,6 +70,12 @@ class Gauge:
         with self._lock:
             self._value += delta
 
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.add(amount)
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.add(-amount)
+
     @property
     def value(self) -> float:
         with self._lock:

@@ -1,4 +1,4 @@
-"""Asyncio job scheduler: admission control, batching, execution.
+"""Asyncio job scheduler: admission control, batching, pooled execution.
 
 The scheduler is the service's brain.  Requests flow through four stages:
 
@@ -13,18 +13,24 @@ The scheduler is the service's brain.  Requests flow through four stages:
    served by **one** op-stream recording: the first job records (replay
    units self-heal on a store miss), every later job re-prices the stored
    streams.
-3. **execution** — each batch runs on a thread pool via the existing
-   :func:`repro.eval.runner.run_units`, inheriting the PR-1 result cache,
-   the PR-2 :class:`~repro.eval.recordings.RecordingStore`, per-unit fault
-   capture, and invariant checking.  Per-job ``timeout_s`` is enforced
-   with :func:`asyncio.wait_for`; a timed-out job is failed (code
-   ``timeout``) and its executor thread abandoned — the late result is
-   discarded, never reported.
+3. **execution** — each batch is dispatched job-by-job to the supervised
+   subprocess :class:`~repro.serve.pool.WorkerPool`: long-lived workers
+   with warm imports, futures-over-pipes, crash isolation.  A worker that
+   segfaults or is OOM-killed loses only its own job (retried with
+   backoff, then failed ``worker_crash``); a job past its ``timeout_s``
+   gets its worker SIGKILLed and the slot respawned — the structured
+   ``timeout`` error marks the job ``abandoned``; a job that keeps
+   killing workers trips the per-key poison circuit breaker
+   (``poison_job``).  Cancelling a *running* job kills its worker and
+   reclaims the slot.  Results inherit the PR-1 result cache, the PR-2
+   :class:`~repro.eval.recordings.RecordingStore`, per-unit fault capture,
+   and invariant checking via :mod:`repro.serve.execution`.
 4. **completion** — deadlines are re-checked at dispatch
    (``deadline_exceeded``), cancellations are honoured for queued jobs,
    and every terminal transition feeds the metrics registry: queue-wait /
    service-time histograms, shed/cancel counters, replay and result-cache
-   hit counters, queue-depth and in-flight gauges.
+   hit counters, queue-depth / in-flight gauges, and the pool's own
+   health instruments (restarts, poison count, respawn latency).
 
 The scheduler owns no sockets — :mod:`repro.serve.server` is one frontend;
 tests drive the scheduler directly.
@@ -34,21 +40,20 @@ from __future__ import annotations
 
 import asyncio
 import tempfile
-import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import AdmissionError, JobCancelled, ServeError
+from repro.serve.chaos import ChaosConfig
 from repro.serve.jobs import (
     Job,
     JobSpec,
     JobState,
     error_payload,
-    expand_sweep,
 )
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import PoolConfig, PoolTask, WorkerPool
 
 
 @dataclass(frozen=True)
@@ -58,9 +63,13 @@ class ServiceConfig:
     ``max_queue`` bounds *queued* (admitted but not dispatched) jobs —
     the knob that turns overload into fast structured shedding instead of
     unbounded latency.  ``batch_window_s`` trades a little latency for
-    batching opportunity; ``executor_workers`` bounds concurrent batches.
+    batching opportunity; ``executor_workers`` sizes the subprocess
+    worker pool (concurrent jobs).  ``pool_retries``/``pool_backoff_s``
+    govern retry of jobs whose worker died; ``poison_threshold`` is the
+    per-key crash budget before the circuit breaker opens.
     ``cache_dir``/``record_dir`` plug the service into the result cache
-    and recording store (both default to per-instance temp directories).
+    and recording store (both default to per-instance temp directories);
+    ``chaos`` injects a deterministic fault plan into the workers.
     """
 
     max_queue: int = 64
@@ -70,6 +79,12 @@ class ServiceConfig:
     default_timeout_s: float = 120.0
     drain_timeout_s: float = 30.0
     retry_after_s: float = 0.25
+    pool_retries: int = 2
+    pool_backoff_s: float = 0.05
+    poison_threshold: int = 3
+    spawn_timeout_s: float = 60.0
+    mp_context: Optional[str] = None
+    chaos: Optional[ChaosConfig] = None
     cache_dir: Optional[str] = None
     record_dir: Optional[str] = None
     validate: bool = False
@@ -92,9 +107,21 @@ class ServiceConfig:
                 f"default_timeout_s must be > 0, got {self.default_timeout_s}"
             )
 
+    def pool_config(self) -> PoolConfig:
+        """The worker-pool slice of this service configuration."""
+        return PoolConfig(
+            workers=self.executor_workers,
+            retries=self.pool_retries,
+            backoff_s=self.pool_backoff_s,
+            poison_threshold=self.poison_threshold,
+            spawn_timeout_s=self.spawn_timeout_s,
+            mp_context=self.mp_context,
+            chaos=self.chaos,
+        )
+
 
 class Scheduler:
-    """Admission queue + batcher + executor; see the module docstring."""
+    """Admission queue + batcher + worker pool; see the module docstring."""
 
     def __init__(
         self,
@@ -117,11 +144,10 @@ class Scheduler:
         self._done_events: Dict[str, asyncio.Event] = {}
         self._batcher: Optional[asyncio.Task] = None
         self._inflight: set = set()
-        self._executor: Optional[ThreadPoolExecutor] = None
-        #: guards the job flags that cross the loop↔executor boundary
-        #: (``abandoned``, ``cancel_requested``): the loop sets them, the
-        #: executor's sleep/poll loops read them mid-run
-        self._lock = threading.Lock()
+        self.pool = WorkerPool(
+            self.config.pool_config(), metrics=self.metrics
+        )
+        self._pool_tasks: Dict[str, PoolTask] = {}
         self._draining = False
         self._stopped = False
         self.started_at = time.monotonic()
@@ -170,20 +196,22 @@ class Scheduler:
     # lifecycle
 
     async def start(self) -> None:
-        """Start the batching stage (must run inside the event loop)."""
+        """Spawn the worker pool and start the batching stage."""
         if self._batcher is not None:
             return
         self._wakeup = asyncio.Event()
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.config.executor_workers,
-            thread_name_prefix="repro-serve",
-        )
+        self.pool.start()
         self._batcher = asyncio.create_task(self._batch_loop(), name="serve-batcher")
         if self._queue:  # jobs admitted before the batcher existed
             self._wakeup.set()
 
     async def stop(self) -> None:
-        """Hard stop: cancel the batcher, release the executor."""
+        """Hard stop: cancel the batcher, reap the worker pool.
+
+        Every outstanding pool future is resolved (code ``stopped``) and
+        every worker subprocess is killed and joined — a timed-out or
+        wedged job cannot leak a process past this call.
+        """
         self._stopped = True
         if self._batcher is not None:
             self._batcher.cancel()
@@ -192,11 +220,11 @@ class Scheduler:
             except asyncio.CancelledError:
                 pass
             self._batcher = None
+        # reap the pool first: it resolves in-flight futures, which lets
+        # the gathered batch tasks below finish promptly
+        self.pool.stop()
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
-            self._executor = None
         if self._tmp is not None:
             self._tmp.cleanup()
             self._tmp = None
@@ -288,12 +316,14 @@ class Scheduler:
             ) from None
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a queued job; a running job only gets the flag set."""
+        """Cancel a job.  Queued jobs resolve immediately; a *running*
+        job's worker is SIGKILLed and its slot respawned — the job
+        reaches ``cancelled`` promptly instead of running to completion.
+        """
         job = self.get(job_id)
         if job.terminal:
             return job
-        with self._lock:
-            job.cancel_requested = True
+        job.cancel_requested = True
         if job.state == JobState.PENDING:
             self._queue = [entry for entry in self._queue if entry[2] is not job]
             self._m_depth.set(len(self._queue))
@@ -302,6 +332,10 @@ class Scheduler:
                 JobState.CANCELLED,
                 error=error_payload(JobCancelled("cancelled by client request")),
             )
+        elif job.state == JobState.RUNNING:
+            task = self._pool_tasks.get(job_id)
+            if task is not None:
+                self.pool.cancel(task)  # kills the worker within a tick
         return job
 
     async def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
@@ -352,212 +386,108 @@ class Scheduler:
     # execution stage
 
     async def _run_batch(self, group: List[Job]) -> None:
-        loop = asyncio.get_running_loop()
+        """Dispatch one batch to the pool: leader first, then the rest.
+
+        The batch leader runs alone: for a replay-family batch it is the
+        job that records the op streams, and every other member must
+        *observe* that recording on disk to replay it.  Once the leader
+        is terminal the followers are pure readers (replay/cache hits),
+        so they dispatch concurrently across the pool's workers.
+        """
         self._m_batches.inc()
         self._m_batch_size.observe(len(group))
         if len(group) > 1:
             self._m_batched_jobs.inc(len(group))
-        for job in group:
-            if job.terminal:
-                continue
-            if job.cancel_requested:
-                self._finish(
-                    job,
-                    JobState.CANCELLED,
-                    error=error_payload(
-                        JobCancelled("cancelled before dispatch")
-                    ),
-                )
-                continue
-            if job.deadline_exceeded():
-                self._finish(
-                    job,
-                    JobState.FAILED,
-                    error=error_payload(
-                        ServeError(
-                            f"deadline of {job.spec.deadline_s}s expired "
-                            "while the job was queued",
-                            code="deadline_exceeded",
-                            retry_after_s=self.config.retry_after_s,
-                        )
-                    ),
-                )
-                continue
-            job.state = JobState.RUNNING
-            job.started_at = time.monotonic()
-            job.batch_size = len(group)
-            self._m_inflight.add(1)
-            self._m_queue_wait.observe(job.queue_wait_s())
-            timeout = (
-                job.spec.timeout_s
-                if job.spec.timeout_s is not None
-                else self.config.default_timeout_s
+        rest = list(group)
+        while rest:
+            leader = rest.pop(0)
+            if await self._run_one(leader, batch_size=len(group)):
+                break  # a job actually ran; the artifacts now exist
+        if rest:
+            await asyncio.gather(
+                *(self._run_one(job, batch_size=len(group)) for job in rest)
             )
-            try:
-                result = await asyncio.wait_for(
-                    loop.run_in_executor(self._executor, self._execute_job, job),
-                    timeout,
-                )
-                if not job.abandoned:
-                    self._finish(job, JobState.DONE, result=result)
-            except asyncio.TimeoutError:
-                with self._lock:
-                    job.abandoned = True  # discard the late executor result
-                self._finish(
-                    job,
-                    JobState.FAILED,
-                    error=error_payload(
-                        ServeError(
-                            f"job exceeded its {timeout:.4g}s execution "
-                            "timeout",
-                            code="timeout",
-                            retry_after_s=self.config.retry_after_s,
-                        )
-                    ),
-                )
-            except Exception as exc:  # per-job fault isolation
-                self._finish(job, JobState.FAILED, error=error_payload(exc))
-            finally:
-                self._m_inflight.add(-1)
 
-    # -- executor-thread side ------------------------------------------
-
-    def _execute_job(self, job: Job) -> Dict[str, Any]:
-        """Run one job synchronously (thread pool); returns the payload."""
-        spec = job.spec
-        if spec.kind == "sleep":
-            deadline = time.monotonic() + spec.duration_s
-            while time.monotonic() < deadline:
-                with self._lock:
-                    stop = job.abandoned or job.cancel_requested
-                if stop:
-                    break
-                time.sleep(min(0.01, max(0.0, deadline - time.monotonic())))
-            return {"slept_s": spec.duration_s}
-        if spec.kind == "report":
-            from repro.sim import table1
-            from repro.via import table2
-
-            return {"text": table1() + "\n" + table2()}
-        if spec.kind == "sweep":
-            configs = expand_sweep(spec)
-            per_config: Dict[str, Any] = {}
-            for sub in configs:
-                per_config[f"{sub.sram_kb}_{sub.ports}p"] = self._run_sim(job, sub)
-            return {"configs": per_config}
-        return self._run_sim(job, spec)
-
-    def _run_sim(self, job: Job, spec: JobSpec) -> Dict[str, Any]:
-        """Execute a simulate/replay spec through the sweep runner."""
-        from repro.eval.harness import geomean
-        from repro.eval.runner import RunnerConfig, run_units
-
-        units = self._build_units(spec)
-        if spec.kind == "replay":
-            self._count_replay_hits(units)
-        config = RunnerConfig(
-            workers=1,
-            cache_dir=self.cache_dir,
-            capture_errors=True,
+    async def _run_one(self, job: Job, *, batch_size: int) -> bool:
+        """Dispatch one job to the pool and finish it; True if it ran."""
+        if job.terminal:
+            return False
+        if job.cancel_requested:
+            self._finish(
+                job,
+                JobState.CANCELLED,
+                error=error_payload(
+                    JobCancelled("cancelled before dispatch")
+                ),
+            )
+            return False
+        if job.deadline_exceeded():
+            self._finish(
+                job,
+                JobState.FAILED,
+                error=error_payload(
+                    ServeError(
+                        f"deadline of {job.spec.deadline_s}s expired "
+                        "while the job was queued",
+                        code="deadline_exceeded",
+                        retry_after_s=self.config.retry_after_s,
+                    )
+                ),
+            )
+            return False
+        job.state = JobState.RUNNING
+        job.started_at = time.monotonic()
+        job.batch_size = batch_size
+        self._m_inflight.add(1)
+        self._m_queue_wait.observe(job.queue_wait_s())
+        timeout = (
+            job.spec.timeout_s
+            if job.spec.timeout_s is not None
+            else self.config.default_timeout_s
         )
-        result = run_units(units, config)
-        self._m_units.inc(len(units))
-        self._m_cache_hits.inc(result.counters.cache_hits)
-        self._m_cache_misses.inc(result.counters.cache_misses)
-        if result.counters.engine_fallback:
-            self._m_engine_fallback.inc(result.counters.engine_fallback)
-        if result.counters.narration_flushes:
-            self._m_narration_flushes.inc(result.counters.narration_flushes)
-        if result.failures:
-            first = result.failures[0]
-            raise ServeError(
-                f"{len(result.failures)} of {len(units)} work unit(s) "
-                f"failed; first: {first.kind}/{first.name}: {first.error}",
-                code="unit_failed",
-            )
-        records = [
-            {"name": r.name, "n": r.n, "nnz": r.nnz, "speedup": dict(r.speedup)}
-            for r in result.records
-        ]
-        fmts = sorted(result.records[0].speedup) if result.records else []
-        summary = {
-            fmt: geomean(
-                (r.speedup[fmt] for r in result.records if fmt in r.speedup),
-                warn_label=f"serve geomean {fmt}",
-            )
-            for fmt in fmts
+        # cache/record dirs are read at dispatch time on purpose:
+        # tests repoint them on a live scheduler to seed failures
+        request = {
+            "spec": job.spec.to_payload(),
+            "cache_dir": self.cache_dir,
+            "record_dir": self.record_dir,
+            "validate": self.config.validate,
         }
-        return {
-            "records": records,
-            "geomean_speedup": summary,
-            "counters": {
-                "units_ok": result.counters.units_ok,
-                "units_cached": result.counters.units_cached,
-                "cache_hits": result.counters.cache_hits,
-                "cache_misses": result.counters.cache_misses,
-                "engine_fallback": result.counters.engine_fallback,
-                "narration_flushes": result.counters.narration_flushes,
-            },
-        }
-
-    def _build_units(self, spec: JobSpec):
-        from repro.eval.units import (
-            replay_units,
-            spma_units,
-            spmm_units,
-            spmv_units,
+        handle = self.pool.submit(
+            request,
+            timeout_s=timeout,
+            poison_key=job.spec.poison_key(),
+            kind=job.spec.kind,
         )
-        from repro.matrices.collection import MatrixCollection
-        from repro.via.config import ViaConfig
+        self._pool_tasks[job.job_id] = handle
+        try:
+            outcome = await asyncio.wrap_future(handle.future)
+            self._apply_exec_metrics(outcome["metrics"])
+            self._finish(job, JobState.DONE, result=outcome["payload"])
+        except JobCancelled as exc:
+            self._finish(job, JobState.CANCELLED, error=error_payload(exc))
+        except ServeError as exc:
+            if exc.code == "timeout":
+                # the worker was SIGKILLed and the slot respawned;
+                # the flag records that the attempt was reclaimed
+                job.abandoned = True
+            self._finish(job, JobState.FAILED, error=error_payload(exc))
+        except Exception as exc:  # per-job fault isolation
+            self._finish(job, JobState.FAILED, error=error_payload(exc))
+        finally:
+            self._pool_tasks.pop(job.job_id, None)
+            self._m_inflight.add(-1)
+        return True
 
-        collection = MatrixCollection(
-            spec.count, seed=spec.seed, min_n=spec.min_n, max_n=spec.max_n
-        )
-        via = ViaConfig(spec.sram_kb, spec.ports)
-        if spec.kernel == "spmv":
-            units = spmv_units(
-                collection,
-                formats=spec.formats,
-                via_config=via,
-                validate=self.config.validate,
-            )
-        elif spec.kernel == "spma":
-            units = spma_units(
-                collection, via_config=via, validate=self.config.validate
-            )
-        else:
-            units = spmm_units(
-                collection,
-                via_config=via,
-                max_n=spec.max_n,
-                validate=self.config.validate,
-            )
-        if spec.kind == "replay":
-            units = replay_units(
-                units, record_dir=self.record_dir, engine=spec.engine
-            )
-        return units
-
-    def _count_replay_hits(self, units) -> None:
-        """Score replay units against the store *before* execution.
-
-        A unit whose recording artifact already exists is a replay hit —
-        it will re-price stored streams instead of running the kernel;
-        a miss records first (self-heal).  Counted here because the
-        self-healing replay path hides the distinction downstream.
-        """
-        from repro.eval.recordings import RecordingStore, recording_key
-        from repro.eval.runner import code_version
-
-        store = RecordingStore(self.record_dir)
-        code = code_version()
-        for unit in units:
-            if store.has(recording_key(unit, code, part="via")) and store.has(
-                recording_key(unit, code, part="base")
-            ):
-                self._m_replay_hits.inc()
-            else:
-                self._m_replay_misses.inc()
+    def _apply_exec_metrics(self, deltas: Dict[str, int]) -> None:
+        """Fold a worker's per-job counter deltas into the registry."""
+        self._m_units.inc(deltas.get("units_executed", 0))
+        self._m_cache_hits.inc(deltas.get("cache_hits", 0))
+        self._m_cache_misses.inc(deltas.get("cache_misses", 0))
+        self._m_engine_fallback.inc(deltas.get("engine_fallback", 0))
+        self._m_narration_flushes.inc(deltas.get("narration_flushes", 0))
+        self._m_replay_hits.inc(deltas.get("replay_hits", 0))
+        self._m_replay_misses.inc(deltas.get("replay_misses", 0))
 
     # ------------------------------------------------------------------
     # completion
@@ -602,4 +532,5 @@ class Scheduler:
             "jobs_by_state": states,
             "cache_dir": self.cache_dir,
             "record_dir": self.record_dir,
+            "pool": self.pool.health(),
         }

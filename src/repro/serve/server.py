@@ -14,7 +14,8 @@ submit    admit a job spec; ``wait: true`` blocks until the job is
           terminal and returns its full payload in one round trip
 status    snapshot of one job (state, timings, result/error if terminal)
 result    block until a job is terminal (optional ``timeout_s``)
-cancel    cancel a queued job (running jobs finish; flag is recorded)
+cancel    cancel a job (a running job's pool worker is killed and its
+          slot respawned; the job resolves ``cancelled`` promptly)
 metrics   the metrics registry — JSON snapshot or ``format: "text"`` dump
 stats     cheap scheduler stats (queue depth, in-flight, uptime)
 drain     begin graceful shutdown (same path as SIGTERM)
@@ -28,8 +29,9 @@ clients can match them.
 **Graceful drain** (SIGTERM/SIGINT or a ``drain`` request): new
 submissions are refused with code ``draining``, queued jobs are cancelled
 with structured payloads, in-flight jobs run to completion, every blocked
-waiter receives its response, and only then do the sockets close.  No
-response is ever dropped on the floor.
+waiter receives its response, and only then do the sockets close and the
+worker pool's subprocesses get reaped.  No response is ever dropped on
+the floor, and no worker process outlives the server.
 """
 
 from __future__ import annotations

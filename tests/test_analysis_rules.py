@@ -535,7 +535,7 @@ class TestIdKeyRule:
 
 
 # ----------------------------------------------------------------------
-# family: locks (VIA301-VIA302)
+# family: locks (VIA301-VIA303)
 # ----------------------------------------------------------------------
 def locks(project):
     return check_locks(project, prefixes=("svc",))
@@ -723,6 +723,93 @@ class TestLockRules:
             },
         )
         assert rules_of(locks(project)) == ["VIA302"]
+
+    def test_via303_loop_read_of_supervisor_written_state(self, tmp_path):
+        # the worker-pool shape: a supervisor thread owns the worker
+        # table; a loop-side health() peeking at it lock-free sees torn
+        # updates — the mirror image of VIA302
+        project = make_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    import threading
+
+
+                    class Pool:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self.table = {}
+
+                        def start(self):
+                            threading.Thread(target=self._supervise).start()
+
+                        def _supervise(self):
+                            with self._lock:
+                                self.table[1] = "up"
+
+                        def health(self):
+                            return dict(self.table)
+                """
+            },
+        )
+        findings = locks(project)
+        assert rules_of(findings) == ["VIA303"]
+        assert "table" in findings[0].message
+
+    def test_via303_loop_mutator_on_supervisor_written_container(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    import threading
+
+
+                    class Pool:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self.table = {}
+
+                        def start(self):
+                            threading.Thread(target=self._supervise).start()
+
+                        def _supervise(self):
+                            with self._lock:
+                                self.table[1] = "up"
+
+                        def cancel(self, slot):
+                            self.table.pop(slot, None)
+                """
+            },
+        )
+        assert rules_of(locks(project)) == ["VIA303"]
+
+    def test_via303_clean_when_loop_side_holds_the_lock(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc.py": """
+                    import threading
+
+
+                    class Pool:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self.table = {}
+
+                        def start(self):
+                            threading.Thread(target=self._supervise).start()
+
+                        def _supervise(self):
+                            with self._lock:
+                                self.table[1] = "up"
+
+                        def health(self):
+                            with self._lock:
+                                return dict(self.table)
+                """
+            },
+        )
+        assert locks(project) == []
 
     def test_init_writes_are_exempt(self, tmp_path):
         project = make_project(

@@ -9,10 +9,13 @@ Two fixes are pinned here:
   dict.  Now a lock plus ``setdefault`` makes the first core win: concurrent
   replays stay bit-identical to direct execution and exactly one core is
   memoized per target machine;
-* :class:`~repro.serve.scheduler.Scheduler` mutated ``Job.cancel_requested``
-  and ``Job.abandoned`` across the loop↔executor boundary with no lock.  The
-  observable contract of the fix: cancelling a *running* sleep job stops the
-  executor's poll loop promptly instead of sleeping out the full duration.
+* :class:`~repro.serve.scheduler.Scheduler` once mutated
+  ``Job.cancel_requested`` and ``Job.abandoned`` across the loop↔executor
+  boundary with no lock.  Execution now lives in subprocess pool workers
+  (:mod:`repro.serve.pool`), and the observable contract got stronger:
+  cancelling a *running* sleep job SIGKILLs its worker and resolves the
+  job ``cancelled`` promptly instead of sleeping out the full duration —
+  and the pool respawns the slot, so the service keeps serving.
 """
 
 import asyncio
@@ -78,7 +81,7 @@ def test_concurrent_cross_machine_replay_shares_one_memo_entry():
     assert len(recording._machine_memo) == 1
 
 
-def test_cancel_while_running_stops_the_sleep_loop_early():
+def test_cancel_while_running_kills_the_worker_promptly():
     async def case():
         s = Scheduler(ServiceConfig(batch_window_s=0.0))
         await s.start()
@@ -98,11 +101,15 @@ def test_cancel_while_running_stops_the_sleep_loop_early():
         done = await s.wait(job.job_id, timeout=10)
         elapsed = time.monotonic() - begin
 
-        # the executor's poll loop saw the flag and broke out; without
-        # the locked flag handshake this takes the full 5 s
+        # the pool killed the sleeping worker instead of waiting it out;
+        # pre-pool behaviour slept the full 5 s before completing
         assert elapsed < 2.0
-        assert done.state is JobState.DONE
-        assert done.result == {"slept_s": 5.0}
+        assert done.state is JobState.CANCELLED
+        assert done.error["code"] == "cancelled"
+
+        # the killed slot respawned: the service keeps serving
+        ok = s.submit(JobSpec(kind="report"))
+        assert (await s.wait(ok.job_id, timeout=30)).state is JobState.DONE
         await s.stop()
 
     asyncio.run(case())
