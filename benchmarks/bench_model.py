@@ -1,0 +1,238 @@
+"""Cost-model benchmark: training, prediction, and guided-DSE speedup.
+
+Measures the learned cost model (:mod:`repro.model`) end to end on the
+real Fig. 9 workload shape:
+
+1. **exhaustive DSE** — the four SSPM configurations swept over the
+   three kernels with a journal attached; this is both the wall-clock
+   baseline and the training corpus (the model trains on the sweep's
+   *own* journal — no separate data-generation step exists or is
+   needed).
+2. **training** — mine the journal, fit the boosted ensemble, report
+   train time, holdout MAPE, and the per-kernel error breakdown.
+3. **prediction throughput** — vectorized ensemble descent over the
+   design matrix, rows/second (this bounds estimate-job latency and
+   admission-cost overhead in the serving layer).
+4. **guided DSE** — ``run_dse(strategy="guided")`` with the trained
+   model: rank all configurations by predicted cycles, simulate only the
+   surviving half.  Timed fresh (no result cache) so wall clock is
+   proportional to configurations simulated.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_model.py --check
+
+``--check`` exits non-zero unless holdout MAPE clears the accuracy gate,
+guided DSE finds the same per-kernel ``best_config`` as exhaustive while
+simulating at most half the configurations, and the guided wall-clock
+speedup clears 1.5x.  ``--smoke`` shrinks the collection for CI.  The
+full-size run is checked in as ``benchmarks/results/BENCH_model.json``
+and summarized in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.eval.dse import DSE_KERNELS, run_dse  # noqa: E402
+from repro.eval.runner import RunnerConfig  # noqa: E402
+from repro.matrices.collection import small_collection  # noqa: E402
+from repro.model import CostModel, ModelStore, mine  # noqa: E402
+
+DEFAULT_JSON = REPO / "benchmarks" / "results" / "BENCH_model.json"
+
+MAPE_GATE = 0.30
+SPEEDUP_GATE = 1.5
+FRACTION_GATE = 0.5
+
+
+def bench_predict(model, X, repeats):
+    """Prediction throughput over a tiled design matrix."""
+    tiled = np.tile(X, (max(1, 4096 // max(1, len(X))), 1))
+    model.predict(tiled)  # warm
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        model.predict(tiled)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "rows": int(tiled.shape[0]),
+        "best_s": round(best, 6),
+        "rows_per_s": round(tiled.shape[0] / best),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--matrices", type=int, default=8,
+                        help="collection size (default 8)")
+    parser.add_argument("--max-n", type=int, default=384,
+                        help="matrix size cap (default 384)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions for DSE phases (default 3)")
+    parser.add_argument("--n-estimators", type=int, default=150)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workload (4 matrices, max_n 160)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless holdout MAPE <= "
+                             f"{MAPE_GATE}, guided best_config matches "
+                             "exhaustive with <= 50% of configs simulated, "
+                             f"and guided speedup >= {SPEEDUP_GATE}x")
+    parser.add_argument("--json", metavar="PATH",
+                        help=f"summary JSON path (default {DEFAULT_JSON})")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.matrices, args.max_n = 4, 160
+        args.n_estimators = min(args.n_estimators, 60)
+
+    collection = small_collection(args.matrices, seed=9, max_n=args.max_n)
+
+    # phase 1: exhaustive DSE, journaled — baseline timing + training data
+    print(f"exhaustive DSE ({args.matrices} matrices, "
+          f"max_n={args.max_n}, 4 configs x 3 kernels) ...")
+    with tempfile.TemporaryDirectory(prefix="bench-model-") as td:
+        journal = str(Path(td) / "dse.jsonl")
+        best_ex = float("inf")
+        exhaustive = None
+        for i in range(args.repeats):
+            cfg = RunnerConfig(
+                workers=1,
+                journal_path=journal if i == 0 else None,
+            )
+            t0 = time.perf_counter()
+            exhaustive = run_dse(
+                collection, runner=cfg, spmm_max_n=args.max_n
+            )
+            best_ex = min(best_ex, time.perf_counter() - t0)
+        print(f"  best {best_ex*1e3:8.1f}ms  "
+              f"best_config: "
+              f"{ {k: exhaustive.best_config(k) for k in DSE_KERNELS} }")
+
+        # phase 2: mine + train
+        dataset = mine(journals=[journal])
+    t0 = time.perf_counter()
+    model = CostModel.train(dataset, n_estimators=args.n_estimators)
+    train_s = time.perf_counter() - t0
+    holdout_mape = float(model.metrics["mape"])
+    per_kernel = {
+        k: round(float(v["mape"]), 4)
+        for k, v in model.metrics["per_kernel"].items()
+    }
+    print(f"\ntraining: {len(dataset)} rows, "
+          f"{model.ensemble.n_estimators} trees, {train_s*1e3:.0f}ms")
+    print(f"  holdout mape: {holdout_mape:.4f}  per-kernel: {per_kernel}")
+    with tempfile.TemporaryDirectory(prefix="bench-model-store-") as sd:
+        key = ModelStore(sd).put(model.to_payload())
+    print(f"  artifact key: {key[:16]}…")
+
+    # phase 3: prediction throughput
+    predict = bench_predict(model, dataset.X, repeats=max(3, args.repeats))
+    print(f"\npredict: {predict['rows']} rows in "
+          f"{predict['best_s']*1e3:.2f}ms "
+          f"({predict['rows_per_s']/1e3:.0f} krows/s)")
+
+    # phase 4: guided DSE with the trained model, fresh (no cache)
+    print("\nguided DSE (model-ranked, half the configs simulated) ...")
+    best_g = float("inf")
+    guided = None
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        guided = run_dse(
+            collection,
+            strategy="guided",
+            model=model,
+            spmm_max_n=args.max_n,
+        )
+        best_g = min(best_g, time.perf_counter() - t0)
+    fraction = guided.simulated_fraction()
+    speedup = best_ex / best_g
+    best_match = all(
+        guided.best_config(k) == exhaustive.best_config(k)
+        for k in DSE_KERNELS
+    )
+    cycles_identical = all(
+        guided.cycles[k][name] == exhaustive.cycles[k][name]
+        for k in DSE_KERNELS
+        for name in guided.cycles[k]
+    )
+    print(f"  best {best_g*1e3:8.1f}ms  speedup {speedup:.2f}x  "
+          f"simulated {fraction:.0%} of configs")
+    print(f"  best_config matches exhaustive: {best_match}  "
+          f"survivor cycles bit-identical: {cycles_identical}")
+
+    summary = {
+        "workload": {
+            "matrices": args.matrices,
+            "max_n": args.max_n,
+            "repeats": args.repeats,
+            "dataset_rows": len(dataset),
+            "n_estimators": args.n_estimators,
+        },
+        "train": {
+            "train_s": round(train_s, 6),
+            "holdout_mape": round(holdout_mape, 4),
+            "per_kernel_mape": per_kernel,
+            "artifact_key": key,
+        },
+        "predict": predict,
+        "dse": {
+            "exhaustive_s": round(best_ex, 6),
+            "guided_s": round(best_g, 6),
+            "speedup": round(speedup, 2),
+            "simulated_fraction": round(fraction, 3),
+            "best_config_match": best_match,
+            "survivor_cycles_identical": cycles_identical,
+            "best_config": {
+                k: exhaustive.best_config(k) for k in DSE_KERNELS
+            },
+            "simulated": {k: list(v) for k, v in guided.simulated.items()},
+        },
+    }
+    out = Path(args.json) if args.json else DEFAULT_JSON
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+    if args.check:
+        failures = []
+        if not (holdout_mape <= MAPE_GATE):
+            failures.append(
+                f"holdout MAPE {holdout_mape:.4f} above the "
+                f"{MAPE_GATE} gate"
+            )
+        if not best_match:
+            failures.append(
+                "guided DSE disagreed with exhaustive on best_config"
+            )
+        if not cycles_identical:
+            failures.append("guided survivor cycles diverged from exhaustive")
+        if fraction > FRACTION_GATE:
+            failures.append(
+                f"guided simulated {fraction:.0%} of configs "
+                f"(> {FRACTION_GATE:.0%})"
+            )
+        if speedup < SPEEDUP_GATE:
+            failures.append(
+                f"guided speedup {speedup:.2f}x below the "
+                f"{SPEEDUP_GATE}x gate"
+            )
+        if failures:
+            print("\nCHECK FAILED: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print(f"\nCHECK PASSED: mape <= {MAPE_GATE}, best_config match, "
+              f"<= 50% simulated, speedup >= {SPEEDUP_GATE}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

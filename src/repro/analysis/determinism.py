@@ -83,7 +83,7 @@ VIA205 = rule(
 #: path fragments selecting the strict (simulated-machine) scope
 PURE_PREFIXES: Tuple[str, ...] = ("repro/sim/", "repro/kernels/")
 #: path fragments selecting the sweep-worker scope
-WORKER_PREFIXES: Tuple[str, ...] = ("repro/eval/",)
+WORKER_PREFIXES: Tuple[str, ...] = ("repro/eval/", "repro/model/")
 
 #: nondeterministic in every scope — wall-clock and calendar reads
 _WALL_CLOCKS = {

@@ -152,3 +152,13 @@ class ReplayMismatchError(SimulationError):
     vector length, L1 latency, or SSPM capacity), so re-pricing the
     recorded one would be silently wrong.
     """
+
+
+class ModelError(ReproError):
+    """The learned cost model could not be trained, stored, or loaded.
+
+    Raised for empty or degenerate training datasets, malformed model
+    artifacts (bad schema version, checksum or key mismatch — corrupt
+    artifacts are *rejected*, never silently served), and prediction
+    requests whose feature set does not match the trained model.
+    """

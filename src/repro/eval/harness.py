@@ -45,7 +45,14 @@ _RECORD_DICT_FIELDS = (
 
 @dataclass
 class SweepRecord:
-    """One matrix's results for one kernel sweep."""
+    """One matrix's results for one kernel sweep.
+
+    ``features`` carries the matrix's :class:`~repro.matrices.stats.
+    StructureStats` descriptors (as plain floats), filled by the unit
+    planners so every journal line and cache entry is self-describing —
+    the cost-model dataset (:mod:`repro.model.dataset`) mines journals
+    without re-building any matrix.
+    """
 
     name: str
     domain: str
@@ -57,6 +64,7 @@ class SweepRecord:
     bandwidth_ratio: Dict[str, float] = field(default_factory=dict)
     baseline_cycles: Dict[str, float] = field(default_factory=dict)
     via_cycles: Dict[str, float] = field(default_factory=dict)
+    features: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-safe payload; ``from_dict`` round-trips bit-identically."""
@@ -69,6 +77,7 @@ class SweepRecord:
         }
         for key in _RECORD_DICT_FIELDS:
             out[key] = {k: float(v) for k, v in getattr(self, key).items()}
+        out["features"] = {k: float(v) for k, v in self.features.items()}
         return out
 
     @classmethod
@@ -79,6 +88,7 @@ class SweepRecord:
             n=int(data["n"]),
             nnz=int(data["nnz"]),
             metric=float(data["metric"]),
+            features=dict(data.get("features", {})),
             **{key: dict(data.get(key, {})) for key in _RECORD_DICT_FIELDS},
         )
 

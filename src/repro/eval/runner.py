@@ -45,6 +45,7 @@ A CLI is included for demo sweeps::
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import multiprocessing
@@ -225,7 +226,20 @@ class ResultCache:
             path.unlink(missing_ok=True)
             return None, "corrupt"
 
-    def put(self, key: str, payload: Optional[dict]) -> None:
+    def put(
+        self,
+        key: str,
+        payload: Optional[dict],
+        *,
+        context: Optional[dict] = None,
+    ) -> None:
+        """Write one entry; ``context`` is optional sidecar metadata.
+
+        The checksum covers the payload alone, so context (the unit's
+        kernel/machine/VIA configuration, mined by the cost-model
+        dataset) can be added or dropped without invalidating entries,
+        and :meth:`get` serves old and new entries alike.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -234,6 +248,8 @@ class ResultCache:
             "payload": payload,
             "checksum": self._checksum(payload),
         }
+        if context is not None:
+            entry["context"] = context
         tmp = path.with_suffix(".tmp")
         # no sort_keys: the payload's dict order must survive the round
         # trip so cached records stay bit-identical to computed ones
@@ -308,6 +324,20 @@ class _Journal:
                 self._fh.close()
             finally:
                 self._fh = None
+
+
+def unit_context(unit: WorkUnit) -> dict:
+    """The hardware/kernel context of one unit, JSON-shaped.
+
+    Written into journal lines and cache entries so the cost-model
+    dataset (:mod:`repro.model.dataset`) can mine (features, config) →
+    cycles rows from a journal alone, without reconstructing units.
+    """
+    return {
+        "kernel": unit.kernel or unit.kind,
+        "via": dataclasses.asdict(unit.via_config),
+        "machine": dataclasses.asdict(unit.machine),
+    }
 
 
 def _journal_cycles(record: Optional[SweepRecord]) -> dict:
@@ -391,6 +421,7 @@ class _SweepState:
             "wall_s": round(outcome.wall_s, 6),
             "worker": outcome.worker,
             "cache": self.cache_status[i],
+            **unit_context(unit),
         }
         if self.keys[i] is not None:
             entry["key"] = self.keys[i]
@@ -442,7 +473,9 @@ class _SweepState:
             record = outcome.payload
             if self.cache is not None:
                 self.cache.put(
-                    self.keys[i], record.to_dict() if record is not None else None
+                    self.keys[i],
+                    record.to_dict() if record is not None else None,
+                    context=unit_context(unit),
                 )
             self.slots[i] = ("done", record)
             if record is None:

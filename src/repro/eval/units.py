@@ -48,7 +48,7 @@ from repro.kernels import spma as spma_mod
 from repro.kernels import spmm as spmm_mod
 from repro.kernels import spmv as spmv_mod
 from repro.matrices.collection import MatrixCollection, MatrixSpec
-from repro.matrices.stats import nnz_per_row_metric
+from repro.matrices.stats import nnz_per_row_metric, structure_stats
 from repro.sim.backends import (
     Backend,
     InvariantBackend,
@@ -134,6 +134,27 @@ def build_spmv_format(
     raise SweepError(f"unknown SpMV format {fmt!r}")
 
 
+def _unit_features(
+    coo: COOMatrix,
+    *,
+    csb: Optional[CSBMatrix] = None,
+    block_size: Optional[int] = None,
+) -> Dict[str, float]:
+    """The record's ``features`` dict: StructureStats as plain floats.
+
+    The CSB block size follows the unit's VIA configuration (half the
+    SSPM) so the features describe the matrix exactly as the simulated
+    hardware sees it — the same convention the cost-model consumers use
+    when featurizing unseen specs (:mod:`repro.model.dataset`).
+    """
+    stats = structure_stats(
+        coo,
+        csb_block_size=block_size if block_size is not None else 256,
+        csb=csb,
+    )
+    return {k: float(v) for k, v in stats.as_dict().items()}
+
+
 #: one kernel-pair execution: ``fn(backend) -> KernelResult``
 _Runner = Callable[[Optional[Backend]], KernelResult]
 
@@ -181,6 +202,7 @@ def _plan_spmv(unit: WorkUnit) -> UnitPlan:
         n=coo.rows,
         nnz=coo.nnz,
         metric=float(np.median(per_block)) if per_block.size else 0.0,
+        features=_unit_features(coo, csb=csb),
     )
     runs: Dict[str, Tuple[_Runner, _Runner]] = {}
     for fmt in unit.formats:
@@ -209,6 +231,7 @@ def _plan_spma(unit: WorkUnit) -> UnitPlan:
         n=coo_a.rows,
         nnz=coo_a.nnz,
         metric=nnz_per_row_metric(coo_a),
+        features=_unit_features(coo_a, block_size=via_config.csb_block_size),
     )
     runs = {
         "csr": (
@@ -240,6 +263,7 @@ def _plan_spmm(unit: WorkUnit) -> Optional[UnitPlan]:
         n=coo_a.rows,
         nnz=coo_a.nnz,
         metric=nnz_per_row_metric(coo_a),
+        features=_unit_features(coo_a, block_size=via_config.csb_block_size),
     )
     runs = {
         "csr": (
@@ -386,6 +410,9 @@ def _compute_record(unit: WorkUnit) -> Optional[SweepRecord]:
                     "n": int(rec.n),
                     "nnz": int(rec.nnz),
                     "metric": float(rec.metric),
+                    "features": {
+                        k: float(v) for k, v in rec.features.items()
+                    },
                 },
                 "formats": sorted(plan.runs),
             },

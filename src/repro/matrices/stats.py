@@ -8,7 +8,7 @@ computes those metrics plus general structure descriptors used in reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,14 +37,25 @@ class StructureStats:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
 
 
-def structure_stats(matrix: SparseFormat, *, csb_block_size: int = 256) -> StructureStats:
-    """Compute :class:`StructureStats` for any sparse matrix."""
+def structure_stats(
+    matrix: SparseFormat,
+    *,
+    csb_block_size: int = 256,
+    csb: Optional[CSBMatrix] = None,
+) -> StructureStats:
+    """Compute :class:`StructureStats` for any sparse matrix.
+
+    Pass ``csb`` when a CSB build of the same matrix is already in hand
+    (the sweep planners build one for the Fig. 10 metric) to avoid
+    re-blocking; its block size then overrides ``csb_block_size``.
+    """
     coo = matrix.to_coo()
     rows, cols = coo.shape
     nnz = coo.nnz
     per_row = np.bincount(coo.row, minlength=rows) if rows else np.zeros(0, int)
     bw = int(np.abs(coo.row - coo.col).max()) if nnz else 0
-    csb = CSBMatrix.from_coo(coo, block_size=csb_block_size)
+    if csb is None:
+        csb = CSBMatrix.from_coo(coo, block_size=csb_block_size)
     per_block = csb.nnz_per_block()
     return StructureStats(
         rows=rows,
@@ -55,7 +66,7 @@ def structure_stats(matrix: SparseFormat, *, csb_block_size: int = 256) -> Struc
         max_nnz_per_row=int(per_row.max()) if rows else 0,
         empty_rows=int((per_row == 0).sum()) if rows else 0,
         bandwidth=bw,
-        csb_block_size=csb_block_size,
+        csb_block_size=csb.block_size,
         csb_num_blocks=csb.num_blocks,
         median_nnz_per_block=float(np.median(per_block)) if per_block.size else 0.0,
     )
@@ -81,6 +92,15 @@ def quartile_split(values: Sequence[float]) -> Tuple[List[np.ndarray], List[floa
 
     Mirrors the paper's "sorted by X and evenly split among 4 categories".
 
+    Degenerate inputs have defined results instead of empty/NaN bins:
+
+    * empty input returns ``([], [])``;
+    * fewer than 4 values yield ``len(values)`` single-member-or-larger
+      categories — every group is non-empty and every median is finite
+      (for finite input);
+    * all-equal values split into four equal-population groups in stable
+      input order, each with the shared value as its median.
+
     Returns
     -------
     (groups, medians):
@@ -89,7 +109,10 @@ def quartile_split(values: Sequence[float]) -> Tuple[List[np.ndarray], List[floa
         of Figures 10 and 11).
     """
     arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return [], []
     order = np.argsort(arr, kind="stable")
-    groups = [np.array(g, dtype=np.int64) for g in np.array_split(order, 4)]
-    medians = [float(np.median(arr[g])) if g.size else float("nan") for g in groups]
+    parts = min(4, arr.size)
+    groups = [np.array(g, dtype=np.int64) for g in np.array_split(order, parts)]
+    medians = [float(np.median(arr[g])) for g in groups]
     return groups, medians

@@ -1,0 +1,50 @@
+"""repro.model: a learned cost model for VIA sweep outcomes.
+
+Pure NumPy + stdlib (no sklearn): from-scratch gradient-boosted
+regression trees (:mod:`~repro.model.trees`) trained on datasets mined
+from sweep journals and the result cache (:mod:`~repro.model.dataset`),
+stored as versioned, checksummed, content-addressed JSON artifacts
+(:mod:`~repro.model.store`), and consumed by guided design-space
+exploration (``run_dse(strategy="guided")``) and the serve layer's
+``estimate`` jobs / cost-aware admission via
+:class:`~repro.model.cost.JobCostEstimator`.
+
+``python -m repro.model`` trains, evaluates, and predicts from the CLI.
+"""
+
+from repro.model.cost import CostModel, JobCostEstimator
+from repro.model.dataset import (
+    FEATURE_NAMES,
+    Dataset,
+    Row,
+    build_dataset,
+    feature_vector,
+    mine,
+    mine_cache,
+    mine_journal,
+)
+from repro.model.store import ModelStore
+from repro.model.trees import (
+    GradientBoostedTrees,
+    RegressionTree,
+    holdout_split,
+    mape,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "CostModel",
+    "Dataset",
+    "GradientBoostedTrees",
+    "JobCostEstimator",
+    "ModelStore",
+    "RegressionTree",
+    "Row",
+    "build_dataset",
+    "feature_vector",
+    "holdout_split",
+    "mape",
+    "mine",
+    "mine_cache",
+    "mine_journal",
+]

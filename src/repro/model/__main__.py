@@ -1,0 +1,198 @@
+"""Cost-model CLI: train, evaluate, and predict from the command line.
+
+::
+
+    python -m repro.model train --journal sweep.jsonl --model-dir models/
+    python -m repro.model evaluate --journal sweep.jsonl --model-dir models/
+    python -m repro.model predict --model-dir models/ --kernel spmv \\
+        --count 8 --formats csr,csb
+
+``train`` mines journals and/or result-cache directories into a dataset,
+fits the boosted ensemble, reports holdout MAPE with a per-kernel error
+breakdown, and stores the artifact content-addressed (printing its key).
+``evaluate`` scores a stored artifact against freshly mined data.
+``predict`` prices a simulate-shaped workload through the estimator —
+the CLI twin of the serve ``estimate`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ModelError
+from repro.model.cost import CostModel, JobCostEstimator
+from repro.model.dataset import Dataset, mine
+from repro.model.store import ModelStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.model",
+        description="learned cost model: train / evaluate / predict",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_mining(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--journal", action="append", default=[],
+            help="sweep journal JSONL to mine (repeatable)",
+        )
+        p.add_argument(
+            "--cache-dir", action="append", default=[],
+            help="result-cache directory to mine (repeatable)",
+        )
+
+    train = sub.add_parser("train", help="mine a dataset and fit a model")
+    add_mining(train)
+    train.add_argument("--model-dir", required=True)
+    train.add_argument("--holdout", type=float, default=0.25)
+    train.add_argument("--n-estimators", type=int, default=150)
+    train.add_argument("--learning-rate", type=float, default=0.1)
+    train.add_argument("--max-depth", type=int, default=4)
+    train.add_argument("--subsample", type=float, default=0.8)
+    train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--json", action="store_true")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="score a stored model against mined data"
+    )
+    add_mining(evaluate)
+    evaluate.add_argument("--model-dir", required=True)
+    evaluate.add_argument(
+        "--key", default=None, help="artifact key (default: LATEST)"
+    )
+    evaluate.add_argument("--json", action="store_true")
+
+    predict = sub.add_parser(
+        "predict", help="price a simulate-shaped workload"
+    )
+    predict.add_argument(
+        "--model-dir", default=None,
+        help="model store (omit for the analytic fallback)",
+    )
+    predict.add_argument("--kernel", default="spmv",
+                         choices=("spmv", "spma", "spmm"))
+    predict.add_argument("--count", type=int, default=4)
+    predict.add_argument("--seed", type=int, default=2021)
+    predict.add_argument("--min-n", type=int, default=64)
+    predict.add_argument("--max-n", type=int, default=192)
+    predict.add_argument("--formats", default="csr")
+    predict.add_argument("--sram-kb", type=int, default=16)
+    predict.add_argument("--ports", type=int, default=2)
+    predict.add_argument("--json", action="store_true")
+    return parser
+
+
+def _mine(args: argparse.Namespace) -> Dataset:
+    if not args.journal and not args.cache_dir:
+        raise ModelError(
+            "nothing to mine: pass --journal and/or --cache-dir"
+        )
+    return mine(journals=args.journal, cache_dirs=args.cache_dir)
+
+
+def _print_metrics(metrics: Dict[str, Any]) -> None:
+    mape = metrics.get("mape")
+    print(f"rows:  {metrics.get('rows')}")
+    print(f"mape:  {mape:.4f}" if mape == mape else "mape:  nan")
+    per_kernel = metrics.get("per_kernel") or {}
+    for kernel in sorted(per_kernel):
+        entry = per_kernel[kernel]
+        print(
+            f"  {kernel:<5} rows={entry['rows']:<5} mape={entry['mape']:.4f}"
+        )
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = _mine(args)
+    t0 = time.perf_counter()
+    model = CostModel.train(
+        dataset,
+        holdout_fraction=args.holdout,
+        n_estimators=args.n_estimators,
+        learning_rate=args.learning_rate,
+        max_depth=args.max_depth,
+        subsample=args.subsample,
+        seed=args.seed,
+    )
+    train_s = time.perf_counter() - t0
+    key = ModelStore(args.model_dir).put(model.to_payload())
+    if args.json:
+        print(json.dumps({
+            "key": key,
+            "train_s": train_s,
+            "dataset_rows": len(dataset),
+            "metrics": model.metrics,
+        }, sort_keys=True))
+        return 0
+    print(f"key:   {key}")
+    print(f"train: {train_s:.3f}s over {len(dataset)} rows "
+          f"({model.ensemble.n_estimators} trees)")
+    print(f"split: {model.metrics.get('scored_on')}")
+    _print_metrics(model.metrics)
+    return 0
+
+
+def _load(model_dir: str, key: Optional[str]) -> CostModel:
+    store = ModelStore(model_dir)
+    payload = store.get(key) if key else store.get_latest()
+    return CostModel.from_payload(payload)
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    model = _load(args.model_dir, args.key)
+    metrics = model.evaluate(_mine(args))
+    if args.json:
+        print(json.dumps(metrics, sort_keys=True))
+        return 0
+    _print_metrics(metrics)
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    estimator = JobCostEstimator.load(args.model_dir)
+    formats: List[str] = [f for f in args.formats.split(",") if f]
+    result = estimator.estimate_workload(
+        kernel=args.kernel,
+        count=args.count,
+        seed=args.seed,
+        min_n=args.min_n,
+        max_n=args.max_n,
+        formats=formats,
+        sram_kb=args.sram_kb,
+        ports=args.ports,
+    )
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+        return 0
+    print(f"source: {result['source']}"
+          + (f" ({result['model_key'][:12]}…)" if result["model_key"] else ""))
+    for unit in result["units"]:
+        print(
+            f"  {unit['name']:<24} {unit['format']:<7} "
+            f"nnz={unit['nnz']:<8} cycles={unit['predicted_cycles']:.0f}"
+        )
+    print(f"total predicted cycles: {result['predicted_cycles_total']:.0f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "predict": _cmd_predict,
+    }[args.command]
+    try:
+        return handler(args)
+    except ModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

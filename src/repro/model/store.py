@@ -1,0 +1,133 @@
+"""Versioned, checksummed, content-addressed storage for model artifacts.
+
+Mirrors the :class:`~repro.eval.runner.ResultCache` idiom: one JSON file
+per artifact at ``<root>/<key[:2]>/<key>.json``, where the key is the
+sha256 of the canonical payload serialization — an artifact's identity
+*is* its content, so retraining on identical data at identical settings
+re-produces the same key and the store naturally deduplicates.
+
+Two deliberate differences from the result cache:
+
+* corruption is an **error**, not a miss.  A cache miss is recomputed in
+  milliseconds; a silently vanished model would make a serving endpoint
+  fall back to the analytic estimator without anyone noticing.  A bad
+  schema, checksum mismatch, or key mismatch raises
+  :class:`~repro.errors.ModelError` and the rotten file is deleted so the
+  next write can land cleanly.
+* a ``LATEST`` pointer file names the most recently stored key, so CLI
+  consumers (``python -m repro.model predict``, the serve estimator) can
+  load "the current model" without threading keys through every call.
+
+No timestamps anywhere: artifacts must be byte-reproducible from their
+inputs, and the model subsystem runs under the determinism checker's
+worker scope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ModelError
+
+#: bump when the artifact envelope schema changes shape
+STORE_FORMAT = 1
+
+_LATEST = "LATEST"
+
+
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """sha256 over the canonical (sorted-keys, compact) JSON payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ModelStore:
+    """Content-addressed artifact store rooted at a directory."""
+
+    def __init__(self, root: str):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def put(self, payload: Dict[str, Any]) -> str:
+        """Store an artifact payload; returns its content key.
+
+        Also moves the ``LATEST`` pointer.  Writes are atomic
+        (``os.replace``) so a concurrent reader never sees a torn file.
+        """
+        if not isinstance(payload, dict):
+            raise ModelError("model artifact payload must be a dict")
+        key = payload_checksum(payload)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "payload": payload,
+            "checksum": payload_checksum(payload),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+        tmp_latest = self.root / f"{_LATEST}.tmp"
+        tmp_latest.write_text(key)
+        os.replace(tmp_latest, self.root / _LATEST)
+        return key
+
+    def get(self, key: str) -> Dict[str, Any]:
+        """Load an artifact payload by key.
+
+        Missing key → ``ModelError``.  Corrupt entry (unparseable, wrong
+        schema version, key or checksum mismatch) → the file is deleted
+        and ``ModelError`` raised: a rotten model is rejected, never
+        served.
+        """
+        path = self._path(key)
+        if not path.exists():
+            raise ModelError(f"model artifact {key!r} not found in {self.root}")
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(entry, dict):
+                raise ValueError("artifact entry is not an object")
+            if entry.get("format") != STORE_FORMAT:
+                raise ValueError("unknown artifact format version")
+            payload = entry["payload"]
+            if (
+                entry.get("key") != key
+                or entry.get("checksum") != payload_checksum(payload)
+            ):
+                raise ValueError("artifact failed integrity check")
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+            path.unlink(missing_ok=True)
+            raise ModelError(
+                f"model artifact {key!r} is corrupt ({exc}); entry deleted"
+            ) from exc
+        return dict(payload)
+
+    def latest_key(self) -> Optional[str]:
+        """The key named by the ``LATEST`` pointer, or None if unset."""
+        pointer = self.root / _LATEST
+        if not pointer.exists():
+            return None
+        key = pointer.read_text(encoding="utf-8").strip()
+        return key or None
+
+    def get_latest(self) -> Dict[str, Any]:
+        """Load the artifact the ``LATEST`` pointer names."""
+        key = self.latest_key()
+        if key is None:
+            raise ModelError(f"model store {self.root} has no LATEST artifact")
+        return self.get(key)
+
+    def keys(self) -> List[str]:
+        """Every stored artifact key, sorted."""
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.stem for p in self.root.rglob("*.json") if p.parent != self.root
+        )

@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="op-stream recording store (default: per-run temp)")
     serve.add_argument("--validate", action="store_true",
                        help="run op-stream invariant checks on every unit")
+    serve.add_argument("--model-dir", default=None,
+                       help="cost-model store backing estimate jobs and "
+                       "cost-aware admission (default: analytic fallback)")
+    serve.add_argument("--max-queue-cost", type=float, default=None,
+                       help="predicted-cycle budget for the admission "
+                       "queue (default: flat slot accounting only)")
 
     ping = sub.add_parser("ping", help="liveness probe")
     _add_client_args(ping)
@@ -103,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_client_args(submit)
     submit.add_argument("--kind", default="simulate",
                         choices=("simulate", "replay", "sweep", "report",
-                                 "sleep"))
+                                 "sleep", "estimate"))
     submit.add_argument("--kernel", default="spmv",
                         choices=("spmv", "spma", "spmm"))
     submit.add_argument("--count", type=int, default=1)
@@ -176,6 +182,8 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         record_dir=args.record_dir,
         validate=args.validate,
+        model_dir=args.model_dir,
+        max_queue_cost=args.max_queue_cost,
     )
 
     async def _run() -> None:
@@ -208,7 +216,7 @@ def _spec_from_args(args) -> dict:
         "kind": args.kind,
         "priority": args.priority,
     }
-    if args.kind in ("simulate", "replay", "sweep"):
+    if args.kind in ("simulate", "replay", "sweep", "estimate"):
         spec.update(
             kernel=args.kernel,
             count=args.count,

@@ -79,6 +79,14 @@ def _execute_spec(
     validate: bool,
     metrics: Dict[str, int],
 ) -> Dict[str, Any]:
+    if spec.kind == "estimate":
+        # the scheduler resolves estimates synchronously at admission;
+        # one reaching a worker means the dispatch path is broken
+        raise ServeError(
+            "estimate jobs are answered at admission and must never "
+            "dispatch to a pool worker",
+            code="internal",
+        )
     if spec.kind == "sleep":
         # a plain sleep: cancellation of a running sleep job is handled by
         # the supervisor killing this worker, not by cooperative polling

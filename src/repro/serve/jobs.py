@@ -15,7 +15,11 @@ result or error payload).  Five kinds:
   type for health probes and mixed workloads;
 * ``sleep`` — a diagnostic kind that holds a pool worker for
   ``duration_s``; used by load tests to fill the admission queue
-  deterministically.
+  deterministically;
+* ``estimate`` — a simulate-shaped workload priced by the learned cost
+  model (:mod:`repro.model`) instead of simulated: the scheduler answers
+  synchronously at admission, in microseconds, without ever touching the
+  worker pool.
 
 Batching: :meth:`JobSpec.batch_key` hashes exactly what must match for two
 requests to share one scheduler batch.  For ``replay``/``sweep`` kinds the
@@ -54,7 +58,9 @@ from repro.errors import (
 )
 from repro.sim.backends import DEFAULT_REPLAY_ENGINE, REPLAY_ENGINES
 
-JOB_KINDS = ("simulate", "replay", "sweep", "report", "sleep")
+JOB_KINDS = ("simulate", "replay", "sweep", "report", "sleep", "estimate")
+#: kinds that describe a kernel×collection workload (shared validation)
+SIM_FAMILY = ("simulate", "replay", "sweep", "estimate")
 KERNELS = ("spmv", "spma", "spmm")
 SPMV_FORMATS = ("csr", "csb", "spc5", "sellcs")
 
@@ -129,7 +135,7 @@ class JobSpec:
             raise _bad_request(
                 f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
             )
-        if self.kind in ("simulate", "replay", "sweep"):
+        if self.kind in SIM_FAMILY:
             if self.kernel not in KERNELS:
                 raise _bad_request(
                     f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
@@ -254,7 +260,7 @@ class JobSpec:
             "formats": list(self.formats),
             "sram_kb": self.sram_kb,
         }
-        if self.kind == "simulate":
+        if self.kind in ("simulate", "estimate"):
             payload["ports"] = self.ports
         if family == "replay":
             payload["engine"] = self.engine or DEFAULT_REPLAY_ENGINE

@@ -70,6 +70,16 @@ class ServiceConfig:
     ``cache_dir``/``record_dir`` plug the service into the result cache
     and recording store (both default to per-instance temp directories);
     ``chaos`` injects a deterministic fault plan into the workers.
+
+    ``model_dir`` points at a :class:`~repro.model.store.ModelStore`
+    whose LATEST artifact backs ``estimate`` jobs and cost-aware
+    admission (absent/empty → the deterministic analytic fallback).
+    ``max_queue_cost`` switches admission to predicted-cost accounting:
+    on top of the ``max_queue`` slot bound, the sum of predicted cycles
+    queued may not exceed it — a queue full of cheap report jobs admits
+    many, one monster sweep fills it alone — and batches dispatch
+    cheapest-first within a priority level.  ``None`` (the default)
+    keeps the historical flat-slot behaviour exactly.
     """
 
     max_queue: int = 64
@@ -88,8 +98,14 @@ class ServiceConfig:
     cache_dir: Optional[str] = None
     record_dir: Optional[str] = None
     validate: bool = False
+    model_dir: Optional[str] = None
+    max_queue_cost: Optional[float] = None
 
     def __post_init__(self):
+        if self.max_queue_cost is not None and self.max_queue_cost <= 0:
+            raise ServeError(
+                f"max_queue_cost must be > 0, got {self.max_queue_cost}"
+            )
         if self.max_queue < 1:
             raise ServeError(f"max_queue must be >= 1, got {self.max_queue}")
         if self.max_batch < 1:
@@ -138,8 +154,18 @@ class Scheduler:
         self.cache_dir = self.config.cache_dir or f"{base}/cache"
         self.record_dir = self.config.record_dir or f"{base}/recordings"
         self.jobs: Dict[str, Job] = {}
-        self._queue: List[Tuple[int, int, Job]] = []  # (-priority, seq, job)
+        # (-priority, cost, seq, job); cost is 0.0 unless cost-aware
+        # admission is on, so the default order is untouched
+        self._queue: List[Tuple[int, float, int, Job]] = []
         self._seq = 0
+        # the estimator always loads: with no model_dir (or an empty
+        # store) it is the deterministic analytic fallback, so estimate
+        # jobs and cost accounting work before any model is trained
+        from repro.model.cost import JobCostEstimator
+
+        self.estimator = JobCostEstimator.load(self.config.model_dir)
+        self._queue_cost = 0.0
+        self._job_cost: Dict[str, float] = {}
         self._wakeup: Optional[asyncio.Event] = None
         self._done_events: Dict[str, asyncio.Event] = {}
         self._batcher: Optional[asyncio.Task] = None
@@ -191,6 +217,25 @@ class Scheduler:
             "service_seconds", "dispatch-to-completion time"
         )
         self._m_batch_size = m.histogram("batch_size", "jobs per executed batch")
+        self._m_estimate_hits = m.counter(
+            "model_estimate_hits",
+            "estimate jobs answered synchronously at admission",
+        )
+        self._m_cost_admitted = m.counter(
+            "model_cost_admissions",
+            "jobs admitted under predicted-cost accounting",
+        )
+        self._m_cost_shed = m.counter(
+            "model_cost_shed",
+            "submissions shed because the queue cost budget was exhausted",
+        )
+        self._m_queue_cost = m.gauge(
+            "model_queue_cost", "predicted cycles of all queued jobs"
+        )
+        self._m_predict = m.histogram(
+            "model_predict_seconds",
+            "cost-model prediction latency (estimates and admission)",
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -251,7 +296,8 @@ class Scheduler:
         """
         self._draining = True
         cancelled = 0
-        for _, _, job in self._queue:
+        for _, _, _, job in self._queue:
+            self._release_cost(job)
             if not job.terminal:
                 self._finish(
                     job,
@@ -281,13 +327,20 @@ class Scheduler:
     # admission
 
     def submit(self, spec: JobSpec) -> Job:
-        """Admit one job or shed it with a structured admission error."""
+        """Admit one job or shed it with a structured admission error.
+
+        ``estimate`` jobs never queue: they are resolved synchronously
+        right here through the cost model (microseconds warm), reaching
+        a terminal state before this method returns.
+        """
         if self._draining or self._stopped:
             self._m_shed.inc()
             raise AdmissionError(
                 "service is draining and no longer admits jobs",
                 code="draining",
             )
+        if spec.kind == "estimate":
+            return self._resolve_estimate(spec)
         if len(self._queue) >= self.config.max_queue:
             self._m_shed.inc()
             raise AdmissionError(
@@ -296,16 +349,81 @@ class Scheduler:
                 code="queue_full",
                 retry_after_s=self.config.retry_after_s,
             )
+        cost = 0.0
+        if self.config.max_queue_cost is not None:
+            cost = self._predicted_cost(spec)
+            # an over-budget job is only shed while other work is queued:
+            # with an empty queue it must admit, or a job costing more
+            # than the whole budget could never run at all
+            if self._queue and self._queue_cost + cost > self.config.max_queue_cost:
+                self._m_shed.inc()
+                self._m_cost_shed.inc()
+                raise AdmissionError(
+                    f"queue cost budget is exhausted (predicted "
+                    f"{self._queue_cost + cost:.0f} of "
+                    f"{self.config.max_queue_cost:.0f} cycles); "
+                    "retry after the suggested backoff",
+                    code="queue_full",
+                    retry_after_s=self.config.retry_after_s,
+                )
         job = Job(spec=spec)
         self.jobs[job.job_id] = job
         self._done_events[job.job_id] = asyncio.Event()
         self._seq += 1
-        self._queue.append((-spec.priority, self._seq, job))
+        self._queue.append((-spec.priority, cost, self._seq, job))
+        if self.config.max_queue_cost is not None:
+            self._job_cost[job.job_id] = cost
+            self._queue_cost += cost
+            self._m_queue_cost.set(self._queue_cost)
+            self._m_cost_admitted.inc()
         self._m_submitted.inc()
         self._m_depth.set(len(self._queue))
         if self._wakeup is not None:
             self._wakeup.set()
         return job
+
+    def _predicted_cost(self, spec: JobSpec) -> float:
+        """Model-predicted cost of one job, with prediction timing."""
+        t0 = time.perf_counter()
+        cost = self.estimator.admission_cost(spec)
+        self._m_predict.observe(time.perf_counter() - t0)
+        return cost
+
+    def _resolve_estimate(self, spec: JobSpec) -> Job:
+        """Answer an estimate job inline — no queue, no worker pool."""
+        job = Job(spec=spec)
+        self.jobs[job.job_id] = job
+        self._done_events[job.job_id] = asyncio.Event()
+        self._m_submitted.inc()
+        job.state = JobState.RUNNING
+        job.started_at = time.monotonic()
+        try:
+            t0 = time.perf_counter()
+            result = self.estimator.estimate_workload(
+                kernel=spec.kernel,
+                count=spec.count,
+                seed=spec.seed,
+                min_n=spec.min_n,
+                max_n=spec.max_n,
+                formats=spec.formats,
+                sram_kb=spec.sram_kb,
+                ports=spec.ports,
+            )
+            elapsed = time.perf_counter() - t0
+            self._m_predict.observe(elapsed)
+            result["predict_s"] = round(elapsed, 9)
+            self._m_estimate_hits.inc()
+            self._finish(job, JobState.DONE, result=result)
+        except Exception as exc:  # malformed artifact, feature mismatch
+            self._finish(job, JobState.FAILED, error=error_payload(exc))
+        return job
+
+    def _release_cost(self, job: Job) -> None:
+        """Return a job's predicted cost to the queue budget."""
+        cost = self._job_cost.pop(job.job_id, None)
+        if cost is not None:
+            self._queue_cost = max(0.0, self._queue_cost - cost)
+            self._m_queue_cost.set(self._queue_cost)
 
     def get(self, job_id: str) -> Job:
         try:
@@ -325,8 +443,9 @@ class Scheduler:
             return job
         job.cancel_requested = True
         if job.state == JobState.PENDING:
-            self._queue = [entry for entry in self._queue if entry[2] is not job]
+            self._queue = [entry for entry in self._queue if entry[3] is not job]
             self._m_depth.set(len(self._queue))
+            self._release_cost(job)
             self._finish(
                 job,
                 JobState.CANCELLED,
@@ -360,12 +479,15 @@ class Scheduler:
             if self.config.batch_window_s > 0:
                 # let concurrently-arriving compatible jobs join the batch
                 await asyncio.sleep(self.config.batch_window_s)
-            batch_entries = sorted(self._queue)  # priority, then arrival
+            # priority first; under cost-aware admission, cheapest next
+            # (shortest-job-first within a priority level); arrival last
+            batch_entries = sorted(self._queue)
             self._queue.clear()
             self._m_depth.set(0)
             groups: List[Tuple[str, List[Job]]] = []
             open_group: Dict[str, List[Job]] = {}
-            for _, _, job in batch_entries:
+            for _, _, _, job in batch_entries:
+                self._release_cost(job)
                 if job.terminal:  # cancelled while queued
                     continue
                 key = job.spec.batch_key()
@@ -532,5 +654,10 @@ class Scheduler:
             "jobs_by_state": states,
             "cache_dir": self.cache_dir,
             "record_dir": self.record_dir,
+            "queue_cost": round(self._queue_cost, 3),
+            "model": {
+                "source": self.estimator.source,
+                "key": self.estimator.model_key,
+            },
             "pool": self.pool.health(),
         }

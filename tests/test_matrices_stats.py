@@ -1,0 +1,137 @@
+"""Structure-metric and quartile-split edge cases.
+
+Regression suite for the degenerate inputs the cost-model dataset can
+mine (empty matrices, single rows, fully dense blocks) and for the
+``quartile_split`` fixes: empty input, fewer values than categories, and
+all-equal metrics must produce defined, non-empty, finite results
+instead of empty bins and NaN medians.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.matrices.stats import (
+    block_density_metric,
+    nnz_per_row_metric,
+    quartile_split,
+    structure_stats,
+)
+
+
+def _empty(rows=8, cols=8):
+    return COOMatrix((rows, cols), [], [], [])
+
+
+def _single_row(cols=16, nnz=5):
+    return COOMatrix(
+        (1, cols), np.zeros(nnz, int), np.arange(nnz), np.ones(nnz)
+    )
+
+
+def _dense_block(n=8):
+    rows, cols = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return COOMatrix(
+        (n, n), rows.ravel(), cols.ravel(), np.ones(n * n)
+    )
+
+
+class TestMetricsEdgeMatrices:
+    def test_nnz_per_row_empty_matrix(self):
+        assert nnz_per_row_metric(_empty()) == 0.0
+
+    def test_block_density_empty_matrix(self):
+        # an empty matrix stores no blocks: the metric is 0, not NaN
+        assert block_density_metric(_empty()) == 0.0
+
+    def test_nnz_per_row_single_row(self):
+        assert nnz_per_row_metric(_single_row(nnz=5)) == 5.0
+
+    def test_block_density_single_row(self):
+        # one stored block holding every entry
+        assert block_density_metric(_single_row(nnz=5), block_size=16) == 5.0
+
+    def test_nnz_per_row_dense_block(self):
+        assert nnz_per_row_metric(_dense_block(8)) == 8.0
+
+    def test_block_density_dense_block(self):
+        # block covers the whole matrix: median = total nnz
+        assert block_density_metric(_dense_block(8), block_size=8) == 64.0
+
+    def test_structure_stats_empty_matrix(self):
+        stats = structure_stats(_empty(4, 4))
+        assert stats.nnz == 0
+        assert stats.avg_nnz_per_row == 0.0
+        assert stats.max_nnz_per_row == 0
+        assert stats.empty_rows == 4
+        assert stats.bandwidth == 0
+        assert stats.median_nnz_per_block == 0.0
+
+    def test_structure_stats_dense_block(self):
+        stats = structure_stats(_dense_block(8), csb_block_size=8)
+        assert stats.density == 1.0
+        assert stats.empty_rows == 0
+        assert stats.csb_num_blocks == 1
+
+    def test_structure_stats_accepts_prebuilt_csb(self):
+        from repro.formats.csb import CSBMatrix
+
+        coo = _dense_block(8)
+        csb = CSBMatrix.from_coo(coo, block_size=4)
+        stats = structure_stats(coo, csb_block_size=999, csb=csb)
+        # the prebuilt CSB wins over the block-size argument
+        assert stats.csb_block_size == 4
+        assert stats.csb_num_blocks == csb.num_blocks
+
+
+class TestQuartileSplit:
+    def test_empty_input(self):
+        groups, medians = quartile_split([])
+        assert groups == [] and medians == []
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_fewer_values_than_categories(self, n):
+        values = [float(i + 1) for i in range(n)]
+        groups, medians = quartile_split(values)
+        assert len(groups) == n == len(medians)
+        assert all(g.size > 0 for g in groups)
+        assert all(np.isfinite(m) for m in medians)
+        # every index appears exactly once, in ascending metric order
+        assert sorted(np.concatenate(groups).tolist()) == list(range(n))
+        assert medians == sorted(medians)
+
+    def test_all_equal_values(self):
+        groups, medians = quartile_split([7.0] * 8)
+        assert len(groups) == 4
+        assert [g.size for g in groups] == [2, 2, 2, 2]
+        assert medians == [7.0] * 4
+        # stable: equal values keep input order across the groups
+        assert np.concatenate(groups).tolist() == list(range(8))
+
+    def test_four_or_more_values(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0, 0.0, 7.0, 6.0]
+        groups, medians = quartile_split(values)
+        assert len(groups) == 4
+        assert sum(g.size for g in groups) == len(values)
+        assert medians == sorted(medians)
+        # groups partition indices by ascending metric
+        flat = np.concatenate(groups)
+        assert sorted(flat.tolist()) == list(range(len(values)))
+        assert [values[i] for i in flat] == sorted(values)
+
+    def test_categorize_tolerates_small_input(self):
+        # the Fig. 10/11 consumer: must not crash on a 2-matrix sweep
+        from repro.eval.categories import categorize
+        from repro.eval.harness import SweepRecord
+
+        records = [
+            SweepRecord(
+                name=f"m{i}", domain="random", n=8, nnz=8,
+                metric=float(i + 1), speedup={"csr": 2.0},
+            )
+            for i in range(2)
+        ]
+        result = categorize(records)
+        assert len(result.rows) == 2
+        assert all(row.count == 1 for row in result.rows)
+        assert [row.median_metric for row in result.rows] == [1.0, 2.0]

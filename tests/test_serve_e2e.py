@@ -11,6 +11,7 @@ Acceptance criteria for the serving subsystem:
   exits on its own.
 """
 
+import json
 import os
 import signal
 import subprocess
@@ -204,6 +205,78 @@ class TestShedding:
                 # not just admitted on a quiet queue) — and yet every
                 # submission above got through
                 assert snap["jobs_completed"] >= 6
+        finally:
+            _stop(proc)
+
+
+class TestEstimate:
+    """``estimate`` jobs round-trip through the live server without
+    ever dispatching to the worker pool."""
+
+    def test_estimate_round_trips_without_pool_dispatch(self, server):
+        with ServeClient(**server) as client:
+            before = client.metrics()
+            job = client.submit(
+                {"kind": "estimate", "kernel": "spmv", "count": 2,
+                 "seed": 5, "max_n": 96},
+                wait=True, wait_timeout_s=30,
+            )
+            after = client.metrics()
+        assert job["state"] == "done"
+        result = job["result"]
+        assert result["source"] == "fallback"  # server has no --model-dir
+        assert result["unit_count"] == 2
+        assert result["predicted_cycles_total"] > 0
+        assert after["model_estimate_hits"] == before["model_estimate_hits"] + 1
+        # the pool never saw the job: no work units were executed for it
+        assert after["units_executed"] == before["units_executed"]
+
+    def test_estimate_served_from_cli_trained_model(self, tmp_path):
+        # a tiny sweep writes a self-describing journal...
+        from repro.eval.harness import sweep_spmv
+        from repro.eval.runner import RunnerConfig
+        from repro.matrices.collection import small_collection
+
+        journal = tmp_path / "sweep.jsonl"
+        sweep_spmv(
+            small_collection(count=4, max_n=96),
+            formats=("csr",),
+            runner=RunnerConfig(workers=1, journal_path=str(journal)),
+        )
+
+        # ...the CLI trains and stores a model from it...
+        model_dir = tmp_path / "models"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        out = subprocess.run(
+            [
+                sys.executable, "-m", "repro.model", "train",
+                "--journal", str(journal),
+                "--model-dir", str(model_dir),
+                "--n-estimators", "20", "--json",
+            ],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert out.returncode == 0, out.stderr
+        key = json.loads(out.stdout)["key"]
+
+        # ...and a server started with --model-dir answers from it
+        proc, addr = _spawn_server(
+            tmp_path, "--model-dir", str(model_dir), name="model",
+        )
+        try:
+            with ServeClient(**addr) as client:
+                job = client.submit(
+                    {"kind": "estimate", "kernel": "spmv", "count": 2,
+                     "seed": 5, "max_n": 96},
+                    wait=True, wait_timeout_s=30,
+                )
+                snap = client.metrics()
+            assert job["state"] == "done"
+            assert job["result"]["source"] == "model"
+            assert job["result"]["model_key"] == key
+            assert snap["model_estimate_hits"] == 1
+            assert snap["units_executed"] == 0
         finally:
             _stop(proc)
 
