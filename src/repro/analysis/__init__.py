@@ -17,7 +17,23 @@ that no general-purpose linter checks:
 * **hot-path narration** — the record path buffers ops in the
   columnar builder; per-op ``Op(...)`` construction in ``Core``/kernel
   loops would silently restore the per-object cost
-  (:mod:`repro.analysis.hotpath`).
+  (:mod:`repro.analysis.hotpath`);
+* **resource lifecycle** — the serve pool and eval supervisor must
+  close/join/terminate every pipe, process, socket, and temp file on
+  every CFG path out of a function, exception edges included
+  (:mod:`repro.analysis.lifecycle`);
+* **error contract** — every resolvable raise in ``repro.serve`` must
+  carry an exception type ``error_payload`` maps to a structured wire
+  error, and broad handlers must not swallow silently
+  (:mod:`repro.analysis.errorflow`);
+* **dtype hygiene** — the columnar pricing kernels must keep cycle
+  arithmetic integral; ``/``, ``np.mean``, and float literals that
+  silently promote int arrays break the bit-identity contract
+  (:mod:`repro.analysis.dtypes`).
+
+The lifecycle and dtype families are flow-sensitive: they run fixpoint
+dataflow (:mod:`repro.analysis.dataflow`) over per-function CFGs with
+explicit exception edges (:mod:`repro.analysis.cfg`).
 
 :mod:`repro.analysis.core` provides the rule framework (findings,
 suppressions, baselines, JSON/human output); ``python -m repro.analysis``
@@ -35,8 +51,11 @@ from repro.analysis.core import (
 # importing the rule modules registers their family checkers
 from repro.analysis import (  # noqa: F401  (registration)
     determinism,
+    dtypes,
+    errorflow,
     hotpath,
     keys,
+    lifecycle,
     locks,
 )
 

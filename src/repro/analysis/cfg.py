@@ -1,0 +1,456 @@
+"""Per-function control-flow graphs over stdlib ``ast``.
+
+The VIA1xx-4xx rule families are syntactic: they pattern-match calls and
+attribute reads wherever they appear.  The lifecycle and dtype families
+need more — "is this pipe closed on *every* path out of the function,
+including the path where ``proc.start()`` raises?" is a question about
+paths, not patterns.  This module builds the graph those questions are
+asked on; :mod:`repro.analysis.dataflow` runs fixpoint analyses over it.
+
+Shape
+-----
+One :class:`CFG` per function (``def``/``async def``), built by
+:func:`build_cfg`; :func:`function_cfgs` walks a module and yields every
+function with its dotted qualname.  Blocks carry **at most one payload
+statement** — statement-level granularity keeps transfer functions
+trivial and makes exception edges precise (the state entering a handler
+is the state *before* the raising statement completed).  Edges are
+``normal`` or ``exc``:
+
+* every payload block gets an ``exc`` edge to the innermost enclosing
+  handler dispatch / ``finally`` / ``with`` exit, or to the function's
+  synthetic ``raise`` exit — *whether* a given statement can actually
+  raise is a client decision (transfer functions emit an unreachable
+  state along the ``exc`` edge for statements they consider safe);
+* ``try``/``except``/``else``/``finally`` is modelled with an explicit
+  dispatch block (one ``exc`` edge per handler, plus an escape edge when
+  no handler is a catch-all) and a single shared ``finally`` subgraph
+  whose out-edges are the union of every continuation that can traverse
+  it (normal fall-through, exception re-raise, ``return``/``break``/
+  ``continue``).  Sharing the ``finally`` body merges states that real
+  executions keep separate — a deliberate may-analysis approximation,
+  see DESIGN.md §13;
+* ``with`` gets an enter block (context expressions + ``as`` bindings)
+  and exit blocks on both the normal and exceptional path, so clients
+  can model ``__exit__`` cleanup on every way out;
+* loops get a head block with the back edge, an up-front ``after`` join
+  that ``break`` targets, and ``else`` clauses on the exhausted path;
+* ``return`` routes through every enclosing ``finally``/``with`` exit
+  before reaching the function exit; ``break``/``continue`` route
+  through those inside the loop.
+
+The graph has two sinks: ``exit`` (normal return) and ``raise_exit``
+(an exception escaping the function).  A leak that reaches ``exit`` and
+one that reaches ``raise_exit`` are different bugs (VIA501 vs VIA502).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+#: block kinds; clients switch on these in transfer functions
+BLOCK_KINDS = (
+    "entry",
+    "exit",
+    "raise",
+    "stmt",
+    "branch",      # If/While test, Match subject
+    "loop",        # For head (iter + target binding)
+    "handler",     # ExceptHandler binding (payload: the handler node)
+    "with-enter",  # With/AsyncWith context enter (payload: the With node)
+    "with-exit",   # With/AsyncWith context exit (payload: the With node)
+    "join",        # synthetic merge point, no payload
+)
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge; ``kind`` is ``"normal"`` or ``"exc"``."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass
+class Block:
+    """One CFG node holding at most one payload statement."""
+
+    block_id: int
+    kind: str
+    stmt: Optional[ast.AST] = None
+    succs: List[Edge] = field(default_factory=list)
+    preds: List[Edge] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0) if self.stmt is not None else 0
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, name: str, func: FuncDef):
+        self.name = name
+        self.func = func
+        self.blocks: Dict[int, Block] = {}
+        self.entry = 0
+        self.exit = 0
+        self.raise_exit = 0
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def successors(self, block_id: int) -> List[Edge]:
+        return self.blocks[block_id].succs
+
+    def predecessors(self, block_id: int) -> List[Edge]:
+        return self.blocks[block_id].preds
+
+    def reachable(self) -> List[int]:
+        """Block ids reachable from entry, in discovery (quasi-RPO) order."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            order.append(bid)
+            for edge in reversed(self.blocks[bid].succs):
+                if edge.dst not in seen:
+                    stack.append(edge.dst)
+        return order
+
+    def render(self) -> str:
+        """Debug dump: one line per block with its successors."""
+        lines = []
+        for bid in sorted(self.blocks):
+            b = self.blocks[bid]
+            succ = ", ".join(
+                f"{e.dst}{'!' if e.kind == 'exc' else ''}" for e in b.succs
+            )
+            label = type(b.stmt).__name__ if b.stmt is not None else ""
+            lines.append(f"  B{bid} [{b.kind}{' ' + label if label else ''}] -> {succ}")
+        return f"cfg {self.name}:\n" + "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+@dataclass
+class _LoopFrame:
+    head: int
+    after: int
+
+
+@dataclass
+class _CleanupFrame:
+    """A region that abnormal exits must route through.
+
+    ``entry`` is the first block of the cleanup (the ``finally`` entry or
+    a ``with`` exit block); ``pending`` collects the continuations that
+    jumps passing through the region need wired once the cleanup subgraph
+    is built.
+    """
+
+    entry: int
+    pending: List[Tuple[int, str]] = field(default_factory=list)
+
+
+_Frame = Union[_LoopFrame, _CleanupFrame]
+
+_CATCH_ALL = ("Exception", "BaseException")
+
+#: ``ast.Match`` exists only on 3.10+; the builder must import on 3.9
+_MATCH_TYPE: Optional[type] = getattr(ast, "Match", None)
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    """True when the handler cannot be escaped by an exception type."""
+    if handler.type is None:
+        return True
+    types: Sequence[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        types = handler.type.elts
+    else:
+        types = [handler.type]
+    for t in types:
+        if isinstance(t, ast.Name) and t.id in _CATCH_ALL:
+            return True
+        if isinstance(t, ast.Attribute) and t.attr in _CATCH_ALL:
+            return True
+    return False
+
+
+class _Builder:
+    def __init__(self, name: str, func: FuncDef):
+        self.cfg = CFG(name, func)
+        self._next = 0
+        self.cfg.entry = self._block("entry")
+        self.cfg.exit = self._block("exit")
+        self.cfg.raise_exit = self._block("raise")
+        #: innermost-last targets for an in-flight exception
+        self.exc_stack: List[int] = [self.cfg.raise_exit]
+        #: loop and cleanup regions, innermost last
+        self.frames: List[_Frame] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _block(self, kind: str, stmt: Optional[ast.AST] = None) -> int:
+        bid = self._next
+        self._next += 1
+        self.cfg.blocks[bid] = Block(bid, kind, stmt)
+        return bid
+
+    def _payload(self, kind: str, stmt: ast.AST) -> int:
+        """A payload block, wired to the innermost exception target."""
+        bid = self._block(kind, stmt)
+        self._edge(bid, self.exc_stack[-1], "exc")
+        return bid
+
+    def _edge(self, src: int, dst: int, kind: str = "normal") -> None:
+        edge = Edge(src, dst, kind)
+        block = self.cfg.blocks[src]
+        if edge not in block.succs:
+            block.succs.append(edge)
+            self.cfg.blocks[dst].preds.append(edge)
+
+    def _connect(self, frontier: Sequence[int], dst: int) -> None:
+        for src in frontier:
+            self._edge(src, dst)
+
+    # -- abnormal exits ------------------------------------------------
+    def _jump(
+        self, src: int, target: int, cleanups: Sequence[_CleanupFrame]
+    ) -> None:
+        """Route ``src`` to ``target`` through ``cleanups`` (outermost first)."""
+        prev = target
+        for frame in cleanups:  # outermost first
+            cont = (prev, "normal")
+            if cont not in frame.pending:
+                frame.pending.append(cont)
+            prev = frame.entry
+        self._edge(src, prev, "normal")
+
+    def _cleanups_through(self, stop_at_loop: bool) -> List[_CleanupFrame]:
+        """Cleanup frames an abnormal exit traverses, outermost first."""
+        out: List[_CleanupFrame] = []
+        for frame in reversed(self.frames):  # innermost first
+            if isinstance(frame, _LoopFrame):
+                if stop_at_loop:
+                    break
+                continue
+            out.append(frame)
+        out.reverse()
+        return out
+
+    # -- statement dispatch --------------------------------------------
+    def build(self) -> CFG:
+        frontier = self._stmts(self.cfg.func.body, [self.cfg.entry])
+        self._connect(frontier, self.cfg.exit)
+        return self.cfg
+
+    def _stmts(self, stmts: Sequence[ast.stmt], frontier: List[int]) -> List[int]:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: List[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            bid = self._payload("stmt", stmt)
+            self._connect(frontier, bid)
+            self._jump(bid, self.cfg.exit, self._cleanups_through(False))
+            return []
+        if isinstance(stmt, ast.Break):
+            loop = self._nearest_loop()
+            bid = self._block("stmt", stmt)
+            self._connect(frontier, bid)
+            self._jump(bid, loop.after, self._cleanups_through(True))
+            return []
+        if isinstance(stmt, ast.Continue):
+            loop = self._nearest_loop()
+            bid = self._block("stmt", stmt)
+            self._connect(frontier, bid)
+            self._jump(bid, loop.head, self._cleanups_through(True))
+            return []
+        if isinstance(stmt, ast.Raise):
+            bid = self._payload("stmt", stmt)
+            self._connect(frontier, bid)
+            return []  # the exc edge is the only way out
+        if _MATCH_TYPE is not None and isinstance(stmt, _MATCH_TYPE):
+            return self._match(stmt, frontier)
+        # nested defs/classes are opaque statements: their bodies run when
+        # called, not here, and function_cfgs() visits them separately
+        bid = self._payload("stmt", stmt)
+        self._connect(frontier, bid)
+        return [bid]
+
+    def _nearest_loop(self) -> _LoopFrame:
+        for frame in reversed(self.frames):
+            if isinstance(frame, _LoopFrame):
+                return frame
+        raise SyntaxError("break/continue outside a loop")
+
+    # -- structured statements -----------------------------------------
+    def _if(self, stmt: ast.If, frontier: List[int]) -> List[int]:
+        test = self._payload("branch", stmt)
+        self._connect(frontier, test)
+        then_frontier = self._stmts(stmt.body, [test])
+        else_frontier = self._stmts(stmt.orelse, [test])
+        return then_frontier + else_frontier
+
+    def _while(self, stmt: ast.While, frontier: List[int]) -> List[int]:
+        head = self._payload("branch", stmt)
+        after = self._block("join")
+        self._connect(frontier, head)
+        self.frames.append(_LoopFrame(head, after))
+        body_frontier = self._stmts(stmt.body, [head])
+        self._connect(body_frontier, head)  # back edge
+        self.frames.pop()
+        exhausted = self._stmts(stmt.orelse, [head])
+        self._connect(exhausted, after)
+        return [after]
+
+    def _for(self, stmt: Union[ast.For, ast.AsyncFor], frontier: List[int]) -> List[int]:
+        head = self._payload("loop", stmt)
+        after = self._block("join")
+        self._connect(frontier, head)
+        self.frames.append(_LoopFrame(head, after))
+        body_frontier = self._stmts(stmt.body, [head])
+        self._connect(body_frontier, head)  # back edge
+        self.frames.pop()
+        exhausted = self._stmts(stmt.orelse, [head])
+        self._connect(exhausted, after)
+        return [after]
+
+    def _match(self, stmt: ast.stmt, frontier: List[int]) -> List[int]:
+        subject = self._payload("branch", stmt)
+        self._connect(frontier, subject)
+        out: List[int] = [subject]  # no case may match
+        for case in getattr(stmt, "cases", []):
+            out.extend(self._stmts(case.body, [subject]))
+        return out
+
+    def _with(
+        self, stmt: Union[ast.With, ast.AsyncWith], frontier: List[int]
+    ) -> List[int]:
+        enter = self._payload("with-enter", stmt)
+        self._connect(frontier, enter)
+        # the exceptional __exit__: cleanup runs, then the exception
+        # continues to the enclosing target
+        exc_exit = self._block("with-exit", stmt)
+        self._edge(exc_exit, self.exc_stack[-1], "exc")
+        # a separate __exit__ block routes return/break/continue, so the
+        # exceptional state never bleeds into normal-exit classification
+        jump_exit = self._block("with-exit", stmt)
+        frame = _CleanupFrame(entry=jump_exit)
+        self.exc_stack.append(exc_exit)
+        self.frames.append(frame)
+        body_frontier = self._stmts(stmt.body, [enter])
+        self.frames.pop()
+        self.exc_stack.pop()
+        # the normal __exit__
+        norm_exit = self._payload("with-exit", stmt)
+        self._connect(body_frontier, norm_exit)
+        # return/break/continue leaving the body also run __exit__; their
+        # continuations were recorded on the frame while building the body
+        for target, kind in frame.pending:
+            self._edge(jump_exit, target, kind)
+        return [norm_exit]
+
+    def _try(self, stmt: ast.Try, frontier: List[int]) -> List[int]:
+        fin_frame: Optional[_CleanupFrame] = None
+        if stmt.finalbody:
+            fin_frame = _CleanupFrame(entry=self._block("join"))
+            self.frames.append(fin_frame)
+
+        dispatch: Optional[int] = None
+        if stmt.handlers:
+            dispatch = self._block("join")
+            body_exc = dispatch
+        else:
+            assert fin_frame is not None  # try needs handlers or finally
+            body_exc = fin_frame.entry
+
+        self.exc_stack.append(body_exc)
+        body_frontier = self._stmts(stmt.body, frontier)
+        self.exc_stack.pop()
+        # else runs only when the body completed without an exception
+        body_frontier = self._stmts(stmt.orelse, body_frontier)
+        exits: List[int] = list(body_frontier)
+
+        if dispatch is not None:
+            handler_exc = (
+                fin_frame.entry if fin_frame is not None else self.exc_stack[-1]
+            )
+            caught_all = False
+            for handler in stmt.handlers:
+                # no exc edge on the entry itself: it executes no user
+                # code, and the handler-body blocks carry their own —
+                # routing the *pre*-handler state past the body would
+                # erase whatever cleanup the handler performs
+                entry = self._block("handler", handler)
+                self._edge(dispatch, entry, "exc")
+                self.exc_stack.append(handler_exc)
+                exits.extend(self._stmts(handler.body, [entry]))
+                self.exc_stack.pop()
+                caught_all = caught_all or _is_catch_all(handler)
+            if not caught_all:
+                # an exception matching no handler escapes the try
+                self._edge(dispatch, handler_exc, "exc")
+
+        if fin_frame is None:
+            return exits
+
+        self.frames.pop()
+        self._connect(exits, fin_frame.entry)
+        fin_frontier = self._stmts(stmt.finalbody, [fin_frame.entry])
+        after = self._block("join")
+        continuations = list(fin_frame.pending)
+        continuations.append((after, "normal"))
+        # an exception that entered the finally keeps propagating afterwards;
+        # normal-kind, because it carries the post-cleanup state of the last
+        # finally statement, not a fresh raise out of it
+        continuations.append((self.exc_stack[-1], "normal"))
+        for target, kind in continuations:
+            for src in fin_frontier:
+                self._edge(src, target, kind)
+        return [after]
+
+
+def build_cfg(func: FuncDef, name: Optional[str] = None) -> CFG:
+    """The CFG of one function definition."""
+    return _Builder(name or func.name, func).build()
+
+
+def function_cfgs(tree: ast.Module) -> Iterator[Tuple[str, CFG]]:
+    """Every function in a module (methods and nested defs included),
+    yielded as ``(dotted qualname, CFG)`` in source order."""
+
+    def walk(
+        body: Sequence[ast.stmt], prefix: str
+    ) -> Iterator[Tuple[str, CFG]]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}"
+                yield qualname, build_cfg(node, qualname)
+                yield from walk(node.body, f"{qualname}.")
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(node.body, f"{prefix}{node.name}.")
+
+    yield from walk(tree.body, "")

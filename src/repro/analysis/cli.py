@@ -18,6 +18,7 @@ from repro.analysis.core import (
     RULES,
     Project,
     format_findings,
+    format_timings,
     load_baseline,
     run_analysis,
     save_baseline,
@@ -28,7 +29,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="project-specific static checks: cache-key hygiene, "
-        "determinism hazards, lock discipline",
+        "determinism hazards, lock discipline, resource lifecycle, "
+        "error contract, dtype hygiene",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"],
@@ -56,6 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print every registered rule and exit",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="report per-rule-family wall time",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="SECONDS",
+        help="fail (exit 1) when total analysis time exceeds this budget; "
+        "the CI gate's guard against the checker outgrowing its job",
     )
     return parser
 
@@ -105,6 +116,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     print(format_findings(report, args.format))
+    if args.timings:
+        print(format_timings(report))
+    if args.max_seconds is not None and report.total_seconds > args.max_seconds:
+        print(
+            f"error: analysis took {report.total_seconds:.2f}s, over the "
+            f"{args.max_seconds:.2f}s budget",
+            file=sys.stderr,
+        )
+        return 1
     return report.exit_code
 
 

@@ -29,8 +29,11 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import io
 import json
 import re
+import time
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -42,6 +45,21 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+)
+
+# re-exported so rule modules reach the dataflow machinery through core,
+# the same import surface they already use for Finding/Project/rule
+from repro.analysis.cfg import (  # noqa: F401
+    CFG,
+    Block,
+    Edge,
+    build_cfg,
+    function_cfgs,
+)
+from repro.analysis.dataflow import (  # noqa: F401
+    Solution,
+    solve_backward,
+    solve_forward,
 )
 
 BASELINE_VERSION = 1
@@ -101,6 +119,25 @@ def _sort_key(finding: Finding) -> Tuple[str, int, str]:
 # ---------------------------------------------------------------------------
 # source files and projects
 # ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One ``# via: ignore[...]`` comment in a file.
+
+    ``line`` is where the comment sits; ``covers`` are the lines a
+    finding may sit on for this comment to silence it (the comment's own
+    line, plus the next line when the comment stands alone).
+    """
+
+    line: int
+    rules: Tuple[str, ...]
+    covers: Tuple[int, ...]
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.line in self.covers and (
+            finding.rule in self.rules or "*" in self.rules
+        )
+
+
 class SourceFile:
     """One python file: path, text, AST, and suppression map (all lazy)."""
 
@@ -114,7 +151,7 @@ class SourceFile:
         self._text: Optional[str] = None
         self._tree: Optional[ast.Module] = None
         self._parse_error: Optional[SyntaxError] = None
-        self._suppressions: Optional[Dict[int, Set[str]]] = None
+        self._comments: Optional[List[SuppressionComment]] = None
 
     @property
     def text(self) -> str:
@@ -138,26 +175,68 @@ class SourceFile:
         return self._parse_error
 
     @property
-    def suppressions(self) -> Dict[int, Set[str]]:
-        """line number -> set of rule ids (or ``*``) suppressed there."""
-        if self._suppressions is None:
-            supp: Dict[int, Set[str]] = {}
+    def suppression_comments(self) -> List[SuppressionComment]:
+        """Every live ``# via: ignore[...]`` comment in the file.
+
+        Comments are read from COMMENT tokens, so suppression text inside
+        string literals (test fixtures embedding fixture sources) is not
+        mistaken for a live suppression.  Files the tokenizer rejects fall
+        back to a line-based scan so suppressions keep working alongside
+        the VIA000 parse-error finding.
+        """
+        if self._comments is None:
+            raw = self._comment_tokens()
+            comments: List[SuppressionComment] = []
+            for lineno, standalone, text in raw:
+                match = _SUPPRESS_RE.search(text)
+                if not match:
+                    continue
+                rules = tuple(
+                    sorted(
+                        {r.strip() for r in match.group(1).split(",") if r.strip()}
+                    )
+                )
+                if not rules:
+                    continue
+                covers = (lineno, lineno + 1) if standalone else (lineno,)
+                comments.append(SuppressionComment(lineno, rules, covers))
+            self._comments = comments
+        return self._comments
+
+    def _comment_tokens(self) -> List[Tuple[int, bool, str]]:
+        """``(line, is_standalone, text)`` per comment; tokenizer or fallback."""
+        out: List[Tuple[int, bool, str]] = []
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except (tokenize.TokenError, SyntaxError, ValueError):
             for lineno, line in enumerate(self.text.splitlines(), start=1):
                 match = _SUPPRESS_RE.search(line)
                 if not match:
                     continue
-                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
-                supp.setdefault(lineno, set()).update(rules)
-                before = line[: match.start()]
-                if not before.strip() or before.strip().startswith("#"):
-                    # comment-only line: the suppression covers the next line
-                    supp.setdefault(lineno + 1, set()).update(rules)
-            self._suppressions = supp
-        return self._suppressions
+                before = line[: match.start()].strip()
+                standalone = not before or before.startswith("#")
+                out.append((lineno, standalone, line[match.start():]))
+            return out
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                standalone = not tok.line[: tok.start[1]].strip()
+                out.append((tok.start[0], standalone, tok.string))
+        return out
+
+    @property
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """line number -> set of rule ids (or ``*``) suppressed there."""
+        supp: Dict[int, Set[str]] = {}
+        for comment in self.suppression_comments:
+            for lineno in comment.covers:
+                supp.setdefault(lineno, set()).update(comment.rules)
+        return supp
+
+    def matching_comments(self, finding: Finding) -> List[SuppressionComment]:
+        return [c for c in self.suppression_comments if c.matches(finding)]
 
     def is_suppressed(self, finding: Finding) -> bool:
-        rules = self.suppressions.get(finding.line, set())
-        return finding.rule in rules or "*" in rules
+        return bool(self.matching_comments(finding))
 
 
 class Project:
@@ -250,6 +329,17 @@ VIA000 = rule(
     "file does not parse; no rule can check it",
 )
 
+#: meta-rule: a ``# via: ignore[...]`` comment that silences nothing.
+#: Stale suppressions are latent holes — the hazard they justified is
+#: gone, but the comment will happily swallow the *next* finding on that
+#: line.  Emitted only on full runs (no ``--rules`` selection), because
+#: usefulness is only decidable when every family has run.
+VIA001 = rule(
+    "VIA001",
+    "core",
+    "suppression comment no longer suppresses any finding",
+)
+
 
 @family_checker("core")
 def _check_parses(project: Project) -> List[Finding]:
@@ -314,6 +404,8 @@ class AnalysisReport:
     findings: List[Finding] = field(default_factory=list)  # active
     suppressed: List[Finding] = field(default_factory=list)
     baselined: List[Finding] = field(default_factory=list)
+    #: family name -> wall seconds spent in its checker
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def errors(self) -> List[Finding]:
@@ -322,6 +414,10 @@ class AnalysisReport:
     @property
     def exit_code(self) -> int:
         return 1 if self.errors else 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
 
 
 def run_analysis(
@@ -332,26 +428,72 @@ def run_analysis(
 ) -> AnalysisReport:
     """Run every (selected) rule family over a project."""
     selected = resolve_selection(list(select)) if select is not None else None
+    report = AnalysisReport()
     raw: List[Finding] = []
     for family, checker in FAMILY_CHECKERS.items():
         if selected is not None and not any(
             RULES[rid].family == family for rid in selected
         ):
             continue
+        started = time.perf_counter()
         raw.extend(checker(project))
+        report.timings[family] = (
+            report.timings.get(family, 0.0) + time.perf_counter() - started
+        )
     if selected is not None:
         raw = [f for f in raw if f.rule in selected]
     raw.sort(key=_sort_key)
 
-    report = AnalysisReport()
-    for finding in raw:
+    #: (path, comment line) of every suppression that silenced something
+    used: Set[Tuple[str, int]] = set()
+
+    def place(finding: Finding) -> None:
         src = project.file(finding.path)
-        if src is not None and src.is_suppressed(finding):
-            report.suppressed.append(finding)
-        elif baseline and finding.fingerprint() in baseline:
+        if src is not None:
+            matches = [
+                c
+                for c in src.matching_comments(finding)
+                # a stale comment must not silence its own VIA001 report
+                if not (finding.rule == VIA001 and c.line == finding.line)
+            ]
+            if matches:
+                for comment in matches:
+                    used.add((finding.path, comment.line))
+                report.suppressed.append(finding)
+                return
+        if baseline and finding.fingerprint() in baseline:
             report.baselined.append(finding)
         else:
             report.findings.append(finding)
+
+    for finding in raw:
+        place(finding)
+
+    if selected is None:
+        # full run: every family voted, so an unmatched suppression is
+        # provably stale — the VIA001 meta-pass
+        started = time.perf_counter()
+        stale: List[Finding] = []
+        for src in project.files:
+            for comment in src.suppression_comments:
+                if (src.rel, comment.line) in used:
+                    continue
+                listed = ", ".join(comment.rules)
+                stale.append(
+                    make_finding(
+                        VIA001, src.rel, comment.line,
+                        f"'# via: ignore[{listed}]' suppresses nothing; the "
+                        "hazard it justified is gone — remove the comment so "
+                        "it cannot swallow a future finding",
+                    )
+                )
+        stale.sort(key=_sort_key)
+        for finding in stale:
+            place(finding)
+        report.findings.sort(key=_sort_key)
+        report.timings["core"] = (
+            report.timings.get("core", 0.0) + time.perf_counter() - started
+        )
     return report
 
 
@@ -379,6 +521,14 @@ def format_findings(report: AnalysisReport, fmt: str = "human") -> str:
     )
     lines.append(summary)
     return "\n".join(lines)
+
+
+def format_timings(report: AnalysisReport) -> str:
+    """Per-family wall-time table for ``--timings`` (slowest first)."""
+    rows = sorted(report.timings.items(), key=lambda kv: (-kv[1], kv[0]))
+    lines = [f"  {family:<14} {seconds * 1000.0:9.1f} ms" for family, seconds in rows]
+    lines.append(f"  {'total':<14} {report.total_seconds * 1000.0:9.1f} ms")
+    return "rule-family timings:\n" + "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

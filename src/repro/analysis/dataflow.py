@@ -1,0 +1,170 @@
+"""Generic fixpoint dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A client supplies a small lattice (a join and an initial/bottom state)
+and a transfer function; the solver runs the standard worklist iteration
+to a fixpoint.  States are opaque to the solver — it only needs
+``join``, equality, and a notion of *unreachable* (``bottom``) that it
+can skip when propagating, so rule families can use frozensets of
+tuples, dicts, or anything else hashable-equatable.
+
+Two directions:
+
+* :func:`solve_forward` — states flow entry → exit.  The transfer
+  function returns a **pair** ``(normal_out, exc_out)``: the state on
+  ordinary fall-through and the state when the block's statement raises
+  mid-way.  That split is what makes exception-path analyses (VIA502)
+  precise — a resource acquired *by* the raising statement is not yet
+  open on the ``exc`` edge, while one acquired earlier is.  Clients
+  that consider a statement unable to raise return ``bottom`` as
+  ``exc_out`` and the edge contributes nothing.
+* :func:`solve_backward` — states flow exit → entry along reversed
+  edges (classic liveness shape).  Backward transfer takes one out
+  state and returns one in state; the distinction between normal and
+  exception successors is folded by joining both.
+
+Termination: lattices here are finite (sets over program sites) and
+transfer functions monotone, so the worklist drains.  A ``max_steps``
+safety valve (default 100k block-visits) guards against a buggy
+non-monotone client looping forever inside CI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, List, Tuple, TypeVar
+
+from repro.analysis.cfg import CFG, Block
+
+S = TypeVar("S")
+
+#: forward transfer: (block, in_state) -> (normal_out, exc_out)
+ForwardTransfer = Callable[[Block, S], Tuple[S, S]]
+#: backward transfer: (block, out_state) -> in_state
+BackwardTransfer = Callable[[Block, S], S]
+JoinFn = Callable[[S, S], S]
+
+
+class FixpointDiverged(RuntimeError):
+    """The worklist exceeded ``max_steps`` — a non-monotone transfer."""
+
+
+class Solution(Generic[S]):
+    """Per-block states at the fixpoint.
+
+    ``in_states[b]`` is the join over states arriving at block ``b``;
+    ``out_states[b]`` is the pair/single state leaving it (direction-
+    dependent).  Blocks never reached hold ``bottom``.
+    """
+
+    def __init__(self, in_states: Dict[int, S], out_states: Dict[int, S]):
+        self.in_states = in_states
+        self.out_states = out_states
+
+
+def solve_forward(
+    cfg: CFG,
+    *,
+    init: S,
+    bottom: S,
+    join: JoinFn[S],
+    transfer: ForwardTransfer[S],
+    max_steps: int = 100_000,
+) -> Solution[S]:
+    """Forward may-analysis: propagate ``init`` from entry to the exits.
+
+    ``bottom`` marks unreachable — it is never propagated along edges
+    and never passed to ``transfer``, so transfer functions see only
+    live states.
+    """
+    in_states: Dict[int, S] = {bid: bottom for bid in cfg.blocks}
+    normal_out: Dict[int, S] = {bid: bottom for bid in cfg.blocks}
+    exc_out: Dict[int, S] = {bid: bottom for bid in cfg.blocks}
+    in_states[cfg.entry] = init
+
+    worklist: List[int] = [cfg.entry]
+    queued = {cfg.entry}
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > max_steps:
+            raise FixpointDiverged(
+                f"forward solve of {cfg.name} exceeded {max_steps} steps"
+            )
+        bid = worklist.pop(0)
+        queued.discard(bid)
+        state = in_states[bid]
+        if state == bottom:
+            continue
+        block = cfg.blocks[bid]
+        n_out, e_out = transfer(block, state)
+        normal_out[bid] = n_out
+        exc_out[bid] = e_out
+        for edge in block.succs:
+            contrib = e_out if edge.kind == "exc" else n_out
+            if contrib == bottom:
+                continue
+            old = in_states[edge.dst]
+            new = contrib if old == bottom else join(old, contrib)
+            if new != old:
+                in_states[edge.dst] = new
+                if edge.dst not in queued:
+                    worklist.append(edge.dst)
+                    queued.add(edge.dst)
+
+    # exit blocks have no transfer of their own; their "out" is their in
+    out_states = {
+        bid: in_states[bid] if bid in (cfg.exit, cfg.raise_exit) else normal_out[bid]
+        for bid in cfg.blocks
+    }
+    return Solution(in_states, out_states)
+
+
+def solve_backward(
+    cfg: CFG,
+    *,
+    init: S,
+    bottom: S,
+    join: JoinFn[S],
+    transfer: BackwardTransfer[S],
+    max_steps: int = 100_000,
+) -> Solution[S]:
+    """Backward may-analysis: propagate ``init`` from both exits upward.
+
+    ``in_states`` here means the state *after* the block (its out-facing
+    side in program order) and ``out_states`` the state before it —
+    mirroring the forward naming so clients always read
+    ``Solution.out_states[entry]`` for "what holds at function entry".
+    """
+    after: Dict[int, S] = {bid: bottom for bid in cfg.blocks}
+    before: Dict[int, S] = {bid: bottom for bid in cfg.blocks}
+    after[cfg.exit] = init
+    after[cfg.raise_exit] = init
+
+    worklist: List[int] = [cfg.exit, cfg.raise_exit]
+    queued = set(worklist)
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > max_steps:
+            raise FixpointDiverged(
+                f"backward solve of {cfg.name} exceeded {max_steps} steps"
+            )
+        bid = worklist.pop(0)
+        queued.discard(bid)
+        state = after[bid]
+        if state == bottom:
+            continue
+        block = cfg.blocks[bid]
+        b_out = transfer(block, state)
+        before[bid] = b_out
+        if b_out == bottom:
+            continue
+        for edge in block.preds:
+            old = after[edge.src]
+            new = b_out if old == bottom else join(old, b_out)
+            if new != old:
+                after[edge.src] = new
+                if edge.src not in queued:
+                    worklist.append(edge.src)
+                    queued.add(edge.src)
+
+    return Solution(after, before)

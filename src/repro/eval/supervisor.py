@@ -129,10 +129,17 @@ class _WorkerHandle:
 
     def __init__(self, ctx):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
-        self.proc = ctx.Process(
-            target=_worker_main, args=(child_conn,), daemon=True
-        )
-        self.proc.start()
+        try:
+            self.proc = ctx.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            self.proc.start()
+        except BaseException:
+            # a failed spawn must not strand the pipe fds — under fd
+            # exhaustion the leak would make every later spawn fail too
+            parent_conn.close()
+            child_conn.close()
+            raise
         # close our copy of the child end or EOF detection never fires
         child_conn.close()
         self.conn = parent_conn
@@ -207,7 +214,11 @@ class Supervisor:
         self.queue.extend(_Task(index, unit) for index, unit in pending)
         pool_size = min(self.workers, self.total)
         try:
-            self.handles = [_WorkerHandle(self.ctx) for _ in range(pool_size)]
+            # build incrementally: if the Nth spawn raises, the N-1 live
+            # workers are already in self.handles for _shutdown() to reap
+            self.handles = []
+            for _ in range(pool_size):
+                self.handles.append(_WorkerHandle(self.ctx))
             while self.done < self.total:
                 if self.should_stop():
                     return False

@@ -43,6 +43,9 @@ class Counter:
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         if amount < 0:
+            # a negative inc() is a server-side bug; the catch-all
+            # 'internal' wire code is exactly what it should surface as
+            # via: ignore[VIA601] -- API-misuse guard, not a wire error
             raise ValueError(f"counter {self.name} cannot decrease")
         with self._lock:
             self._value += amount
@@ -102,6 +105,7 @@ class Histogram:
         self, name: str, help: str = "", max_samples: int = DEFAULT_RESERVOIR
     ):
         if max_samples < 1:
+            # via: ignore[VIA601] -- constructor guard, unreachable from a request
             raise ValueError("max_samples must be >= 1")
         self.name = name
         self.help = help
@@ -172,6 +176,9 @@ class MetricsRegistry:
             existing = self._metrics.get(name)
             if existing is not None:
                 if not isinstance(existing, kind):
+                    # two call sites disagreeing on a metric's kind is a
+                    # server bug, so the 'internal' code is the honest one
+                    # via: ignore[VIA601] -- registry-misuse guard
                     raise ValueError(
                         f"metric {name!r} already registered as "
                         f"{type(existing).__name__}, not {kind.__name__}"

@@ -491,6 +491,12 @@ class WorkerPool:
                 self._workers[slot] = None
                 self._respawn_at[slot] = time.monotonic() + backoff
                 return
+            except BaseException:
+                # anything else (pickling errors, interpreter shutdown) is
+                # not retryable — propagate, but never strand the pipe fds
+                parent_conn.close()
+                child_conn.close()
+                raise
             # close our copy of the child end or EOF detection never fires
             child_conn.close()
             self._workers[slot] = _Worker(

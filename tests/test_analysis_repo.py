@@ -1,11 +1,13 @@
 """The repo passes its own static checker, baseline-free.
 
 This is the in-tree twin of the CI ``analysis`` job: the full rule set
-over ``src`` and ``tests`` must produce zero error findings with no
-baseline, and the runtime key-hygiene twin must accept the live
-dataclasses.  A failure here means a config field was added without
-keying it (or declaring it ``KEY_EXEMPT``), a clock/RNG/env hazard crept
-into deterministic code, or serve-layer shared state lost its lock.
+over ``src``, ``tests``, ``benchmarks``, and ``examples`` must produce
+zero error findings with no baseline, and the runtime key-hygiene twin
+must accept the live dataclasses.  A failure here means a config field
+was added without keying it (or declaring it ``KEY_EXEMPT``), a
+clock/RNG/env hazard crept into deterministic code, serve-layer shared
+state lost its lock, a resource gained a path that leaks it, or an
+unmapped exception type slipped into the serve error contract.
 """
 
 from pathlib import Path
@@ -15,13 +17,15 @@ from repro.analysis.keys import DEFAULT_BINDINGS, assert_key_hygiene, check_keys
 
 REPO = Path(__file__).resolve().parent.parent
 
+GATE_DIRS = ("src", "tests", "benchmarks", "examples")
+
 
 def _project(*subdirs):
     return Project([REPO / d for d in subdirs], root=REPO)
 
 
 def test_repo_gate_is_clean_without_a_baseline():
-    report = run_analysis(_project("src", "tests"))
+    report = run_analysis(_project(*GATE_DIRS))
     assert [f.render() for f in report.errors] == []
     assert report.exit_code == 0
 

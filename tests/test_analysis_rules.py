@@ -26,8 +26,11 @@ from repro.analysis.core import (
     save_baseline,
 )
 from repro.analysis.determinism import check_determinism
+from repro.analysis.dtypes import check_dtypes
+from repro.analysis.errorflow import check_errorflow
 from repro.analysis.hotpath import check_hotpath
 from repro.analysis.keys import KeyBinding, assert_key_hygiene, check_keys
+from repro.analysis.lifecycle import check_lifecycle
 from repro.analysis.locks import check_locks
 from repro.errors import ConfigError
 
@@ -1138,3 +1141,612 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in RULES:
             assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# family: lifecycle (VIA501-VIA504)
+# ----------------------------------------------------------------------
+def lifecycle(project):
+    return check_lifecycle(project, prefixes=("svc",))
+
+
+class TestLifecycleRules:
+    def test_via501_open_at_normal_exit(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/leak.py": """
+                    from multiprocessing import Pipe
+
+
+                    def leaky():
+                        parent, child = Pipe()
+                        child.close()
+                        return None
+                """
+            },
+        )
+        findings = lifecycle(project)
+        assert rules_of(findings) == ["VIA501"]
+        assert "parent" in findings[0].message
+
+    def test_clean_when_closed_or_returned(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/ok.py": """
+                    from multiprocessing import Pipe
+
+
+                    def closed():
+                        parent, child = Pipe()
+                        parent.close()
+                        child.close()
+
+
+                    def handed_to_caller():
+                        parent, child = Pipe()
+                        child.close()
+                        return parent
+                """
+            },
+        )
+        assert lifecycle(project) == []
+
+    def test_via502_exception_edge_leak(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/risky.py": """
+                    def risky(step):
+                        f = open("x")
+                        step()
+                        f.close()
+                """
+            },
+        )
+        findings = lifecycle(project)
+        assert rules_of(findings) == ["VIA502"]
+        assert "exception escapes" in findings[0].message
+
+    def test_clean_with_finally_or_with(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/ok.py": """
+                    def guarded(step):
+                        f = open("x")
+                        try:
+                            step()
+                        finally:
+                            f.close()
+
+
+                    def managed(step):
+                        with open("x") as f:
+                            step()
+                """
+            },
+        )
+        assert lifecycle(project) == []
+
+    def test_clean_when_handler_closes_before_reraise(self, tmp_path):
+        # the shape the pool/supervisor fixes use: close on BaseException,
+        # then re-raise — no path leaves the resource open
+        project = make_project(
+            tmp_path,
+            {
+                "svc/ok.py": """
+                    from multiprocessing import Pipe
+
+
+                    def spawn(arm):
+                        parent, child = Pipe()
+                        try:
+                            arm()
+                        except BaseException:
+                            parent.close()
+                            child.close()
+                            raise
+                        child.close()
+                        return parent
+                """
+            },
+        )
+        assert lifecycle(project) == []
+
+    def test_via502_comprehension_acquisition(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/comp.py": """
+                    from multiprocessing import Pipe
+
+
+                    def many(n):
+                        conns = [Pipe() for _ in range(n)]
+                        return conns
+                """
+            },
+        )
+        findings = lifecycle(project)
+        assert rules_of(findings) == ["VIA502"]
+        assert "comprehension" in findings[0].message
+
+    def test_via501_started_process_without_join(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/proc.py": """
+                    def spawn_and_forget(ctx, work):
+                        p = ctx.Process(target=work)
+                        p.start()
+
+
+                    def spawn_joined(ctx, work):
+                        p = ctx.Process(target=work)
+                        p.start()
+                        p.join()
+                """
+            },
+        )
+        findings = lifecycle(project)
+        assert rules_of(findings) == ["VIA501"]
+        assert "spawn_and_forget" in findings[0].message
+
+    def test_failed_start_acquires_nothing(self, tmp_path):
+        # start() raising means there is no process to join — the
+        # exception edge must carry the pre-start state
+        project = make_project(
+            tmp_path,
+            {
+                "svc/proc.py": """
+                    def spawn(ctx, work):
+                        p = ctx.Process(target=work)
+                        p.start()
+                        p.join()
+                """
+            },
+        )
+        assert lifecycle(project) == []
+
+    def test_owner_class_constructor_is_an_acquisition(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/handle.py": """
+                    from multiprocessing import Pipe
+
+
+                    class Handle:
+                        def __init__(self):
+                            self.a, self.b = Pipe()
+
+                        def close(self):
+                            self.a.close()
+                            self.b.close()
+
+
+                    def leaky(step):
+                        h = Handle()
+                        step()
+                        h.close()
+                """
+            },
+        )
+        findings = lifecycle(project)
+        assert [f for f in findings if f.rule == "VIA502"]
+        assert any("instance of Handle" in f.message for f in findings)
+
+    def test_via503_rebind_while_open(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/rebind.py": """
+                    def shadow():
+                        f = open("x")
+                        f = open("y")
+                        f.close()
+                """
+            },
+        )
+        findings = lifecycle(project)
+        assert "VIA503" in rules_of(findings)
+        via503 = [f for f in findings if f.rule == "VIA503"]
+        assert "rebound" in via503[0].message
+
+    def test_via504_use_after_close(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/reuse.py": """
+                    def reuse():
+                        f = open("x")
+                        f.close()
+                        f.read()
+                """
+            },
+        )
+        findings = lifecycle(project)
+        assert rules_of(findings) == ["VIA504"]
+
+    def test_repeated_close_is_not_a_use_after_close(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "svc/double.py": """
+                    def double():
+                        f = open("x")
+                        f.close()
+                        f.close()
+                """
+            },
+        )
+        assert lifecycle(project) == []
+
+
+# ----------------------------------------------------------------------
+# family: errorflow (VIA601-VIA603)
+# ----------------------------------------------------------------------
+JOBS_ANCHOR = """
+    class ServeError(Exception):
+        pass
+
+
+    class QueueFull(ServeError):
+        pass
+
+
+    def error_payload(exc):
+        if isinstance(exc, QueueFull):
+            return {"code": "queue_full"}
+        if isinstance(exc, ServeError):
+            return {"code": "serve"}
+        return {"code": "internal"}
+"""
+
+
+class TestErrorflowRules:
+    def test_via601_unmapped_raise(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/serve/jobs.py": JOBS_ANCHOR,
+                "repro/serve/handlers.py": """
+                    def handle(spec):
+                        if not spec:
+                            raise ValueError("empty spec")
+                """,
+            },
+        )
+        findings = check_errorflow(project)
+        assert rules_of(findings) == ["VIA601"]
+        assert "ValueError" in findings[0].message
+
+    def test_mapped_subclass_and_helper_raises_are_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/serve/jobs.py": JOBS_ANCHOR,
+                "repro/serve/handlers.py": """
+                    from repro.serve.jobs import QueueFull, ServeError
+
+
+                    class RateLimited(ServeError):
+                        pass
+
+
+                    def _bad_spec(reason):
+                        return ServeError(reason)
+
+
+                    def handle(spec):
+                        if spec is None:
+                            raise _bad_spec("missing")
+                        if spec == "full":
+                            raise QueueFull("later")
+                        if spec == "limit":
+                            raise RateLimited("slow down")
+                        try:
+                            return spec()
+                        except ServeError as exc:
+                            raise exc
+                """,
+            },
+        )
+        assert check_errorflow(project) == []
+
+    def test_transport_teardown_and_unresolvable_are_skipped(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/serve/jobs.py": JOBS_ANCHOR,
+                "repro/serve/handlers.py": """
+                    def drop(make_error):
+                        raise ConnectionResetError from None
+
+
+                    def dynamic(make_error):
+                        raise make_error()
+                """,
+            },
+        )
+        assert check_errorflow(project) == []
+
+    def test_via602_broad_swallow(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/serve/jobs.py": JOBS_ANCHOR,
+                "repro/serve/handlers.py": """
+                    def quiet(step):
+                        try:
+                            step()
+                        except Exception:
+                            pass
+                """,
+            },
+        )
+        findings = check_errorflow(project)
+        assert rules_of(findings) == ["VIA602"]
+        assert findings[0].severity == "warning"
+
+    def test_broad_handler_that_logs_or_reraises_is_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/serve/jobs.py": JOBS_ANCHOR,
+                "repro/serve/handlers.py": """
+                    import logging
+
+                    log = logging.getLogger(__name__)
+
+
+                    def noisy(step):
+                        try:
+                            step()
+                        except Exception as exc:
+                            log.warning("step failed: %s", exc)
+
+
+                    def strict(step):
+                        try:
+                            step()
+                        except Exception:
+                            raise
+                """,
+            },
+        )
+        assert check_errorflow(project) == []
+
+    def test_via603_unextractable_anchor(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/serve/jobs.py": """
+                    PAYLOADS = {}
+
+
+                    def error_payload(exc):
+                        return PAYLOADS.get(type(exc).__name__)
+                """,
+            },
+        )
+        findings = check_errorflow(project)
+        assert rules_of(findings) == ["VIA603"]
+
+    def test_family_skips_without_anchor_module(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/serve/handlers.py": """
+                    def handle():
+                        raise ValueError("unchecked without the anchor")
+                """,
+            },
+        )
+        assert check_errorflow(project) == []
+
+
+# ----------------------------------------------------------------------
+# family: dtypes (VIA701-VIA703)
+# ----------------------------------------------------------------------
+def dtypes_of(project):
+    return check_dtypes(project, scopes=("kern",))
+
+
+class TestDtypeRules:
+    def test_via701_true_division_on_int_array(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "kern/cols.py": """
+                    import numpy as np
+
+
+                    def price(n):
+                        cycles = np.zeros(n, dtype=np.int64)
+                        return cycles / 2
+                """
+            },
+        )
+        findings = dtypes_of(project)
+        assert rules_of(findings) == ["VIA701"]
+        assert "float64" in findings[0].message
+
+    def test_floor_division_and_explicit_astype_are_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "kern/cols.py": """
+                    import numpy as np
+
+
+                    def price(n):
+                        cycles = np.zeros(n, dtype=np.int64)
+                        halves = cycles // 2
+                        ratio = cycles.astype(float) / 2
+                        return halves, ratio
+                """
+            },
+        )
+        assert dtypes_of(project) == []
+
+    def test_via702_mean_without_dtype(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "kern/cols.py": """
+                    import numpy as np
+
+
+                    def summarize(n):
+                        cycles = np.arange(n).astype(np.int64)
+                        return np.mean(cycles)
+                """
+            },
+        )
+        findings = dtypes_of(project)
+        assert rules_of(findings) == ["VIA702"]
+
+    def test_mean_with_explicit_dtype_is_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "kern/cols.py": """
+                    import numpy as np
+
+
+                    def summarize(n):
+                        cycles = np.arange(n).astype(np.int64)
+                        return np.mean(cycles, dtype=np.float64)
+                """
+            },
+        )
+        assert dtypes_of(project) == []
+
+    def test_via703_float_literal_in_int_arithmetic(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "kern/cols.py": """
+                    import numpy as np
+
+
+                    def scale(n):
+                        cycles = np.zeros(n, dtype=np.int64)
+                        return cycles * 1.5
+                """
+            },
+        )
+        findings = dtypes_of(project)
+        assert rules_of(findings) == ["VIA703"]
+
+    def test_must_analysis_drops_intness_at_joins(self, tmp_path):
+        # one branch promotes deliberately: after the join the var is no
+        # longer provably int, so the division must not be flagged
+        project = make_project(
+            tmp_path,
+            {
+                "kern/cols.py": """
+                    import numpy as np
+
+
+                    def maybe_promote(n, flag):
+                        xs = np.zeros(n, dtype=np.int64)
+                        if flag:
+                            xs = xs.astype(float)
+                        return xs / 2
+                """
+            },
+        )
+        assert dtypes_of(project) == []
+
+    def test_plain_python_numbers_never_seed(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "kern/cols.py": """
+                    def ratio(total, count):
+                        share = total / count
+                        return share * 1.5
+                """
+            },
+        )
+        assert dtypes_of(project) == []
+
+
+# ----------------------------------------------------------------------
+# meta-rule: VIA001 (useless suppression) + timings
+# ----------------------------------------------------------------------
+class TestUselessSuppression:
+    def test_via001_on_stale_comment(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/sim/tidy.py": """
+                    import time  # via: ignore[VIA201]
+
+                    def now():
+                        return 42
+                """
+            },
+        )
+        report = run_analysis(project)
+        assert rules_of(report.findings) == ["VIA001"]
+        assert "VIA201" in report.findings[0].message
+
+    def test_used_suppression_is_not_flagged(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "repro/sim/clocky.py": """
+                    import time
+
+                    a = time.time()  # via: ignore[VIA201]
+                """
+            },
+        )
+        report = run_analysis(project)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_selected_runs_never_emit_via001(self, tmp_path):
+        # a scoped run cannot tell used from stale — only the full run
+        # sees every family's findings, so only it may judge comments
+        project = make_project(
+            tmp_path,
+            {
+                "repro/sim/tidy.py": """
+                    import time  # via: ignore[VIA201]
+
+                    def now():
+                        return 42
+                """
+            },
+        )
+        report = run_analysis(project, select=["determinism"])
+        assert report.findings == []
+
+
+class TestTimings:
+    def test_report_carries_per_family_timings(self, tmp_path):
+        project = make_project(tmp_path, {"repro/sim/clocky.py": CLOCKY})
+        report = run_analysis(project)
+        assert set(FAMILY_CHECKERS) <= set(report.timings)
+        assert report.total_seconds >= 0.0
+
+    def test_cli_timings_flag_prints_table(self, tmp_path, capsys):
+        make_project(tmp_path, {"repro/sim/ok.py": "x = 1\n"})
+        argv = [str(tmp_path), "--root", str(tmp_path), "--timings"]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "rule-family timings" in out
+        assert "lifecycle" in out
+
+    def test_cli_max_seconds_budget_breach_fails(self, tmp_path, capsys):
+        make_project(tmp_path, {"repro/sim/ok.py": "x = 1\n"})
+        base = [str(tmp_path), "--root", str(tmp_path)]
+        assert cli_main(base + ["--max-seconds", "0"]) == 1
+        assert "budget" in capsys.readouterr().err
+        assert cli_main(base + ["--max-seconds", "60"]) == 0
